@@ -1,0 +1,60 @@
+// Command benchtab regenerates the evaluation tables of the paper
+// (Tables 1, 2, and 3 of §9) with this reproduction's solver and the
+// two in-repo baseline families.
+//
+// Usage:
+//
+//	benchtab -table 1 -per 40 -timeout 5s
+//	benchtab -table 2 -per 30 -timeout 5s
+//	benchtab -table 3 -loops 12 -timeout 10s
+//	benchtab -table all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, or all")
+	per := flag.Int("per", 30, "instances per suite (tables 1 and 2)")
+	loops := flag.Int("loops", 12, "maximum checkLuhn loop count (table 3)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-instance timeout")
+	flag.Parse()
+
+	solvers := bench.Solvers()
+	run1 := func() {
+		fmt.Println("Table 1: basic string constraints")
+		bench.Table(os.Stdout, bench.Table1Suites(*per), solvers, *timeout)
+		fmt.Println()
+	}
+	run2 := func() {
+		fmt.Println("Table 2: string-number conversion")
+		bench.Table(os.Stdout, bench.Table2Suites(*per), solvers, *timeout)
+		fmt.Println()
+	}
+	run3 := func() {
+		fmt.Println("Table 3: checkLuhn with 2..N loops")
+		bench.Table3(os.Stdout, *loops, solvers, *timeout)
+		fmt.Println()
+	}
+	switch *table {
+	case "1":
+		run1()
+	case "2":
+		run2()
+	case "3":
+		run3()
+	case "all":
+		run1()
+		run2()
+		run3()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,77 @@
+// Command trausolve reads an SMT-LIB script (QF_S / QF_SLIA fragment)
+// and decides it with the PFA-based string solver, printing sat (with a
+// model), unsat, or unknown.
+//
+// Usage:
+//
+//	trausolve [-timeout 10s] [-model] file.smt2
+//	trausolve -            # read from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/smtlib"
+)
+
+func main() {
+	timeout := flag.Duration("timeout", 10*time.Second, "solver budget")
+	model := flag.Bool("model", true, "print the model on sat")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: trausolve [-timeout d] [-model] file.smt2 | -")
+		os.Exit(2)
+	}
+
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trausolve:", err)
+		os.Exit(1)
+	}
+
+	script, err := smtlib.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trausolve:", err)
+		os.Exit(1)
+	}
+
+	if !script.CheckSat {
+		fmt.Fprintln(os.Stderr, "trausolve: script has no (check-sat)")
+		os.Exit(2)
+	}
+	res := core.Solve(script.Problem, core.Options{Timeout: *timeout})
+	fmt.Println(res.Status)
+	if res.Status == core.StatusSat && *model {
+		names := make([]string, 0, len(script.StrVars))
+		for name := range script.StrVars {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %s = %q\n", name, res.Model.Str[script.StrVars[name]])
+		}
+		inames := make([]string, 0, len(script.IntVars))
+		for name := range script.IntVars {
+			inames = append(inames, name)
+		}
+		sort.Strings(inames)
+		for _, name := range inames {
+			fmt.Printf("  %s = %s\n", name, res.Model.Int.Value(script.IntVars[name]))
+		}
+	}
+	if res.Status == core.StatusUnknown {
+		os.Exit(3)
+	}
+}

@@ -1,0 +1,56 @@
+// JSArray: the JavaScript array-index semantics example of the paper's
+// introduction (§1). JavaScript array indices are strings; arithmetic
+// on them converts string → number → string:
+//
+//	x["03"-1] = 2   // writes x["2"], because toStr(toNum("03")-1) = "2"
+//
+// This example asks the solver the symbolic question behind that line:
+// find an index string idx with idx = toStr(toNum("03") - 1), and then
+// the harder inverse: which 2-character index strings s make
+// toStr(toNum(s)-1) equal to "7"?
+package main
+
+import (
+	"fmt"
+
+	trau "repro"
+)
+
+func main() {
+	// Forward: idx = toStr(toNum("03") - 1).
+	{
+		s := trau.NewSolver()
+		raw := s.StrVar("raw")
+		idx := s.StrVar("idx")
+		n := s.IntVar("n")
+		m := s.IntVar("m")
+		s.Require(
+			trau.Eq(trau.T(trau.V(raw)), trau.T(trau.C("03"))),
+			trau.ToNum(n, raw),
+			trau.IntEq(trau.IntVal(m), trau.IntVal(n).AddConst(-1)),
+			trau.ToStr(m, idx),
+		)
+		res := s.Solve()
+		fmt.Printf("x[\"03\"-1] writes index %q (status %v)\n", res.StrValue(idx), res.Status)
+	}
+
+	// Inverse: which 2-character strings s satisfy toStr(toNum(s)-1) = "7"?
+	{
+		s := trau.NewSolver()
+		src := s.StrVar("s")
+		idx := s.StrVar("idx")
+		n := s.IntVar("n")
+		m := s.IntVar("m")
+		s.Require(
+			trau.LenEq(s.Len(src), trau.IntConst(2)),
+			trau.ToNum(n, src),
+			trau.IntGe(trau.IntVal(n), trau.IntConst(0)),
+			trau.IntEq(trau.IntVal(m), trau.IntVal(n).AddConst(-1)),
+			trau.ToStr(m, idx),
+			trau.Eq(trau.T(trau.V(idx)), trau.T(trau.C("7"))),
+		)
+		res := s.Solve()
+		fmt.Printf("s with toStr(toNum(s)-1) = \"7\": %q (status %v)\n",
+			res.StrValue(src), res.Status)
+	}
+}

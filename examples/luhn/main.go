@@ -1,0 +1,43 @@
+// Luhn: find inputs that pass the checkLuhn credit-card validation of
+// the paper's introduction (§1), for a configurable number of digits.
+// This is the workload of the paper's Table 3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/strcon"
+)
+
+func main() {
+	digits := flag.Int("digits", 6, "number of input digits (the table's loop count)")
+	timeout := flag.Duration("timeout", 30*time.Second, "solver budget")
+	flag.Parse()
+
+	inst := bench.Luhn(*digits)
+	start := time.Now()
+	res := core.Solve(inst.Build(), core.Options{Timeout: *timeout})
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	fmt.Printf("checkLuhn with %d digits: %v in %v\n", *digits, res.Status, elapsed)
+	if res.Status == core.StatusSat {
+		value := res.Model.Str[strcon.Var(0)]
+		fmt.Printf("valid input: %q\n", value)
+		sum := 0
+		for i := 0; i < len(value); i++ {
+			d := int(value[i] - '0')
+			if (len(value)-1-i)%2 == 1 {
+				d *= 2
+				if d > 9 {
+					d -= 9
+				}
+			}
+			sum += d
+		}
+		fmt.Printf("luhn sum: %d (ends in 0: %v)\n", sum, sum%10 == 0)
+	}
+}

@@ -1,0 +1,39 @@
+// Quickstart: solve the paper's motivating toy formula Φ (§1):
+//
+//	"0"x = x"0"  ∧  toNum(x) = toNum(y)  ∧  |y| > |x| > 1  ∧  1000 < |y|
+//
+// The paper reports that Z3, CVC4 and Z3Str3 all fail on Φ within 10
+// minutes, while the PFA-based procedure solves it in seconds.
+package main
+
+import (
+	"fmt"
+
+	trau "repro"
+)
+
+func main() {
+	s := trau.NewSolver()
+	x := s.StrVar("x")
+	y := s.StrVar("y")
+	nx := s.IntVar("nx")
+	ny := s.IntVar("ny")
+
+	s.Require(
+		trau.Eq(trau.T(trau.C("0"), trau.V(x)), trau.T(trau.V(x), trau.C("0"))),
+		trau.ToNum(nx, x),
+		trau.ToNum(ny, y),
+		trau.IntEq(trau.IntVal(nx), trau.IntVal(ny)),
+		trau.IntGt(s.Len(y), s.Len(x)),
+		trau.IntGt(s.Len(x), trau.IntConst(1)),
+		trau.IntGt(s.Len(y), trau.IntConst(1000)),
+	)
+
+	res := s.Solve()
+	fmt.Println("status:", res.Status)
+	if res.Status == trau.StatusSat {
+		fmt.Printf("x = %q (%d chars)\n", res.StrValue(x), len(res.StrValue(x)))
+		yv := res.StrValue(y)
+		fmt.Printf("y = %d chars, toNum(y) = %d\n", len(yv), res.IntValue(ny))
+	}
+}

@@ -1,0 +1,76 @@
+// Symexec: a miniature symbolic executor for a string-manipulating
+// program, discharging path conditions through the solver — the
+// workflow that motivates the paper (§1). The "program" validates a
+// product code of the form AA-NNN (two letters, a dash, a number
+// below 500 whose decimal form has three digits):
+//
+//	func validate(code string) bool {
+//		if len(code) != 6        { return false } // path A
+//		if code[2] != '-'        { return false } // path B
+//		n := atoi(code[3:])
+//		if n < 0 || n >= 500     { return false } // path C
+//		return true                               // path D
+//	}
+//
+// For each path the executor builds the path condition and asks the
+// solver for an input that drives execution down it.
+package main
+
+import (
+	"fmt"
+
+	trau "repro"
+)
+
+type path struct {
+	name string
+	add  func(s *trau.Solver, code trau.StrVar)
+}
+
+func main() {
+	paths := []path{
+		{"A: wrong length", func(s *trau.Solver, code trau.StrVar) {
+			s.Require(trau.IntEq(s.Len(code), trau.IntConst(4)))
+		}},
+		{"B: missing dash", func(s *trau.Solver, code trau.StrVar) {
+			sep := s.StrVar("sep")
+			s.Require(trau.IntEq(s.Len(code), trau.IntConst(6)))
+			s.Require(s.CharAt(sep, code, trau.IntConst(2)))
+			s.Require(trau.Neq(trau.T(trau.V(sep)), trau.T(trau.C("-"))))
+		}},
+		{"C: number out of range", func(s *trau.Solver, code trau.StrVar) {
+			pre, num := s.StrVar("pre"), s.StrVar("num")
+			n := s.IntVar("n")
+			s.Require(trau.IntEq(s.Len(code), trau.IntConst(6)))
+			s.Require(trau.Eq(trau.T(trau.V(code)),
+				trau.T(trau.V(pre), trau.C("-"), trau.V(num))))
+			s.Require(trau.IntEq(s.Len(pre), trau.IntConst(2)))
+			s.Require(trau.ToNum(n, num))
+			s.Require(trau.IntGe(trau.IntVal(n), trau.IntConst(500)))
+		}},
+		{"D: accepted", func(s *trau.Solver, code trau.StrVar) {
+			pre, num := s.StrVar("pre"), s.StrVar("num")
+			n := s.IntVar("n")
+			s.Require(trau.IntEq(s.Len(code), trau.IntConst(6)))
+			s.Require(trau.Eq(trau.T(trau.V(code)),
+				trau.T(trau.V(pre), trau.C("-"), trau.V(num))))
+			s.Require(trau.IntEq(s.Len(pre), trau.IntConst(2)))
+			s.Require(trau.MustInRegex(pre, "[a-z][a-z]"))
+			s.Require(trau.ToNum(n, num))
+			s.Require(trau.IntGe(trau.IntVal(n), trau.IntConst(0)))
+			s.Require(trau.IntLt(trau.IntVal(n), trau.IntConst(500)))
+		}},
+	}
+
+	for _, p := range paths {
+		s := trau.NewSolver()
+		code := s.StrVar("code")
+		p.add(s, code)
+		res := s.Solve()
+		if res.Status == trau.StatusSat {
+			fmt.Printf("path %-24s input %q\n", p.name, res.StrValue(code))
+		} else {
+			fmt.Printf("path %-24s %v\n", p.name, res.Status)
+		}
+	}
+}

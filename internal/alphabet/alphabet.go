@@ -1,0 +1,105 @@
+// Package alphabet fixes the bijection between characters (bytes) and
+// the numeric symbols used throughout the solver. Following the paper
+// (§3) the digits '0'..'9' are mapped to the numbers 0..9 so that
+// string-number conversion constraints read digit values directly off
+// character variables; every other byte is mapped bijectively into
+// 10..255. The empty word ε is encoded by the number -1 (the paper's
+// Ψ_last uses v = -1 for exactly this purpose).
+package alphabet
+
+import "repro/internal/automata"
+
+// Epsilon is the numeric encoding of ε in character-variable
+// interpretations.
+const Epsilon = -1
+
+// MaxCode is the largest character code.
+const MaxCode = 255
+
+// Code maps a byte to its numeric symbol.
+func Code(b byte) int {
+	switch {
+	case '0' <= b && b <= '9':
+		return int(b - '0')
+	case b < '0':
+		return int(b) + 10
+	default:
+		return int(b)
+	}
+}
+
+// Byte maps a numeric symbol back to its byte. It panics on codes
+// outside [0, MaxCode], which indicates an encoding bug in the caller.
+func Byte(code int) byte {
+	switch {
+	case 0 <= code && code <= 9:
+		return byte('0' + code)
+	case 10 <= code && code <= 57:
+		return byte(code - 10)
+	case 58 <= code && code <= MaxCode:
+		return byte(code)
+	}
+	panic("alphabet: code out of range")
+}
+
+// Encode maps a string to its symbol sequence.
+func Encode(s string) []int {
+	out := make([]int, len(s))
+	for i := 0; i < len(s); i++ {
+		out[i] = Code(s[i])
+	}
+	return out
+}
+
+// Decode maps a symbol sequence back to a string.
+func Decode(codes []int) string {
+	out := make([]byte, len(codes))
+	for i, c := range codes {
+		out[i] = Byte(c)
+	}
+	return string(out)
+}
+
+// IsDigit reports whether the code is a decimal digit symbol.
+func IsDigit(code int) bool { return 0 <= code && code <= 9 }
+
+// CodeRanges converts an inclusive byte range into the equivalent set
+// of code ranges. Because digits are relocated to 0..9, a byte range
+// can split into up to three code ranges.
+func CodeRanges(lo, hi byte) []automata.Range {
+	if lo > hi {
+		return nil
+	}
+	var out []automata.Range
+	// Segment below '0': codes b+10.
+	if lo < '0' {
+		h := hi
+		if h >= '0' {
+			h = '0' - 1
+		}
+		out = append(out, automata.Range{Lo: int(lo) + 10, Hi: int(h) + 10})
+	}
+	// Digit segment: codes b-'0'.
+	dl, dh := lo, hi
+	if dl < '0' {
+		dl = '0'
+	}
+	if dh > '9' {
+		dh = '9'
+	}
+	if dl <= dh && dl >= '0' && dh <= '9' {
+		out = append(out, automata.Range{Lo: int(dl - '0'), Hi: int(dh - '0')})
+	}
+	// Segment above '9': codes b.
+	if hi > '9' {
+		l := lo
+		if l <= '9' {
+			l = '9' + 1
+		}
+		out = append(out, automata.Range{Lo: int(l), Hi: int(hi)})
+	}
+	return out
+}
+
+// AnyRange is the full symbol range.
+var AnyRange = automata.Range{Lo: 0, Hi: MaxCode}

@@ -1,0 +1,72 @@
+package alphabet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDigitCodes(t *testing.T) {
+	for d := byte('0'); d <= '9'; d++ {
+		if got := Code(d); got != int(d-'0') {
+			t.Errorf("Code(%q) = %d, want %d", d, got, d-'0')
+		}
+	}
+}
+
+func TestBijection(t *testing.T) {
+	seen := make(map[int]byte)
+	for b := 0; b < 256; b++ {
+		c := Code(byte(b))
+		if c < 0 || c > MaxCode {
+			t.Fatalf("Code(%d) = %d out of range", b, c)
+		}
+		if prev, dup := seen[c]; dup {
+			t.Fatalf("code %d assigned to both %d and %d", c, prev, b)
+		}
+		seen[c] = byte(b)
+		if back := Byte(c); back != byte(b) {
+			t.Fatalf("Byte(Code(%d)) = %d", b, back)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		return Decode(Encode(s)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodeRangesCoverExactly(t *testing.T) {
+	cases := []struct{ lo, hi byte }{
+		{'0', '9'}, {'a', 'z'}, {0, 255}, {'!', 'A'}, {'5', 'x'}, {'0', '0'}, {' ', '/'},
+	}
+	for _, c := range cases {
+		rs := CodeRanges(c.lo, c.hi)
+		inRanges := func(code int) bool {
+			for _, r := range rs {
+				if r.Contains(code) {
+					return true
+				}
+			}
+			return false
+		}
+		for b := 0; b < 256; b++ {
+			want := byte(b) >= c.lo && byte(b) <= c.hi
+			if got := inRanges(Code(byte(b))); got != want {
+				t.Errorf("range [%q,%q]: byte %d covered=%v want %v", c.lo, c.hi, b, got, want)
+			}
+		}
+	}
+}
+
+func TestIsDigit(t *testing.T) {
+	for code := -1; code <= MaxCode; code++ {
+		want := code >= 0 && code <= 9
+		if IsDigit(code) != want {
+			t.Errorf("IsDigit(%d) = %v", code, !want)
+		}
+	}
+}

@@ -1,0 +1,531 @@
+// Package automata implements nondeterministic finite automata over a
+// numeric alphabet, with transitions labeled by symbol ranges so that
+// character classes stay compact. It provides the classic constructions
+// (concatenation, union, star, product, determinization, complement)
+// needed by the regular-constraint machinery of the string solver.
+//
+// Symbols are small non-negative integers; the string solver maps
+// characters to codes with digits '0'..'9' at codes 0..9 (paper §3).
+package automata
+
+import "sort"
+
+// Range is an inclusive symbol interval.
+type Range struct {
+	Lo, Hi int
+}
+
+// Contains reports whether the symbol is inside the range.
+func (r Range) Contains(s int) bool { return r.Lo <= s && s <= r.Hi }
+
+// Transition is an edge of an NFA. If Eps is true the transition
+// consumes no input and the range is ignored.
+type Transition struct {
+	From int
+	R    Range
+	To   int
+	Eps  bool
+}
+
+// NFA is a nondeterministic finite automaton with a single initial
+// state and a set of final states.
+type NFA struct {
+	NumStates int
+	Init      int
+	Finals    []int
+	Trans     []Transition
+}
+
+// MaxSymbol is the largest symbol used by the solver's alphabets.
+const MaxSymbol = 255
+
+// Empty returns an automaton accepting the empty language.
+func Empty() *NFA {
+	return &NFA{NumStates: 1, Init: 0}
+}
+
+// Epsilon returns an automaton accepting only the empty word.
+func Epsilon() *NFA {
+	return &NFA{NumStates: 1, Init: 0, Finals: []int{0}}
+}
+
+// Symbol returns an automaton accepting the single-symbol words in r.
+func Symbol(r Range) *NFA {
+	return &NFA{
+		NumStates: 2,
+		Init:      0,
+		Finals:    []int{1},
+		Trans:     []Transition{{From: 0, R: r, To: 1}},
+	}
+}
+
+// Word returns an automaton accepting exactly the word w.
+func Word(w []int) *NFA {
+	n := &NFA{NumStates: len(w) + 1, Init: 0, Finals: []int{len(w)}}
+	for i, s := range w {
+		n.Trans = append(n.Trans, Transition{From: i, R: Range{s, s}, To: i + 1})
+	}
+	return n
+}
+
+// AnyStar returns an automaton accepting all words over [0,MaxSymbol].
+func AnyStar() *NFA {
+	return &NFA{
+		NumStates: 1,
+		Init:      0,
+		Finals:    []int{0},
+		Trans:     []Transition{{From: 0, R: Range{0, MaxSymbol}, To: 0}},
+	}
+}
+
+// shift returns a copy of n with all state ids offset by d.
+func (n *NFA) shift(d int) *NFA {
+	m := &NFA{NumStates: n.NumStates, Init: n.Init + d}
+	m.Finals = make([]int, len(n.Finals))
+	for i, f := range n.Finals {
+		m.Finals[i] = f + d
+	}
+	m.Trans = make([]Transition, len(n.Trans))
+	for i, t := range n.Trans {
+		m.Trans[i] = Transition{From: t.From + d, R: t.R, To: t.To + d, Eps: t.Eps}
+	}
+	return m
+}
+
+// Concat returns an automaton for L(a)·L(b).
+func Concat(a, b *NFA) *NFA {
+	bs := b.shift(a.NumStates)
+	out := &NFA{
+		NumStates: a.NumStates + b.NumStates,
+		Init:      a.Init,
+		Finals:    bs.Finals,
+	}
+	out.Trans = append(out.Trans, a.Trans...)
+	out.Trans = append(out.Trans, bs.Trans...)
+	for _, f := range a.Finals {
+		out.Trans = append(out.Trans, Transition{From: f, To: bs.Init, Eps: true})
+	}
+	return out
+}
+
+// Union returns an automaton for L(a) ∪ L(b).
+func Union(a, b *NFA) *NFA {
+	as := a.shift(1)
+	bs := b.shift(1 + a.NumStates)
+	out := &NFA{
+		NumStates: 1 + a.NumStates + b.NumStates,
+		Init:      0,
+	}
+	out.Trans = append(out.Trans, Transition{From: 0, To: as.Init, Eps: true})
+	out.Trans = append(out.Trans, Transition{From: 0, To: bs.Init, Eps: true})
+	out.Trans = append(out.Trans, as.Trans...)
+	out.Trans = append(out.Trans, bs.Trans...)
+	out.Finals = append(out.Finals, as.Finals...)
+	out.Finals = append(out.Finals, bs.Finals...)
+	return out
+}
+
+// Star returns an automaton for L(a)*.
+func Star(a *NFA) *NFA {
+	as := a.shift(1)
+	out := &NFA{
+		NumStates: 1 + a.NumStates,
+		Init:      0,
+		Finals:    []int{0},
+	}
+	out.Trans = append(out.Trans, Transition{From: 0, To: as.Init, Eps: true})
+	out.Trans = append(out.Trans, as.Trans...)
+	for _, f := range as.Finals {
+		out.Trans = append(out.Trans, Transition{From: f, To: 0, Eps: true})
+	}
+	return out
+}
+
+// Plus returns an automaton for L(a)+.
+func Plus(a *NFA) *NFA {
+	return Concat(a, Star(a))
+}
+
+// Optional returns an automaton for L(a) ∪ {ε}.
+func Optional(a *NFA) *NFA {
+	return Union(a, Epsilon())
+}
+
+// Repeat returns an automaton for L(a) repeated between min and max
+// times; max < 0 means unbounded (min copies followed by a star).
+func Repeat(a *NFA, min, max int) *NFA {
+	out := Epsilon()
+	for i := 0; i < min; i++ {
+		out = Concat(out, a)
+	}
+	if max < 0 {
+		return Concat(out, Star(a))
+	}
+	for i := min; i < max; i++ {
+		out = Concat(out, Optional(a))
+	}
+	return out
+}
+
+// epsClosure expands the state set with all ε-reachable states.
+func (n *NFA) epsClosure(set map[int]bool) {
+	stack := make([]int, 0, len(set))
+	for s := range set {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.Trans {
+			if t.Eps && t.From == s && !set[t.To] {
+				set[t.To] = true
+				stack = append(stack, t.To)
+			}
+		}
+	}
+}
+
+// Accepts reports whether the automaton accepts the word.
+func (n *NFA) Accepts(w []int) bool {
+	cur := map[int]bool{n.Init: true}
+	n.epsClosure(cur)
+	for _, s := range w {
+		next := make(map[int]bool)
+		for q := range cur {
+			for _, t := range n.Trans {
+				if !t.Eps && t.From == q && t.R.Contains(s) {
+					next[t.To] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		n.epsClosure(next)
+		cur = next
+	}
+	for _, f := range n.Finals {
+		if cur[f] {
+			return true
+		}
+	}
+	return false
+}
+
+// IsEmpty reports whether the language of n is empty.
+func (n *NFA) IsEmpty() bool {
+	finals := make(map[int]bool, len(n.Finals))
+	for _, f := range n.Finals {
+		finals[f] = true
+	}
+	seen := map[int]bool{n.Init: true}
+	stack := []int{n.Init}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if finals[s] {
+			return false
+		}
+		for _, t := range n.Trans {
+			if t.From == s && !seen[t.To] && (t.Eps || t.R.Lo <= t.R.Hi) {
+				seen[t.To] = true
+				stack = append(stack, t.To)
+			}
+		}
+	}
+	return true
+}
+
+// Trim removes states that are not both reachable from the initial
+// state and co-reachable to a final state, renumbering the rest. The
+// initial state is always kept. Languages are preserved.
+func (n *NFA) Trim() *NFA {
+	fwd := make([]bool, n.NumStates)
+	fwd[n.Init] = true
+	stack := []int{n.Init}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.Trans {
+			if t.From == s && !fwd[t.To] {
+				fwd[t.To] = true
+				stack = append(stack, t.To)
+			}
+		}
+	}
+	bwd := make([]bool, n.NumStates)
+	for _, f := range n.Finals {
+		if !bwd[f] {
+			bwd[f] = true
+			stack = append(stack, f)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.Trans {
+			if t.To == s && !bwd[t.From] {
+				bwd[t.From] = true
+				stack = append(stack, t.From)
+			}
+		}
+	}
+	keep := make([]int, n.NumStates)
+	cnt := 0
+	for i := range keep {
+		if (fwd[i] && bwd[i]) || i == n.Init {
+			keep[i] = cnt
+			cnt++
+		} else {
+			keep[i] = -1
+		}
+	}
+	out := &NFA{NumStates: cnt, Init: keep[n.Init]}
+	for _, f := range n.Finals {
+		if keep[f] >= 0 {
+			out.Finals = append(out.Finals, keep[f])
+		}
+	}
+	for _, t := range n.Trans {
+		if keep[t.From] >= 0 && keep[t.To] >= 0 && (fwd[t.From] && bwd[t.To]) {
+			out.Trans = append(out.Trans, Transition{From: keep[t.From], R: t.R, To: keep[t.To], Eps: t.Eps})
+		}
+	}
+	return out
+}
+
+// Product returns an automaton for L(a) ∩ L(b). Both inputs are first
+// ε-eliminated; the result has no ε-transitions.
+func Product(a, b *NFA) *NFA {
+	a = a.RemoveEpsilon()
+	b = b.RemoveEpsilon()
+	type pair struct{ x, y int }
+	id := map[pair]int{}
+	var order []pair
+	get := func(p pair) int {
+		if i, ok := id[p]; ok {
+			return i
+		}
+		id[p] = len(order)
+		order = append(order, p)
+		return len(order) - 1
+	}
+	out := &NFA{}
+	init := get(pair{a.Init, b.Init})
+	out.Init = init
+	aFin := make(map[int]bool)
+	for _, f := range a.Finals {
+		aFin[f] = true
+	}
+	bFin := make(map[int]bool)
+	for _, f := range b.Finals {
+		bFin[f] = true
+	}
+	for qi := 0; qi < len(order); qi++ {
+		p := order[qi]
+		for _, ta := range a.Trans {
+			if ta.From != p.x {
+				continue
+			}
+			for _, tb := range b.Trans {
+				if tb.From != p.y {
+					continue
+				}
+				lo := max(ta.R.Lo, tb.R.Lo)
+				hi := min(ta.R.Hi, tb.R.Hi)
+				if lo > hi {
+					continue
+				}
+				to := get(pair{ta.To, tb.To})
+				out.Trans = append(out.Trans, Transition{From: qi, R: Range{lo, hi}, To: to})
+			}
+		}
+	}
+	out.NumStates = len(order)
+	for i, p := range order {
+		if aFin[p.x] && bFin[p.y] {
+			out.Finals = append(out.Finals, i)
+		}
+	}
+	return out.Trim()
+}
+
+// RemoveEpsilon returns an equivalent automaton without ε-transitions.
+func (n *NFA) RemoveEpsilon() *NFA {
+	// closure[s] = ε-closure of {s}
+	out := &NFA{NumStates: n.NumStates, Init: n.Init}
+	finals := make(map[int]bool)
+	for _, f := range n.Finals {
+		finals[f] = true
+	}
+	for s := 0; s < n.NumStates; s++ {
+		cl := map[int]bool{s: true}
+		n.epsClosure(cl)
+		isFinal := false
+		for q := range cl {
+			if finals[q] {
+				isFinal = true
+			}
+			for _, t := range n.Trans {
+				if !t.Eps && t.From == q {
+					out.Trans = append(out.Trans, Transition{From: s, R: t.R, To: t.To})
+				}
+			}
+		}
+		if isFinal {
+			out.Finals = append(out.Finals, s)
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Determinize returns a complete DFA (as an NFA value with
+// deterministic transitions over a partition of [0,MaxSymbol],
+// including an explicit sink state).
+func (n *NFA) Determinize() *NFA {
+	m := n.RemoveEpsilon()
+	// Collect range boundaries to partition the alphabet.
+	cuts := map[int]bool{0: true, MaxSymbol + 1: true}
+	for _, t := range m.Trans {
+		cuts[t.R.Lo] = true
+		cuts[t.R.Hi+1] = true
+	}
+	bounds := make([]int, 0, len(cuts))
+	for c := range cuts {
+		bounds = append(bounds, c)
+	}
+	sort.Ints(bounds)
+	var parts []Range
+	for i := 0; i+1 < len(bounds); i++ {
+		if bounds[i] <= MaxSymbol {
+			parts = append(parts, Range{bounds[i], min(bounds[i+1]-1, MaxSymbol)})
+		}
+	}
+
+	finals := make(map[int]bool)
+	for _, f := range m.Finals {
+		finals[f] = true
+	}
+	type key = string
+	enc := func(set []int) key {
+		b := make([]byte, 0, len(set)*3)
+		for _, s := range set {
+			b = append(b, byte(s), byte(s>>8), ',')
+		}
+		return string(b)
+	}
+	id := map[key]int{}
+	var sets [][]int
+	get := func(set []int) int {
+		sort.Ints(set)
+		k := enc(set)
+		if i, ok := id[k]; ok {
+			return i
+		}
+		id[k] = len(sets)
+		sets = append(sets, set)
+		return len(sets) - 1
+	}
+	out := &NFA{}
+	out.Init = get([]int{m.Init})
+	for qi := 0; qi < len(sets); qi++ {
+		cur := sets[qi]
+		for _, p := range parts {
+			nextSet := map[int]bool{}
+			for _, s := range cur {
+				for _, t := range m.Trans {
+					if t.From == s && t.R.Lo <= p.Lo && p.Hi <= t.R.Hi {
+						nextSet[t.To] = true
+					}
+				}
+			}
+			ns := make([]int, 0, len(nextSet))
+			for s := range nextSet {
+				ns = append(ns, s)
+			}
+			to := get(ns) // empty set becomes the sink
+			out.Trans = append(out.Trans, Transition{From: qi, R: p, To: to})
+		}
+	}
+	out.NumStates = len(sets)
+	for i, set := range sets {
+		for _, s := range set {
+			if finals[s] {
+				out.Finals = append(out.Finals, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Complement returns an automaton accepting the complement of L(n)
+// with respect to all words over [0,MaxSymbol].
+func (n *NFA) Complement() *NFA {
+	d := n.Determinize()
+	finals := make(map[int]bool)
+	for _, f := range d.Finals {
+		finals[f] = true
+	}
+	out := &NFA{NumStates: d.NumStates, Init: d.Init, Trans: d.Trans}
+	for s := 0; s < d.NumStates; s++ {
+		if !finals[s] {
+			out.Finals = append(out.Finals, s)
+		}
+	}
+	return out
+}
+
+// ShortestWord returns a shortest accepted word, or nil when the
+// language is empty (ok reports acceptance of some word; the empty word
+// yields an empty non-nil slice).
+func (n *NFA) ShortestWord() (w []int, ok bool) {
+	m := n.RemoveEpsilon()
+	finals := make(map[int]bool)
+	for _, f := range m.Finals {
+		finals[f] = true
+	}
+	type node struct {
+		state int
+		via   int // symbol used to reach this state
+		prev  int // index in bfs order, -1 for init
+	}
+	seen := make([]bool, m.NumStates)
+	queue := []node{{state: m.Init, via: -1, prev: -1}}
+	seen[m.Init] = true
+	for i := 0; i < len(queue); i++ {
+		cur := queue[i]
+		if finals[cur.state] {
+			var rev []int
+			for j := i; queue[j].via != -1; j = queue[j].prev {
+				rev = append(rev, queue[j].via)
+			}
+			w := make([]int, 0, len(rev))
+			for k := len(rev) - 1; k >= 0; k-- {
+				w = append(w, rev[k])
+			}
+			return w, true
+		}
+		for _, t := range m.Trans {
+			if t.From == cur.state && !seen[t.To] && t.R.Lo <= t.R.Hi {
+				seen[t.To] = true
+				queue = append(queue, node{state: t.To, via: t.R.Lo, prev: i})
+			}
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,266 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func sym(s int) Range { return Range{s, s} }
+
+func TestWordAccepts(t *testing.T) {
+	n := Word([]int{1, 2, 3})
+	if !n.Accepts([]int{1, 2, 3}) {
+		t.Error("should accept its word")
+	}
+	for _, w := range [][]int{{}, {1}, {1, 2}, {1, 2, 3, 4}, {3, 2, 1}} {
+		if n.Accepts(w) {
+			t.Errorf("should reject %v", w)
+		}
+	}
+}
+
+func TestEpsilonAndEmpty(t *testing.T) {
+	if !Epsilon().Accepts(nil) {
+		t.Error("Epsilon should accept empty word")
+	}
+	if Epsilon().Accepts([]int{0}) {
+		t.Error("Epsilon should reject nonempty")
+	}
+	if Empty().Accepts(nil) || Empty().Accepts([]int{1}) {
+		t.Error("Empty should reject everything")
+	}
+	if !Empty().IsEmpty() {
+		t.Error("Empty language should be empty")
+	}
+	if Epsilon().IsEmpty() {
+		t.Error("Epsilon language should not be empty")
+	}
+}
+
+func TestUnionConcatStar(t *testing.T) {
+	a := Word([]int{1})
+	b := Word([]int{2})
+	ab := Union(a, b)
+	for _, w := range [][]int{{1}, {2}} {
+		if !ab.Accepts(w) {
+			t.Errorf("union should accept %v", w)
+		}
+	}
+	if ab.Accepts([]int{1, 2}) {
+		t.Error("union should reject 12")
+	}
+	cat := Concat(a, b)
+	if !cat.Accepts([]int{1, 2}) || cat.Accepts([]int{1}) || cat.Accepts([]int{2, 1}) {
+		t.Error("concat wrong")
+	}
+	st := Star(cat)
+	for _, w := range [][]int{{}, {1, 2}, {1, 2, 1, 2, 1, 2}} {
+		if !st.Accepts(w) {
+			t.Errorf("star should accept %v", w)
+		}
+	}
+	if st.Accepts([]int{1, 2, 1}) {
+		t.Error("star should reject 121")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	a := Symbol(sym(5))
+	r := Repeat(a, 2, 4)
+	for l := 0; l <= 6; l++ {
+		w := make([]int, l)
+		for i := range w {
+			w[i] = 5
+		}
+		want := l >= 2 && l <= 4
+		if got := r.Accepts(w); got != want {
+			t.Errorf("len %d: got %v want %v", l, got, want)
+		}
+	}
+	unb := Repeat(a, 3, -1)
+	w := []int{5, 5, 5, 5, 5, 5, 5}
+	if !unb.Accepts(w) || unb.Accepts(w[:2]) {
+		t.Error("unbounded repeat wrong")
+	}
+}
+
+func TestProduct(t *testing.T) {
+	// L1 = words over {1,2} of even length; L2 = 1*.
+	even := &NFA{NumStates: 2, Init: 0, Finals: []int{0}, Trans: []Transition{
+		{From: 0, R: Range{1, 2}, To: 1},
+		{From: 1, R: Range{1, 2}, To: 0},
+	}}
+	ones := Star(Symbol(sym(1)))
+	p := Product(even, ones)
+	for _, c := range []struct {
+		w    []int
+		want bool
+	}{
+		{[]int{}, true},
+		{[]int{1, 1}, true},
+		{[]int{1}, false},
+		{[]int{1, 2}, false},
+		{[]int{1, 1, 1, 1}, true},
+	} {
+		if got := p.Accepts(c.w); got != c.want {
+			t.Errorf("product accepts(%v) = %v, want %v", c.w, got, c.want)
+		}
+	}
+}
+
+func TestProductEmptiness(t *testing.T) {
+	a := Word([]int{1, 2})
+	b := Word([]int{2, 1})
+	if !Product(a, b).IsEmpty() {
+		t.Error("disjoint singletons should have empty intersection")
+	}
+	if Product(a, a).IsEmpty() {
+		t.Error("self-intersection should be nonempty")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	a := Word([]int{3, 4})
+	c := a.Complement()
+	if c.Accepts([]int{3, 4}) {
+		t.Error("complement should reject the word")
+	}
+	for _, w := range [][]int{{}, {3}, {4, 3}, {3, 4, 5}, {255}} {
+		if !c.Accepts(w) {
+			t.Errorf("complement should accept %v", w)
+		}
+	}
+}
+
+func TestTrimPreservesLanguage(t *testing.T) {
+	// Build an automaton with junk states.
+	n := &NFA{NumStates: 6, Init: 0, Finals: []int{2}, Trans: []Transition{
+		{From: 0, R: sym(1), To: 1},
+		{From: 1, R: sym(2), To: 2},
+		{From: 0, R: sym(9), To: 3}, // dead end
+		{From: 4, R: sym(9), To: 2}, // unreachable
+		{From: 3, R: sym(9), To: 5},
+	}}
+	tr := n.Trim()
+	if tr.NumStates >= n.NumStates {
+		t.Errorf("Trim did not remove states: %d -> %d", n.NumStates, tr.NumStates)
+	}
+	if !tr.Accepts([]int{1, 2}) || tr.Accepts([]int{9}) {
+		t.Error("Trim changed the language")
+	}
+}
+
+func TestShortestWord(t *testing.T) {
+	n := Union(Word([]int{1, 2, 3}), Word([]int{7}))
+	w, ok := n.ShortestWord()
+	if !ok || len(w) != 1 || w[0] != 7 {
+		t.Errorf("ShortestWord = %v, %v; want [7]", w, ok)
+	}
+	if _, ok := Empty().ShortestWord(); ok {
+		t.Error("Empty should have no word")
+	}
+	w, ok = Epsilon().ShortestWord()
+	if !ok || len(w) != 0 {
+		t.Errorf("Epsilon shortest = %v, %v", w, ok)
+	}
+}
+
+// randomNFA builds a small random automaton over symbols {0,1,2}.
+func randomNFA(rng *rand.Rand) *NFA {
+	states := 2 + rng.Intn(4)
+	n := &NFA{NumStates: states, Init: 0}
+	for s := 0; s < states; s++ {
+		if rng.Intn(3) == 0 {
+			n.Finals = append(n.Finals, s)
+		}
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			lo := rng.Intn(3)
+			n.Trans = append(n.Trans, Transition{
+				From: s, R: Range{lo, lo + rng.Intn(2)}, To: rng.Intn(states),
+			})
+		}
+		if rng.Intn(4) == 0 {
+			n.Trans = append(n.Trans, Transition{From: s, To: rng.Intn(states), Eps: true})
+		}
+	}
+	return n
+}
+
+func allWords(maxLen int) [][]int {
+	var out [][]int
+	var rec func(cur []int)
+	rec = func(cur []int) {
+		w := append([]int(nil), cur...)
+		out = append(out, w)
+		if len(cur) == maxLen {
+			return
+		}
+		for s := 0; s <= 3; s++ {
+			rec(append(cur, s))
+		}
+	}
+	rec(nil)
+	return out
+}
+
+func TestPropertyProductMatchesIntersection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	words := allWords(4)
+	for iter := 0; iter < 60; iter++ {
+		a, b := randomNFA(rng), randomNFA(rng)
+		p := Product(a, b)
+		for _, w := range words {
+			want := a.Accepts(w) && b.Accepts(w)
+			if got := p.Accepts(w); got != want {
+				t.Fatalf("iter %d: product(%v) = %v, want %v", iter, w, got, want)
+			}
+		}
+	}
+}
+
+func TestPropertyEpsilonRemovalPreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	words := allWords(4)
+	for iter := 0; iter < 60; iter++ {
+		a := randomNFA(rng)
+		b := a.RemoveEpsilon()
+		for _, t2 := range b.Trans {
+			if t2.Eps {
+				t.Fatal("epsilon transition survived")
+			}
+		}
+		for _, w := range words {
+			if a.Accepts(w) != b.Accepts(w) {
+				t.Fatalf("iter %d: languages differ on %v", iter, w)
+			}
+		}
+	}
+}
+
+func TestPropertyComplementIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	words := allWords(3)
+	for iter := 0; iter < 40; iter++ {
+		a := randomNFA(rng)
+		c := a.Complement()
+		for _, w := range words {
+			if a.Accepts(w) == c.Accepts(w) {
+				t.Fatalf("iter %d: complement agrees with original on %v", iter, w)
+			}
+		}
+	}
+}
+
+func TestPropertyTrimPreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	words := allWords(4)
+	for iter := 0; iter < 60; iter++ {
+		a := randomNFA(rng)
+		b := a.Trim()
+		for _, w := range words {
+			if a.Accepts(w) != b.Accepts(w) {
+				t.Fatalf("iter %d: trim changed language on %v", iter, w)
+			}
+		}
+	}
+}

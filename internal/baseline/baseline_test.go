@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lia"
+	"repro/internal/regex"
+	"repro/internal/strcon"
+)
+
+func secs(n int) time.Duration { return time.Duration(n) * time.Second }
+
+func simpleConcat() *strcon.Problem {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	y := prob.NewStrVar("y")
+	prob.Add(&strcon.WordEq{
+		L: strcon.T(strcon.TV(x), strcon.TV(y)),
+		R: strcon.T(strcon.TC("abab")),
+	})
+	prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 2)})
+	return prob
+}
+
+func TestEnumSolvesSimpleConcat(t *testing.T) {
+	res := SolveEnum(simpleConcat(), EnumOptions{Timeout: secs(20)})
+	if res.Status != core.StatusSat {
+		t.Fatalf("got %v, want sat", res.Status)
+	}
+	if res.Model.Str[0] != "ab" || res.Model.Str[1] != "ab" {
+		t.Fatalf("model %v", res.Model.Str)
+	}
+}
+
+func TestSplitSolvesSimpleConcat(t *testing.T) {
+	res := SolveSplit(simpleConcat(), SplitOptions{Timeout: secs(20)})
+	if res.Status != core.StatusSat {
+		t.Fatalf("got %v, want sat", res.Status)
+	}
+}
+
+func TestSplitProvesEquationUnsat(t *testing.T) {
+	// "a"·x = "b"·y has a head mismatch: the splitting tree closes
+	// immediately. (Instances like "a"x = x"b" make pure Nielsen
+	// splitting diverge — a known weakness of this solver family; the
+	// solver must then answer unknown, see TestBaselinesGiveUpGracefully.)
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	y := prob.NewStrVar("y")
+	prob.Add(&strcon.WordEq{
+		L: strcon.T(strcon.TC("a"), strcon.TV(x)),
+		R: strcon.T(strcon.TC("b"), strcon.TV(y)),
+	})
+	res := SolveSplit(prob, SplitOptions{Timeout: secs(20)})
+	if res.Status != core.StatusUnsat {
+		t.Fatalf("got %v, want unsat", res.Status)
+	}
+}
+
+func TestEnumHandlesSmallToNum(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	n := prob.NewIntVar("n")
+	prob.Add(&strcon.ToNum{N: n, X: x})
+	prob.Add(&strcon.Arith{F: lia.EqConst(n, 7)})
+	res := SolveEnum(prob, EnumOptions{Timeout: secs(20)})
+	if res.Status != core.StatusSat {
+		t.Fatalf("got %v, want sat", res.Status)
+	}
+	if got := strcon.ToNumValue(res.Model.Str[0]); got.Int64() != 7 {
+		t.Fatalf("x = %q", res.Model.Str[0])
+	}
+}
+
+func TestBaselinesGiveUpGracefully(t *testing.T) {
+	// A conversion instance beyond the bounded search: toNum(x) = 123456.
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	n := prob.NewIntVar("n")
+	prob.Add(&strcon.ToNum{N: n, X: x})
+	prob.Add(&strcon.Arith{F: lia.EqConst(n, 123456)})
+	res := SolveEnum(prob, EnumOptions{Timeout: secs(2), MaxLen: 3})
+	if res.Status == core.StatusUnsat {
+		t.Fatalf("enum must not claim unsat")
+	}
+	prob2 := strcon.NewProblem()
+	x2 := prob2.NewStrVar("x")
+	prob2.Add(&strcon.Membership{X: x2, A: regex.MustCompile("(ab)+")})
+	prob2.Add(&strcon.WordEq{L: strcon.T(strcon.TV(x2)), R: strcon.T(strcon.TV(x2))})
+	res2 := SolveSplit(prob2, SplitOptions{Timeout: secs(2)})
+	if res2.Status == core.StatusUnsat {
+		t.Fatalf("split must not claim unsat with non-equation constraints present")
+	}
+}
+
+func TestSplitRespectsBudget(t *testing.T) {
+	// x·"a" = "a"·x has infinitely many solutions explored breadth-
+	// first; ensure the solver either finds one or stops in time.
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	prob.Add(&strcon.WordEq{
+		L: strcon.T(strcon.TV(x), strcon.TC("a")),
+		R: strcon.T(strcon.TC("a"), strcon.TV(x)),
+	})
+	start := time.Now()
+	res := SolveSplit(prob, SplitOptions{Timeout: secs(5)})
+	if time.Since(start) > secs(30) {
+		t.Fatalf("split ignored its budget")
+	}
+	if res.Status == core.StatusUnsat {
+		t.Fatalf("x·a = a·x is satisfiable (e.g. x = ε)")
+	}
+}

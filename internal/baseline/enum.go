@@ -1,0 +1,244 @@
+// Package baseline implements the two competitor-algorithm families the
+// paper compares against (§9, §10), standing in for the closed-source
+// CVC4/Z3/Z3Str3 binaries:
+//
+//   - Enum: bounded-length exhaustive search in the style of the
+//     SAT/bit-blasting solvers (HAMPI, Kaluza): candidate strings up to
+//     a length bound are enumerated over a constraint-derived alphabet,
+//     integers are derived from the string assignment, and the residue
+//     is checked by the arithmetic solver plus the concrete validator.
+//
+//   - Split: DPLL-style word-equation splitting (Nielsen/Levi
+//     transformation) as in the Z3str family: equations are decomposed
+//     by case analysis on their first symbols, with length-abstraction
+//     pruning; leaves are completed and validated concretely.
+//
+// Both are deliberately faithful to their families' weaknesses: neither
+// has a dedicated mechanism for string-number conversion, which is what
+// Table 2 and Table 3 of the paper demonstrate.
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/alphabet"
+	"repro/internal/core"
+	"repro/internal/lia"
+	"repro/internal/strcon"
+)
+
+// Result mirrors core.Result for the baseline solvers.
+type Result struct {
+	Status core.Status
+	Model  *strcon.Assignment
+}
+
+// EnumOptions tune the bounded search.
+type EnumOptions struct {
+	Timeout    time.Duration
+	MaxLen     int   // per-variable length bound (default 4)
+	Candidates int64 // total assignment budget (default 300000)
+}
+
+// SolveEnum runs the bounded-length enumeration baseline.
+func SolveEnum(prob *strcon.Problem, opts EnumOptions) Result {
+	prob.Prepare()
+	if opts.MaxLen == 0 {
+		opts.MaxLen = 4
+	}
+	if opts.Candidates == 0 {
+		opts.Candidates = 300000
+	}
+	deadline := time.Time{}
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+
+	sigma := alphabetOf(prob)
+	nvars := prob.NumStrVars()
+	// Words in length order, shared across variables.
+	words := wordsUpTo(sigma, opts.MaxLen)
+
+	assign := &strcon.Assignment{Str: make(map[strcon.Var]string), Int: lia.Model{}}
+	var budget = opts.Candidates
+	var dfs func(v int) core.Status
+	dfs = func(v int) core.Status {
+		if budget <= 0 {
+			return core.StatusUnknown
+		}
+		if !deadline.IsZero() && budget%512 == 0 && time.Now().After(deadline) {
+			return core.StatusUnknown
+		}
+		if v == nvars {
+			budget--
+			if checkCandidate(prob, assign) {
+				return core.StatusSat
+			}
+			return core.StatusUnsat // this candidate only
+		}
+		unknown := false
+		for _, w := range words {
+			assign.Str[strcon.Var(v)] = w
+			switch dfs(v + 1) {
+			case core.StatusSat:
+				return core.StatusSat
+			case core.StatusUnknown:
+				unknown = true
+			}
+		}
+		if unknown {
+			return core.StatusUnknown
+		}
+		return core.StatusUnsat
+	}
+	st := dfs(0)
+	if st == core.StatusSat {
+		return Result{Status: core.StatusSat, Model: assign}
+	}
+	// Exhausting the bounded space never proves unsatisfiability.
+	return Result{Status: core.StatusUnknown}
+}
+
+// checkCandidate derives the integer variables forced by the string
+// assignment, solves the remaining arithmetic, and validates.
+func checkCandidate(prob *strcon.Problem, a *strcon.Assignment) bool {
+	// Derive integers from string-number constraints; collect the
+	// arithmetic residue.
+	var arith []lia.Formula
+	var walk func(c strcon.Constraint) lia.Formula
+	walk = func(c strcon.Constraint) lia.Formula {
+		switch t := c.(type) {
+		case *strcon.WordEq:
+			return boolLit(strcon.EvalTerm(t.L, a) == strcon.EvalTerm(t.R, a))
+		case *strcon.WordNeq:
+			return boolLit(strcon.EvalTerm(t.L, a) != strcon.EvalTerm(t.R, a))
+		case *strcon.Membership:
+			return boolLit(prob.EvalConstraint(c, a))
+		case *strcon.Arith:
+			return t.F
+		case *strcon.ToNum:
+			return lia.Eq(lia.V(t.N), lia.ConstBig(strcon.ToNumValue(a.Str[t.X])))
+		case *strcon.ToStr:
+			s := a.Str[t.X]
+			v := strcon.ToNumValue(s)
+			if s != "" && s == strcon.ToStrValue(v) {
+				return lia.Eq(lia.V(t.N), lia.ConstBig(v))
+			}
+			if s == "" {
+				return lia.Le(lia.V(t.N), lia.Const(-1))
+			}
+			return lia.False // non-canonical numeral can never be toStr
+		case *strcon.Ord:
+			s := a.Str[t.X]
+			if len(s) != 1 {
+				return lia.False
+			}
+			return lia.Eq(lia.V(t.N), lia.Const(int64(alphabet.Code(s[0]))))
+		case *strcon.AndCon:
+			var fs []lia.Formula
+			for _, x := range t.Args {
+				fs = append(fs, walk(x))
+			}
+			return lia.And(fs...)
+		case *strcon.OrCon:
+			var fs []lia.Formula
+			for _, x := range t.Args {
+				fs = append(fs, walk(x))
+			}
+			return lia.Or(fs...)
+		}
+		return lia.False
+	}
+	for x, lv := range prob.LenVars() {
+		arith = append(arith, lia.EqConst(lv, int64(len(a.Str[x]))))
+	}
+	for _, c := range prob.Constraints {
+		arith = append(arith, walk(c))
+	}
+	res, m := lia.Solve(lia.And(arith...), &lia.Options{})
+	if res != lia.ResSat {
+		return false
+	}
+	a.Int = m
+	return prob.Eval(a)
+}
+
+func boolLit(b bool) lia.Formula {
+	if b {
+		return lia.True
+	}
+	return lia.False
+}
+
+// alphabetOf collects a small candidate alphabet from the constraints'
+// constants, padded with digits and letters.
+func alphabetOf(prob *strcon.Problem) []byte {
+	seen := map[byte]bool{}
+	var add func(s string)
+	add = func(s string) {
+		for i := 0; i < len(s); i++ {
+			seen[s[i]] = true
+		}
+	}
+	var walk func(c strcon.Constraint)
+	walk = func(c strcon.Constraint) {
+		switch t := c.(type) {
+		case *strcon.WordEq:
+			for _, it := range append(append(strcon.Term{}, t.L...), t.R...) {
+				if !it.IsVar {
+					add(it.Const)
+				}
+			}
+		case *strcon.ToNum, *strcon.ToStr, *strcon.Ord:
+			add("0123456789")
+		case *strcon.Membership:
+			add("019a")
+		case *strcon.AndCon:
+			for _, x := range t.Args {
+				walk(x)
+			}
+		case *strcon.OrCon:
+			for _, x := range t.Args {
+				walk(x)
+			}
+		}
+	}
+	for _, c := range prob.Constraints {
+		walk(c)
+	}
+	if len(seen) == 0 {
+		seen['a'] = true
+		seen['0'] = true
+	}
+	out := make([]byte, 0, len(seen))
+	for b := range seen {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) > 8 {
+		out = out[:8] // keep the search tractable, like fixed-size encodings
+	}
+	return out
+}
+
+// wordsUpTo enumerates all words over sigma with length <= max, in
+// length order.
+func wordsUpTo(sigma []byte, max int) []string {
+	out := []string{""}
+	frontier := []string{""}
+	for l := 1; l <= max; l++ {
+		var next []string
+		for _, w := range frontier {
+			for _, c := range sigma {
+				next = append(next, w+string(c))
+			}
+		}
+		out = append(out, next...)
+		frontier = next
+		if len(out) > 60000 {
+			break
+		}
+	}
+	return out
+}

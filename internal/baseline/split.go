@@ -1,0 +1,286 @@
+package baseline
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lia"
+	"repro/internal/strcon"
+)
+
+// SplitOptions tune the word-equation splitting baseline.
+type SplitOptions struct {
+	Timeout  time.Duration
+	MaxNodes int // search-tree budget (default 20000)
+	MaxDepth int // recursion bound (default 160)
+}
+
+// sym is one symbol of a word equation: a variable or a character.
+type sym struct {
+	isVar bool
+	v     strcon.Var
+	c     byte
+}
+
+type equation struct {
+	l, r []sym
+}
+
+type splitState struct {
+	prob       *strcon.Problem
+	opts       SplitOptions
+	deadline   time.Time
+	nodes      int
+	others     []strcon.Constraint // non-equation constraints, checked at leaves
+	sound      bool                // exhaustion implies unsat
+	sawUnknown bool
+}
+
+// SolveSplit runs the Nielsen/Levi word-equation splitting baseline.
+func SolveSplit(prob *strcon.Problem, opts SplitOptions) Result {
+	prob.Prepare()
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 20000
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 160
+	}
+	s := &splitState{prob: prob, opts: opts}
+	if opts.Timeout > 0 {
+		s.deadline = time.Now().Add(opts.Timeout)
+	}
+
+	var eqs []equation
+	s.sound = true
+	for _, c := range prob.Constraints {
+		switch t := c.(type) {
+		case *strcon.WordEq:
+			eqs = append(eqs, equation{l: toSyms(t.L), r: toSyms(t.R)})
+		default:
+			s.others = append(s.others, c)
+			s.sound = false
+		}
+	}
+	sub := map[strcon.Var][]sym{}
+	st := s.search(eqs, sub, 0)
+	if st == core.StatusSat {
+		a := s.groundAssignment(sub)
+		if a != nil && prob.Eval(a) {
+			return Result{Status: core.StatusSat, Model: a}
+		}
+		return Result{Status: core.StatusUnknown}
+	}
+	if st == core.StatusUnsat && s.sound && !s.sawUnknown {
+		return Result{Status: core.StatusUnsat}
+	}
+	return Result{Status: core.StatusUnknown}
+}
+
+func toSyms(t strcon.Term) []sym {
+	var out []sym
+	for _, it := range t {
+		if it.IsVar {
+			out = append(out, sym{isVar: true, v: it.V})
+			continue
+		}
+		for i := 0; i < len(it.Const); i++ {
+			out = append(out, sym{c: it.Const[i]})
+		}
+	}
+	return out
+}
+
+// search explores the Nielsen transformation tree. sub is extended in
+// place on the SAT path (the caller reads it after success).
+func (s *splitState) search(eqs []equation, sub map[strcon.Var][]sym, depth int) core.Status {
+	s.nodes++
+	if s.nodes > s.opts.MaxNodes || depth > s.opts.MaxDepth {
+		s.sawUnknown = true
+		return core.StatusUnknown
+	}
+	if !s.deadline.IsZero() && s.nodes%256 == 0 && time.Now().After(s.deadline) {
+		s.sawUnknown = true
+		return core.StatusUnknown
+	}
+
+	// Normalize: strip equal heads; drop trivial equations.
+	var work []equation
+	for _, eq := range eqs {
+		l, r := eq.l, eq.r
+		for len(l) > 0 && len(r) > 0 {
+			if l[0] == r[0] {
+				l, r = l[1:], r[1:]
+				continue
+			}
+			if !l[0].isVar && !r[0].isVar && l[0].c != r[0].c {
+				return core.StatusUnsat
+			}
+			break
+		}
+		if len(l) == 0 && len(r) == 0 {
+			continue
+		}
+		work = append(work, equation{l: l, r: r})
+	}
+	if len(work) == 0 {
+		if s.leafOK(sub) {
+			return core.StatusSat
+		}
+		s.sawUnknown = true // leaf completion is not exhaustive
+		return core.StatusUnsat
+	}
+
+	eq := work[0]
+	// One side empty: every symbol on the other side must vanish.
+	if len(eq.l) == 0 || len(eq.r) == 0 {
+		side := eq.l
+		if len(side) == 0 {
+			side = eq.r
+		}
+		for _, y := range side {
+			if !y.isVar {
+				return core.StatusUnsat
+			}
+		}
+		next := work[1:]
+		assignments := map[strcon.Var][]sym{}
+		for _, y := range side {
+			assignments[y.v] = nil
+		}
+		return s.branch(next, sub, assignments, depth)
+	}
+
+	lh, rh := eq.l[0], eq.r[0]
+	unknown := false
+	try := func(assign map[strcon.Var][]sym) bool {
+		switch s.branch(work, sub, assign, depth) {
+		case core.StatusSat:
+			return true
+		case core.StatusUnknown:
+			unknown = true
+		}
+		return false
+	}
+	switch {
+	case lh.isVar && !rh.isVar:
+		// x = ε or x = c·x'
+		if try(map[strcon.Var][]sym{lh.v: nil}) {
+			return core.StatusSat
+		}
+		fresh := s.freshVar(lh.v)
+		if try(map[strcon.Var][]sym{lh.v: {{c: rh.c}, {isVar: true, v: fresh}}}) {
+			return core.StatusSat
+		}
+	case !lh.isVar && rh.isVar:
+		if try(map[strcon.Var][]sym{rh.v: nil}) {
+			return core.StatusSat
+		}
+		fresh := s.freshVar(rh.v)
+		if try(map[strcon.Var][]sym{rh.v: {{c: lh.c}, {isVar: true, v: fresh}}}) {
+			return core.StatusSat
+		}
+	default: // both variables, different (equal heads were stripped)
+		if try(map[strcon.Var][]sym{lh.v: nil}) {
+			return core.StatusSat
+		}
+		if try(map[strcon.Var][]sym{rh.v: nil}) {
+			return core.StatusSat
+		}
+		fx := s.freshVar(lh.v)
+		if try(map[strcon.Var][]sym{lh.v: {{isVar: true, v: rh.v}, {isVar: true, v: fx}}}) {
+			return core.StatusSat
+		}
+		fy := s.freshVar(rh.v)
+		if try(map[strcon.Var][]sym{rh.v: {{isVar: true, v: lh.v}, {isVar: true, v: fy}}}) {
+			return core.StatusSat
+		}
+	}
+	if unknown {
+		s.sawUnknown = true
+		return core.StatusUnknown
+	}
+	return core.StatusUnsat
+}
+
+// branch applies an assignment to all equations and recurses; on
+// failure the substitution entries are rolled back.
+func (s *splitState) branch(eqs []equation, sub map[strcon.Var][]sym,
+	assign map[strcon.Var][]sym, depth int) core.Status {
+	next := make([]equation, len(eqs))
+	for i, eq := range eqs {
+		next[i] = equation{l: applySub(eq.l, assign), r: applySub(eq.r, assign)}
+	}
+	for v, rep := range assign {
+		sub[v] = rep
+	}
+	st := s.search(next, sub, depth+1)
+	if st != core.StatusSat {
+		for v := range assign {
+			delete(sub, v)
+		}
+	}
+	return st
+}
+
+func applySub(syms []sym, assign map[strcon.Var][]sym) []sym {
+	var out []sym
+	for _, y := range syms {
+		if y.isVar {
+			if rep, ok := assign[y.v]; ok {
+				out = append(out, rep...)
+				continue
+			}
+		}
+		out = append(out, y)
+	}
+	return out
+}
+
+func (s *splitState) freshVar(base strcon.Var) strcon.Var {
+	return s.prob.NewStrVar(s.prob.StrName(base) + "'")
+}
+
+// leafOK completes the substitution to ground strings (free variables
+// become ε) and validates all remaining constraints.
+func (s *splitState) leafOK(sub map[strcon.Var][]sym) bool {
+	a := s.groundAssignment(sub)
+	return a != nil && s.prob.Eval(a)
+}
+
+// groundAssignment resolves the substitution to strings, derives forced
+// integers, and solves the arithmetic residue.
+func (s *splitState) groundAssignment(sub map[strcon.Var][]sym) *strcon.Assignment {
+	memo := map[strcon.Var]string{}
+	var resolve func(v strcon.Var, guard int) string
+	resolve = func(v strcon.Var, guard int) string {
+		if guard > 64 {
+			return ""
+		}
+		if str, ok := memo[v]; ok {
+			return str
+		}
+		rep, ok := sub[v]
+		if !ok {
+			memo[v] = ""
+			return ""
+		}
+		out := ""
+		for _, y := range rep {
+			if y.isVar {
+				out += resolve(y.v, guard+1)
+			} else {
+				out += string(y.c)
+			}
+		}
+		memo[v] = out
+		return out
+	}
+	a := &strcon.Assignment{Str: map[strcon.Var]string{}, Int: lia.Model{}}
+	for v := 0; v < s.prob.NumStrVars(); v++ {
+		a.Str[strcon.Var(v)] = resolve(strcon.Var(v), 0)
+	}
+	if !checkCandidate(s.prob, a) {
+		return nil
+	}
+	return a
+}

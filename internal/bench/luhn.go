@@ -1,0 +1,114 @@
+// Package bench generates the benchmark workloads of the paper's
+// evaluation (§9): the checkLuhn family (Table 3), basic-string-
+// constraint suites in the style of PyEx, LeetCode, StringFuzz,
+// cvc4pred and cvc4term (Table 1), and string-number conversion suites
+// in the style of the LeetCode/PythonLib/JavaScript corpora (Table 2).
+// All generators are deterministic given their seeds.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/lia"
+	"repro/internal/regex"
+	"repro/internal/strcon"
+)
+
+// Instance is one benchmark problem with its ground-truth status when
+// known (Unknown means the generator cannot certify it). Build returns
+// a fresh problem each call: solvers mutate problems (Prepare), so each
+// run gets its own copy.
+type Instance struct {
+	Name     string
+	Build    func() *strcon.Problem
+	Expected Expected
+}
+
+// Expected is the ground-truth satisfiability of an instance.
+type Expected int
+
+// Ground-truth values.
+const (
+	ExpectUnknown Expected = iota
+	ExpectSat
+	ExpectUnsat
+)
+
+func (e Expected) String() string {
+	switch e {
+	case ExpectSat:
+		return "sat"
+	case ExpectUnsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// Luhn builds the path-feasibility constraint of the checkLuhn program
+// from §1 for an input of k digits (the paper's Table 3 instances,
+// parameterized 2..12): the input is a nonzero-digit string of length
+// k, each character is converted to a number, every second digit from
+// the right is doubled (minus nine when above nine), and the decimal
+// representation of the sum must end in "0".
+//
+// charAt(value,i) is expressed by splitting value into k single-
+// character variables in one word equation; the final test
+// charAt(s,|s|-1) = "0" is expressed as s = pre·"0" (equivalent
+// desugarings of the same constraints).
+func Luhn(k int) *Instance {
+	return &Instance{
+		Name:     fmt.Sprintf("luhn-%02d", k),
+		Build:    func() *strcon.Problem { return buildLuhn(k) },
+		Expected: ExpectSat, // a valid Luhn number exists for every k >= 2
+	}
+}
+
+func buildLuhn(k int) *strcon.Problem {
+	prob := strcon.NewProblem()
+	value := prob.NewStrVar("value0")
+	prob.Add(&strcon.Membership{X: value, A: regex.MustCompile("[1-9]+"), Pattern: "[1-9]+"})
+	prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(value), int64(k))})
+
+	// value0 = c_0 ... c_{k-1}, one character each.
+	chars := make([]strcon.Var, k)
+	term := make(strcon.Term, k)
+	for i := range chars {
+		chars[i] = prob.NewStrVar(fmt.Sprintf("c%d", i))
+		term[i] = strcon.TV(chars[i])
+		prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(chars[i]), 1)})
+	}
+	prob.Add(&strcon.WordEq{L: strcon.T(strcon.TV(value)), R: term})
+
+	// d_i = toNum(c_i); sum accumulates with the doubling rule on every
+	// second digit from the right.
+	sum := lia.NewLin()
+	for i := 0; i < k; i++ {
+		d := prob.NewIntVar(fmt.Sprintf("d%d", i))
+		prob.Add(&strcon.ToNum{N: d, X: chars[i]})
+		fromRight := k - 1 - i
+		if fromRight%2 == 0 {
+			sum.AddTermInt(d, 1)
+			continue
+		}
+		// e = ite(2d > 9, 2d-9, 2d), a pure integer disjunction.
+		e := prob.NewIntVar(fmt.Sprintf("e%d", i))
+		dbl := lia.V(d).ScaleInt(2)
+		prob.Add(&strcon.Arith{F: lia.Or(
+			lia.And(lia.Ge(dbl.Clone(), lia.Const(10)), lia.Eq(lia.V(e), dbl.Clone().AddConst(-9))),
+			lia.And(lia.Le(dbl.Clone(), lia.Const(9)), lia.Eq(lia.V(e), dbl.Clone())),
+		)})
+		sum.AddTermInt(e, 1)
+	}
+	total := prob.NewIntVar("sum")
+	prob.Add(&strcon.Arith{F: lia.Eq(lia.V(total), sum)})
+
+	// last digit of toStr(sum) is '0'.
+	sumStr := prob.NewStrVar("sumStr")
+	pre := prob.NewStrVar("sumPre")
+	prob.Add(&strcon.ToStr{N: total, X: sumStr})
+	prob.Add(&strcon.WordEq{
+		L: strcon.T(strcon.TV(sumStr)),
+		R: strcon.T(strcon.TV(pre), strcon.TC("0")),
+	})
+	return prob
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/strcon"
+)
+
+// luhnSum computes the checkLuhn sum of a digit string (§1 semantics).
+func luhnSum(s string) int {
+	sum := 0
+	for i := 0; i < len(s); i++ {
+		d := int(s[i] - '0')
+		if (len(s)-1-i)%2 == 1 {
+			d *= 2
+			if d > 9 {
+				d -= 9
+			}
+		}
+		sum += d
+	}
+	return sum
+}
+
+func TestLuhnInstancesAreSolvedSat(t *testing.T) {
+	for k := 2; k <= 6; k++ {
+		inst := Luhn(k)
+		res := core.Solve(inst.Build(), core.Options{Timeout: 60 * time.Second})
+		if res.Status != core.StatusSat {
+			t.Fatalf("luhn-%d: got %v (rounds %d)", k, res.Status, res.Rounds)
+		}
+		v := res.Model.Str[strcon.Var(0)]
+		if len(v) != k {
+			t.Fatalf("luhn-%d: |value0| = %d", k, len(v))
+		}
+		if luhnSum(v)%10 != 0 {
+			t.Fatalf("luhn-%d: %q fails the Luhn test (sum %d)", k, v, luhnSum(v))
+		}
+		t.Logf("luhn-%d: value0 = %q, sum %d", k, v, luhnSum(v))
+	}
+}

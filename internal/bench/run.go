@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/strcon"
+)
+
+// Solver is one engine under comparison.
+type Solver struct {
+	Name string
+	Run  func(prob *strcon.Problem, timeout time.Duration) core.Status
+}
+
+// Solvers returns the engines of the evaluation: the paper's solver
+// (Z3-Trau reproduction) and the two baseline families standing in for
+// the closed competitor tools (see package doc of internal/baseline).
+func Solvers() []Solver {
+	return []Solver{
+		{Name: "trau-go", Run: func(p *strcon.Problem, to time.Duration) core.Status {
+			return core.Solve(p, core.Options{Timeout: to}).Status
+		}},
+		{Name: "enum", Run: func(p *strcon.Problem, to time.Duration) core.Status {
+			return baseline.SolveEnum(p, baseline.EnumOptions{Timeout: to}).Status
+		}},
+		{Name: "split", Run: func(p *strcon.Problem, to time.Duration) core.Status {
+			return baseline.SolveSplit(p, baseline.SplitOptions{Timeout: to}).Status
+		}},
+	}
+}
+
+// Counts are the per-suite result counters, with the same rows as the
+// paper's tables.
+type Counts struct {
+	Sat       int
+	Unsat     int
+	Unknown   int
+	Timeout   int
+	Incorrect int
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.Sat += other.Sat
+	c.Unsat += other.Unsat
+	c.Unknown += other.Unknown
+	c.Timeout += other.Timeout
+	c.Incorrect += other.Incorrect
+}
+
+// RunSuite runs every instance of a suite through one solver.
+func RunSuite(insts []*Instance, solver Solver, timeout time.Duration) Counts {
+	var c Counts
+	for _, inst := range insts {
+		start := time.Now()
+		status := solver.Run(inst.Build(), timeout)
+		elapsed := time.Since(start)
+		switch status {
+		case core.StatusSat:
+			if inst.Expected == ExpectUnsat {
+				c.Incorrect++
+			} else {
+				c.Sat++
+			}
+		case core.StatusUnsat:
+			if inst.Expected == ExpectSat {
+				c.Incorrect++
+			} else {
+				c.Unsat++
+			}
+		default:
+			if elapsed >= timeout-50*time.Millisecond {
+				c.Timeout++
+			} else {
+				c.Unknown++
+			}
+		}
+	}
+	return c
+}
+
+// Table runs all suites against all solvers and renders the result in
+// the layout of the paper's Tables 1 and 2.
+func Table(w io.Writer, suites []Suite, solvers []Solver, timeout time.Duration) {
+	rows := []string{"SAT", "UNSAT", "UNKNOWN", "TIMEOUT", "INCORRECT"}
+	pick := func(c Counts, row string) int {
+		switch row {
+		case "SAT":
+			return c.Sat
+		case "UNSAT":
+			return c.Unsat
+		case "UNKNOWN":
+			return c.Unknown
+		case "TIMEOUT":
+			return c.Timeout
+		default:
+			return c.Incorrect
+		}
+	}
+	fmt.Fprintf(w, "%-12s %-10s", "Suite", "Result")
+	for _, s := range solvers {
+		fmt.Fprintf(w, " %10s", s.Name)
+	}
+	fmt.Fprintln(w)
+	totals := make([]Counts, len(solvers))
+	for _, suite := range suites {
+		counts := make([]Counts, len(solvers))
+		for i, s := range solvers {
+			counts[i] = RunSuite(suite.Instances, s, timeout)
+			totals[i].Add(counts[i])
+		}
+		for ri, row := range rows {
+			label := ""
+			if ri == 0 {
+				label = suite.Name
+			}
+			fmt.Fprintf(w, "%-12s %-10s", label, row)
+			for i := range solvers {
+				fmt.Fprintf(w, " %10d", pick(counts[i], row))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for ri, row := range rows {
+		label := ""
+		if ri == 0 {
+			label = "Total"
+		}
+		fmt.Fprintf(w, "%-12s %-10s", label, row)
+		for i := range solvers {
+			fmt.Fprintf(w, " %10d", pick(totals[i], row))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Table3 runs the checkLuhn family (the paper's Table 3) and renders
+// status and time per solver and loop count.
+func Table3(w io.Writer, maxLoops int, solvers []Solver, timeout time.Duration) {
+	fmt.Fprintf(w, "%-8s", "# Loops")
+	for _, s := range solvers {
+		fmt.Fprintf(w, " %20s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for k := 2; k <= maxLoops; k++ {
+		inst := Luhn(k)
+		fmt.Fprintf(w, "%-8d", k)
+		for _, s := range solvers {
+			start := time.Now()
+			status := s.Run(inst.Build(), timeout)
+			elapsed := time.Since(start).Round(10 * time.Millisecond)
+			cell := "TIMEOUT"
+			switch status {
+			case core.StatusSat:
+				cell = fmt.Sprintf("SAT(%v)", elapsed)
+			case core.StatusUnsat:
+				cell = "INCORRECT"
+			default:
+				if elapsed < timeout-50*time.Millisecond {
+					cell = "UNKNOWN"
+				}
+			}
+			fmt.Fprintf(w, " %20s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+}

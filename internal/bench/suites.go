@@ -1,0 +1,444 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/automata"
+	"repro/internal/lia"
+	"repro/internal/regex"
+	"repro/internal/strcon"
+)
+
+// Suite is a named list of instances with the table it belongs to.
+type Suite struct {
+	Name      string
+	Table     int // 1 = basic constraints, 2 = string-number conversion
+	Instances []*Instance
+}
+
+// Table1Suites generates the basic-string-constraint suites of Table 1
+// (PyEx-, LeetCode-, StringFuzz-, cvc4pred- and cvc4term-style).
+// Instance counts are scaled down from the paper's corpora; proportions
+// of SAT/UNSAT follow the originals roughly.
+func Table1Suites(perSuite int) []Suite {
+	return []Suite{
+		{Name: "PyEx", Table: 1, Instances: pyexLike(11, perSuite)},
+		{Name: "LeetCode", Table: 1, Instances: leetcodeLike(13, perSuite)},
+		{Name: "StringFuzz", Table: 1, Instances: stringFuzzLike(17, perSuite)},
+		{Name: "cvc4pred", Table: 1, Instances: cvc4Like(19, perSuite, true)},
+		{Name: "cvc4term", Table: 1, Instances: cvc4Like(23, perSuite, false)},
+	}
+}
+
+// Table2Suites generates the string-number conversion suites of Table 2
+// (LeetCode-, PythonLib- and JavaScript-style).
+func Table2Suites(perSuite int) []Suite {
+	return []Suite{
+		{Name: "Leetcode", Table: 2, Instances: conversionLeetcode(29, perSuite)},
+		{Name: "PythonLib", Table: 2, Instances: conversionPythonLib(31, perSuite)},
+		{Name: "JavaScript", Table: 2, Instances: conversionJavaScript(perSuite)},
+	}
+}
+
+const letters = "abcd"
+
+func randWord(rng *rand.Rand, minLen, maxLen int) string {
+	n := minLen + rng.Intn(maxLen-minLen+1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// pyexLike mimics path constraints from symbolically executing Python
+// string code: concatenation splits of known strings, length
+// arithmetic, simple memberships. Ground truth is planted: SAT
+// instances are built around a witness; UNSAT ones add a length or
+// character-count contradiction.
+func pyexLike(seed int64, n int) []*Instance {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Instance, 0, n)
+	for i := 0; i < n; i++ {
+		w := randWord(rng, 3, 7)
+		cut := 1 + rng.Intn(len(w)-1)
+		sat := rng.Intn(4) != 0 // ~75% sat, as in the PyEx corpus
+		sep := string(letters[rng.Intn(len(letters))])
+		name := fmt.Sprintf("pyex-%03d", i)
+		w2 := randWord(rng, 2, 4)
+		variant := rng.Intn(3)
+		out = append(out, &Instance{
+			Name:     name,
+			Expected: expect(sat),
+			Build: func() *strcon.Problem {
+				prob := strcon.NewProblem()
+				x := prob.NewStrVar("x")
+				y := prob.NewStrVar("y")
+				z := prob.NewStrVar("z")
+				// x·y = w with |x| = cut.
+				prob.Add(&strcon.WordEq{
+					L: strcon.T(strcon.TV(x), strcon.TV(y)),
+					R: strcon.T(strcon.TC(w)),
+				})
+				prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(x), int64(cut))})
+				// z = x·sep·w2.
+				prob.Add(&strcon.WordEq{
+					L: strcon.T(strcon.TV(z)),
+					R: strcon.T(strcon.TV(x), strcon.TC(sep), strcon.TC(w2)),
+				})
+				zlen := int64(cut + 1 + len(w2))
+				switch variant {
+				case 0:
+					cmp := lia.EqConst(prob.LenVar(z), zlen)
+					if !sat {
+						cmp = lia.EqConst(prob.LenVar(z), zlen+1)
+					}
+					prob.Add(&strcon.Arith{F: cmp})
+				case 1:
+					if sat {
+						prob.Add(prob.PrefixOf(strcon.T(strcon.TC(w[:cut])), z))
+					} else {
+						bad := flipChar(w[:1]) + w[1:cut]
+						prob.Add(prob.PrefixOf(strcon.T(strcon.TC(bad)), z))
+					}
+				default:
+					if sat {
+						prob.Add(&strcon.Arith{F: lia.Ge(lia.V(prob.LenVar(y)), lia.Const(1))})
+					} else {
+						prob.Add(&strcon.Arith{F: lia.Gt(
+							lia.V(prob.LenVar(y)), lia.Const(int64(len(w))))})
+					}
+				}
+				return prob
+			},
+		})
+	}
+	return out
+}
+
+func flipChar(s string) string {
+	if s[0] == 'a' {
+		return "b"
+	}
+	return "a"
+}
+
+func expect(sat bool) Expected {
+	if sat {
+		return ExpectSat
+	}
+	return ExpectUnsat
+}
+
+// leetcodeLike mimics the validation-style problems of the LeetCode
+// corpus: IPv4 octets, binary strings, delimiter splits.
+func leetcodeLike(seed int64, n int) []*Instance {
+	rng := rand.New(rand.NewSource(seed))
+	octet := "(25[0-5]|2[0-4][0-9]|1[0-9][0-9]|[1-9][0-9]|[0-9])"
+	out := make([]*Instance, 0, n)
+	for i := 0; i < n; i++ {
+		sat := rng.Intn(3) != 0
+		name := fmt.Sprintf("leet-%03d", i)
+		switch i % 3 {
+		case 0: // octet with a length constraint
+			l := int64(1 + rng.Intn(3))
+			if !sat {
+				l = 4 // octets have at most 3 digits
+			}
+			out = append(out, &Instance{Name: name, Expected: expect(sat),
+				Build: func() *strcon.Problem {
+					prob := strcon.NewProblem()
+					x := prob.NewStrVar("x")
+					prob.Add(&strcon.Membership{X: x, A: regex.MustCompile(octet), Pattern: octet})
+					prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(x), l)})
+					return prob
+				}})
+		case 1: // binary strings of equal length joined by '+'
+			k := int64(2 + rng.Intn(3))
+			out = append(out, &Instance{Name: name, Expected: expect(sat),
+				Build: func() *strcon.Problem {
+					prob := strcon.NewProblem()
+					a := prob.NewStrVar("a")
+					b := prob.NewStrVar("b")
+					s := prob.NewStrVar("s")
+					prob.Add(&strcon.Membership{X: a, A: regex.MustCompile("(0|1)+")})
+					prob.Add(&strcon.Membership{X: b, A: regex.MustCompile("(0|1)+")})
+					prob.Add(&strcon.WordEq{
+						L: strcon.T(strcon.TV(s)),
+						R: strcon.T(strcon.TV(a), strcon.TC("+"), strcon.TV(b)),
+					})
+					prob.Add(&strcon.Arith{F: lia.Eq(lia.V(prob.LenVar(a)), lia.V(prob.LenVar(b)))})
+					want := 2*k + 1
+					if !sat {
+						want = 2 * k // even total length is impossible
+					}
+					prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(s), want)})
+					return prob
+				}})
+		default: // abbreviation: word = pre·mid·suf with pinned lengths
+			w := randWord(rng, 4, 6)
+			pl := 1
+			sl := 1
+			ml := int64(len(w) - pl - sl)
+			if !sat {
+				ml++
+			}
+			out = append(out, &Instance{Name: name, Expected: expect(sat),
+				Build: func() *strcon.Problem {
+					prob := strcon.NewProblem()
+					pre := prob.NewStrVar("pre")
+					mid := prob.NewStrVar("mid")
+					suf := prob.NewStrVar("suf")
+					prob.Add(&strcon.WordEq{
+						L: strcon.T(strcon.TC(w)),
+						R: strcon.T(strcon.TV(pre), strcon.TV(mid), strcon.TV(suf)),
+					})
+					prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(pre), int64(pl))})
+					prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(suf), int64(sl))})
+					prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(mid), ml)})
+					return prob
+				}})
+		}
+	}
+	return out
+}
+
+// stringFuzzLike mimics the StringFuzz generator: random regular
+// expressions paired with length constraints; ground truth is computed
+// exactly on the automaton.
+func stringFuzzLike(seed int64, n int) []*Instance {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Instance, 0, n)
+	for i := 0; i < n; i++ {
+		pat := randPattern(rng, 2)
+		nfa := regex.MustCompile(pat)
+		l := rng.Intn(7)
+		sat := acceptsLength(nfa, l)
+		name := fmt.Sprintf("fuzz-%03d", i)
+		pl, ll := pat, int64(l)
+		out = append(out, &Instance{Name: name, Expected: expect(sat),
+			Build: func() *strcon.Problem {
+				prob := strcon.NewProblem()
+				x := prob.NewStrVar("x")
+				prob.Add(&strcon.Membership{X: x, A: regex.MustCompile(pl), Pattern: pl})
+				prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(x), ll)})
+				return prob
+			}})
+	}
+	return out
+}
+
+func randPattern(rng *rand.Rand, depth int) string {
+	if depth == 0 {
+		c := string(letters[rng.Intn(len(letters))])
+		if rng.Intn(3) == 0 {
+			return "[0-9]"
+		}
+		return c
+	}
+	a := randPattern(rng, depth-1)
+	b := randPattern(rng, depth-1)
+	switch rng.Intn(5) {
+	case 0:
+		return "(" + a + "|" + b + ")"
+	case 1:
+		return "(" + a + ")*"
+	case 2:
+		return "(" + a + ")+"
+	case 3:
+		return a + b
+	default:
+		return "(" + a + ")?" + b
+	}
+}
+
+// acceptsLength reports whether the automaton accepts some word of the
+// given length (exact BFS over (state, length)).
+func acceptsLength(n *automata.NFA, l int) bool {
+	m := n.RemoveEpsilon()
+	cur := map[int]bool{m.Init: true}
+	for step := 0; step < l; step++ {
+		next := map[int]bool{}
+		for s := range cur {
+			for _, t := range m.Trans {
+				if t.From == s && t.R.Lo <= t.R.Hi {
+					next[t.To] = true
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	for _, f := range m.Finals {
+		if cur[f] {
+			return true
+		}
+	}
+	return false
+}
+
+// cvc4Like mimics the cvc4pred/cvc4term suites: predicate-heavy
+// verification conditions, predominantly unsatisfiable.
+func cvc4Like(seed int64, n int, pred bool) []*Instance {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Instance, 0, n)
+	for i := 0; i < n; i++ {
+		sat := rng.Intn(50) == 0 // overwhelmingly UNSAT, as in the corpus
+		w := randWord(rng, 3, 5)
+		name := fmt.Sprintf("cvc4-%03d", i)
+		usePred := pred
+		out = append(out, &Instance{Name: name, Expected: expect(sat),
+			Build: func() *strcon.Problem {
+				prob := strcon.NewProblem()
+				x := prob.NewStrVar("x")
+				y := prob.NewStrVar("y")
+				prob.Add(&strcon.WordEq{
+					L: strcon.T(strcon.TV(x)),
+					R: strcon.T(strcon.TC(w), strcon.TV(y)),
+				})
+				if usePred {
+					// Contradicting prefix predicate (or not, for sat).
+					p := w
+					if !sat {
+						p = flipChar(w[:1]) + w[1:]
+					}
+					prob.Add(prob.PrefixOf(strcon.T(strcon.TC(p)), x))
+				} else {
+					// Term-level: |x| below the fixed prefix (or fine).
+					bound := int64(len(w)) - 1
+					if sat {
+						bound = int64(len(w)) + 1
+					}
+					prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(x), bound)})
+				}
+				return prob
+			}})
+	}
+	return out
+}
+
+// conversionLeetcode mimics the Table 2 LeetCode suite: IP-address
+// restoration and digit-decoding problems built on toNum/toStr.
+func conversionLeetcode(seed int64, n int) []*Instance {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Instance, 0, n)
+	for i := 0; i < n; i++ {
+		sat := rng.Intn(8) != 0
+		name := fmt.Sprintf("convleet-%03d", i)
+		switch i % 2 {
+		case 0: // one octet: s = toStr(v), 0 <= v <= 255, |s| pinned
+			v := int64(rng.Intn(256))
+			l := int64(len(fmt.Sprint(v)))
+			if !sat {
+				v = int64(256 + rng.Intn(700)) // out of range
+			}
+			out = append(out, &Instance{Name: name, Expected: expect(sat),
+				Build: func() *strcon.Problem {
+					prob := strcon.NewProblem()
+					s := prob.NewStrVar("s")
+					vv := prob.NewIntVar("v")
+					prob.Add(&strcon.ToStr{N: vv, X: s})
+					prob.Add(&strcon.Arith{F: lia.EqConst(vv, v)})
+					prob.Add(&strcon.Arith{F: lia.Le(lia.V(vv), lia.Const(255))})
+					if sat {
+						prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(s), l)})
+					}
+					return prob
+				}})
+		default: // decode: d = toNum(c), 1 <= d <= 26 (letter decoding)
+			hi := int64(26)
+			if !sat {
+				hi = 0 // 1 <= d <= 0 impossible
+			}
+			out = append(out, &Instance{Name: name, Expected: expect(sat),
+				Build: func() *strcon.Problem {
+					prob := strcon.NewProblem()
+					c := prob.NewStrVar("c")
+					d := prob.NewIntVar("d")
+					prob.Add(&strcon.ToNum{N: d, X: c})
+					prob.Add(&strcon.Arith{F: lia.Ge(lia.V(d), lia.Const(1))})
+					prob.Add(&strcon.Arith{F: lia.Le(lia.V(d), lia.Const(hi))})
+					prob.Add(&strcon.Arith{F: lia.Le(lia.V(prob.LenVar(c)), lia.Const(2))})
+					prob.Add(&strcon.Arith{F: lia.Ge(lia.V(prob.LenVar(c)), lia.Const(1))})
+					return prob
+				}})
+		}
+	}
+	return out
+}
+
+// conversionPythonLib mimics the PythonLib suite: datetime-style
+// parsing with range checks on numeric fields.
+func conversionPythonLib(seed int64, n int) []*Instance {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Instance, 0, n)
+	for i := 0; i < n; i++ {
+		sat := rng.Intn(6) != 0
+		name := fmt.Sprintf("convpy-%03d", i)
+		moHi := int64(12)
+		if !sat {
+			moHi = 0
+		}
+		out = append(out, &Instance{Name: name, Expected: expect(sat),
+			Build: func() *strcon.Problem {
+				prob := strcon.NewProblem()
+				date := prob.NewStrVar("date")
+				mm := prob.NewStrVar("mm")
+				dd := prob.NewStrVar("dd")
+				mo := prob.NewIntVar("mo")
+				da := prob.NewIntVar("da")
+				// date = mm "/" dd with two-digit fields.
+				prob.Add(&strcon.WordEq{
+					L: strcon.T(strcon.TV(date)),
+					R: strcon.T(strcon.TV(mm), strcon.TC("/"), strcon.TV(dd)),
+				})
+				prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(mm), 2)})
+				prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(dd), 2)})
+				prob.Add(&strcon.ToNum{N: mo, X: mm})
+				prob.Add(&strcon.ToNum{N: da, X: dd})
+				prob.Add(&strcon.Arith{F: lia.Ge(lia.V(mo), lia.Const(1))})
+				prob.Add(&strcon.Arith{F: lia.Le(lia.V(mo), lia.Const(moHi))})
+				prob.Add(&strcon.Arith{F: lia.Ge(lia.V(da), lia.Const(1))})
+				prob.Add(&strcon.Arith{F: lia.Le(lia.V(da), lia.Const(31))})
+				return prob
+			}})
+	}
+	return out
+}
+
+// conversionJavaScript mimics the JavaScript suite: array-index
+// semantics ("03"-1 = 2, so the index string is "2") and small Luhn
+// path constraints — all satisfiable, as in the paper's table.
+func conversionJavaScript(n int) []*Instance {
+	out := make([]*Instance, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("convjs-%03d", i)
+		switch i % 2 {
+		case 0: // idx = toStr(toNum(s) - 1) with s a numeral of length 2
+			delta := int64(1 + i%5)
+			out = append(out, &Instance{Name: name, Expected: ExpectSat,
+				Build: func() *strcon.Problem {
+					prob := strcon.NewProblem()
+					s := prob.NewStrVar("s")
+					idx := prob.NewStrVar("idx")
+					nv := prob.NewIntVar("n")
+					mv := prob.NewIntVar("m")
+					prob.Add(&strcon.ToNum{N: nv, X: s})
+					prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(s), 2)})
+					prob.Add(&strcon.Arith{F: lia.Ge(lia.V(nv), lia.Const(0))})
+					prob.Add(&strcon.Arith{F: lia.Eq(lia.V(mv), lia.V(nv).AddConst(-delta))})
+					prob.Add(&strcon.Arith{F: lia.Ge(lia.V(mv), lia.Const(0))})
+					prob.Add(&strcon.ToStr{N: mv, X: idx})
+					prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(idx), 1)})
+					return prob
+				}})
+		default:
+			k := 2 + i%4
+			out = append(out, Luhn(k))
+		}
+	}
+	return out
+}

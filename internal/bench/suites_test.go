@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestSuitesAreDeterministic(t *testing.T) {
+	a := Table1Suites(10)
+	b := Table1Suites(10)
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Instances) != len(b[i].Instances) {
+			t.Fatalf("suite %d differs", i)
+		}
+		for j := range a[i].Instances {
+			if a[i].Instances[j].Name != b[i].Instances[j].Name ||
+				a[i].Instances[j].Expected != b[i].Instances[j].Expected {
+				t.Fatalf("instance %s differs between generations", a[i].Instances[j].Name)
+			}
+		}
+	}
+}
+
+func TestSuiteSizes(t *testing.T) {
+	for _, s := range Table1Suites(17) {
+		if len(s.Instances) != 17 {
+			t.Errorf("suite %s: %d instances, want 17", s.Name, len(s.Instances))
+		}
+	}
+	for _, s := range Table2Suites(9) {
+		if len(s.Instances) != 9 {
+			t.Errorf("suite %s: %d instances, want 9", s.Name, len(s.Instances))
+		}
+	}
+}
+
+// TestGroundTruthAgainstSolver validates the planted expected statuses
+// on a sample: whenever the solver decides, it must agree.
+func TestGroundTruthAgainstSolver(t *testing.T) {
+	suites := append(Table1Suites(6), Table2Suites(6)...)
+	checked := 0
+	for _, suite := range suites {
+		for _, inst := range suite.Instances {
+			res := core.Solve(inst.Build(), core.Options{Timeout: 5 * time.Second})
+			if res.Status == core.StatusUnknown {
+				continue
+			}
+			checked++
+			want := core.StatusSat
+			if inst.Expected == ExpectUnsat {
+				want = core.StatusUnsat
+			}
+			if res.Status != want {
+				t.Errorf("%s/%s: solver says %v, generator planted %v",
+					suite.Name, inst.Name, res.Status, inst.Expected)
+			}
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d instances decided; sample too small", checked)
+	}
+}
+
+func TestRunSuiteClassification(t *testing.T) {
+	insts := Table2Suites(4)[0].Instances
+	counts := RunSuite(insts, Solvers()[0], 5*time.Second)
+	if counts.Sat+counts.Unsat+counts.Unknown+counts.Timeout+counts.Incorrect != len(insts) {
+		t.Fatalf("counts %+v do not add up to %d", counts, len(insts))
+	}
+	if counts.Incorrect != 0 {
+		t.Fatalf("%d incorrect answers", counts.Incorrect)
+	}
+}

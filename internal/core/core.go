@@ -1,0 +1,282 @@
+// Package core implements the paper's two-step decision procedure (§4,
+// §9): an over-approximation gate that can prove UNSAT, followed by a
+// refinement loop of PFA-based under-approximations that can prove SAT.
+// Every SAT answer is validated against the concrete evaluator before
+// being reported (the validator of §9).
+package core
+
+import (
+	"time"
+
+	"repro/internal/flatten"
+	"repro/internal/lia"
+	"repro/internal/overapprox"
+	"repro/internal/strcon"
+)
+
+// Status is the solver verdict.
+type Status int
+
+// Solver verdicts.
+const (
+	StatusUnknown Status = iota
+	StatusSat
+	StatusUnsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSat:
+		return "sat"
+	case StatusUnsat:
+		return "unsat"
+	case StatusUnknown:
+		return "unknown"
+	}
+	return "?"
+}
+
+// Options configure the decision procedure. The zero value uses
+// defaults: over-approximation on, three refinement rounds starting
+// from the paper's (m, p) = (5, 2) with q from a static scan.
+type Options struct {
+	// Timeout bounds the whole solve; zero means none.
+	Timeout time.Duration
+	// MaxRounds bounds under-approximation refinement rounds.
+	MaxRounds int
+	// InitialParams overrides the starting PFA sizes when non-zero.
+	InitialParams flatten.Params
+	// SkipOverApprox disables the UNSAT gate (for ablation studies).
+	SkipOverApprox bool
+	// Lia tunes the arithmetic backend (budgets, not deadline).
+	Lia lia.Options
+}
+
+// Result is the solver outcome. Model is non-nil exactly when Status is
+// StatusSat, and has been validated by the concrete evaluator.
+type Result struct {
+	Status Status
+	Model  *strcon.Assignment
+	// Rounds is the number of under-approximation rounds executed.
+	Rounds int
+	// OverApproxDecided reports that the over-approximation already
+	// settled the instance (always an UNSAT).
+	OverApproxDecided bool
+	// ValidationFailed flags an internal soundness problem: a decoded
+	// model did not pass the validator (the answer degrades to
+	// unknown).
+	ValidationFailed bool
+}
+
+// Solve decides the problem. The problem is Prepared in place.
+func Solve(prob *strcon.Problem, opts Options) Result {
+	prob.Prepare()
+
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	liaOpts := func() *lia.Options {
+		o := opts.Lia
+		o.Deadline = deadline
+		return &o
+	}
+	original := prob.Constraints
+
+	// abstractUnsat checks a constraint set with the over-approximation.
+	abstractUnsat := func(cons []strcon.Constraint) bool {
+		prob.Constraints = cons
+		oa := overapprox.Abstract(prob)
+		prob.Constraints = original
+		o := liaOpts()
+		o.OnModel = oa.OnModel
+		res, _ := lia.Solve(oa.Formula, o)
+		return res == lia.ResUnsat
+	}
+
+	if !opts.SkipOverApprox && abstractUnsat(original) {
+		return Result{Status: StatusUnsat, OverApproxDecided: true}
+	}
+
+	// Case splitting: enumerate the top-level disjunction structure
+	// into conjunctive branches, pruning with the over-approximation
+	// (this plays the role of the DPLL core "trying another solution
+	// branch" in §9). Each surviving branch is then attacked by the
+	// PFA refinement loop, round-robin over rounds.
+	branches, truncated := splitBranches(prob, original, opts, abstractUnsat, deadline)
+	if len(branches) == 0 {
+		if truncated || opts.SkipOverApprox {
+			return Result{Status: StatusUnknown}
+		}
+		// Every branch refuted by a sound over-approximation.
+		return Result{Status: StatusUnsat, OverApproxDecided: true}
+	}
+
+	params := opts.InitialParams
+	if params.M == 0 {
+		params = flatten.Params{M: 5, Loops: 2, LoopLen: 2}
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 3
+	}
+
+	out := Result{Status: StatusUnknown}
+	for round := 0; round < maxRounds; round++ {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		out.Rounds = round + 1
+		for _, branch := range branches {
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				break
+			}
+			prob.Constraints = branch
+			fl := flatten.Flatten(prob, params)
+			o := liaOpts()
+			o.OnModel = fl.OnModel
+			res, m := lia.Solve(fl.Formula, o)
+			prob.Constraints = original
+			if res != lia.ResSat {
+				// "No solution within the current PFA domains" or
+				// unknown; other branches and larger parameters remain.
+				continue
+			}
+			a := fl.Decode(m)
+			if prob.Eval(a) {
+				out.Status = StatusSat
+				out.Model = a
+				return out
+			}
+			out.ValidationFailed = true
+			return out
+		}
+		params = params.Refine()
+	}
+	return out
+}
+
+// maxBranches bounds the case-split enumeration.
+const maxBranches = 64
+
+// splitBranches expands top-level OrCon constraints into conjunctive
+// branches, pruning refuted prefixes with the over-approximation.
+// truncated reports that the bound was hit (so an all-branches-refuted
+// outcome must not be read as UNSAT).
+func splitBranches(prob *strcon.Problem, cons []strcon.Constraint, opts Options,
+	abstractUnsat func([]strcon.Constraint) bool, deadline time.Time) ([][]strcon.Constraint, bool) {
+	var base []strcon.Constraint
+	var ors []*strcon.OrCon
+	for _, c := range cons {
+		if o, ok := c.(*strcon.OrCon); ok {
+			ors = append(ors, o)
+			continue
+		}
+		base = append(base, c)
+	}
+	if len(ors) == 0 {
+		return [][]strcon.Constraint{cons}, false
+	}
+	var out [][]strcon.Constraint
+	truncated := false
+	var rec func(d int, chosen []strcon.Constraint)
+	rec = func(d int, chosen []strcon.Constraint) {
+		if truncated {
+			return
+		}
+		if len(out) >= maxBranches {
+			truncated = true
+			return
+		}
+		if d == len(ors) {
+			branch := make([]strcon.Constraint, 0, len(base)+len(chosen))
+			branch = append(branch, base...)
+			branch = append(branch, chosen...)
+			out = append(out, branch)
+			return
+		}
+		for _, disjunct := range ors[d].Args {
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				truncated = true
+				return
+			}
+			next := append(chosen[:len(chosen):len(chosen)], flattenAnd(disjunct)...)
+			if !opts.SkipOverApprox {
+				// Prune: base + chosen prefix + remaining Ors.
+				candidate := make([]strcon.Constraint, 0, len(base)+len(next)+len(ors)-d-1)
+				candidate = append(candidate, base...)
+				candidate = append(candidate, next...)
+				for _, o := range ors[d+1:] {
+					candidate = append(candidate, o)
+				}
+				if abstractUnsat(candidate) {
+					continue
+				}
+			}
+			rec(d+1, next)
+		}
+	}
+	rec(0, nil)
+	return out, truncated
+}
+
+// flattenAnd expands nested conjunctions into a flat constraint list.
+func flattenAnd(c strcon.Constraint) []strcon.Constraint {
+	if a, ok := c.(*strcon.AndCon); ok {
+		var out []strcon.Constraint
+		for _, arg := range a.Args {
+			out = append(out, flattenAnd(arg)...)
+		}
+		return out
+	}
+	return []strcon.Constraint{c}
+}
+
+// StaticLoopLen mirrors the paper's "q obtained from our internal
+// static analysis": a loop length derived from the longest constant
+// string in the constraints, clamped to a practical range. The default
+// strategy starts at the smaller (2,2) shape — which already represents
+// every word of length <= 5 exactly and keeps synchronization products
+// small — and relies on refinement to grow; this helper is exposed for
+// callers that want the paper's variant via Options.InitialParams.
+func StaticLoopLen(prob *strcon.Problem) int {
+	longest := 0
+	var scanTerm func(t strcon.Term)
+	scanTerm = func(t strcon.Term) {
+		for _, it := range t {
+			if !it.IsVar && len(it.Const) > longest {
+				longest = len(it.Const)
+			}
+		}
+	}
+	var scan func(c strcon.Constraint)
+	scan = func(c strcon.Constraint) {
+		switch t := c.(type) {
+		case *strcon.WordEq:
+			scanTerm(t.L)
+			scanTerm(t.R)
+		case *strcon.WordNeq:
+			scanTerm(t.L)
+			scanTerm(t.R)
+		case *strcon.AndCon:
+			for _, a := range t.Args {
+				scan(a)
+			}
+		case *strcon.OrCon:
+			for _, a := range t.Args {
+				scan(a)
+			}
+		}
+	}
+	for _, c := range prob.Constraints {
+		scan(c)
+	}
+	switch {
+	case longest < 2:
+		return 2
+	case longest > 6:
+		return 6
+	default:
+		return longest
+	}
+}

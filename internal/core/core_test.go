@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/lia"
+	"repro/internal/regex"
+	"repro/internal/strcon"
+)
+
+func opts() Options {
+	return Options{Timeout: 30 * time.Second}
+}
+
+// TestToyPhi is the paper's motivating formula Φ (§1):
+//
+//	"0"x = x"0" ∧ toNum(x) = toNum(y) ∧ |y| > |x| > 1 ∧ 1000 < |y|
+//
+// which no state-of-the-art solver handled within 10 minutes while the
+// paper's procedure takes seconds.
+func TestToyPhi(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	y := prob.NewStrVar("y")
+	nx := prob.NewIntVar("nx")
+	ny := prob.NewIntVar("ny")
+	prob.Add(
+		&strcon.WordEq{
+			L: strcon.T(strcon.TC("0"), strcon.TV(x)),
+			R: strcon.T(strcon.TV(x), strcon.TC("0")),
+		},
+		&strcon.ToNum{N: nx, X: x},
+		&strcon.ToNum{N: ny, X: y},
+		&strcon.Arith{F: lia.Eq(lia.V(nx), lia.V(ny))},
+		&strcon.Arith{F: lia.Gt(lia.V(prob.LenVar(y)), lia.V(prob.LenVar(x)))},
+		&strcon.Arith{F: lia.Gt(lia.V(prob.LenVar(x)), lia.Const(1))},
+		&strcon.Arith{F: lia.Gt(lia.V(prob.LenVar(y)), lia.Const(1000))},
+	)
+	res := Solve(prob, opts())
+	if res.Status != StatusSat {
+		t.Fatalf("Φ: got %v (rounds=%d, validationFailed=%v), want sat",
+			res.Status, res.Rounds, res.ValidationFailed)
+	}
+	if len(res.Model.Str[y]) <= 1000 {
+		t.Fatalf("|y| = %d, want > 1000", len(res.Model.Str[y]))
+	}
+	if len(res.Model.Str[x]) <= 1 {
+		t.Fatalf("|x| = %d, want > 1", len(res.Model.Str[x]))
+	}
+}
+
+func TestOverApproxCatchesLengthContradiction(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	y := prob.NewStrVar("y")
+	prob.Add(
+		&strcon.WordEq{L: strcon.T(strcon.TV(x), strcon.TV(y)), R: strcon.T(strcon.TC("ab"))},
+		&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 5)},
+	)
+	res := Solve(prob, opts())
+	if res.Status != StatusUnsat {
+		t.Fatalf("got %v, want unsat", res.Status)
+	}
+	if !res.OverApproxDecided {
+		t.Errorf("length contradiction should be caught by the over-approximation")
+	}
+}
+
+func TestOverApproxCatchesDigitContradiction(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	n := prob.NewIntVar("n")
+	prob.Add(
+		&strcon.ToNum{N: n, X: x},
+		&strcon.Arith{F: lia.EqConst(n, 5)},
+		&strcon.Membership{X: x, A: regex.MustCompile("(a|b)+")},
+	)
+	res := Solve(prob, opts())
+	if res.Status != StatusUnsat {
+		t.Fatalf("got %v, want unsat", res.Status)
+	}
+}
+
+func TestOverApproxCatchesCharCountContradiction(t *testing.T) {
+	// "0"x = x"1" has no solution: the sides have different character
+	// counts (the Parikh abstraction of the equation).
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	prob.Add(&strcon.WordEq{
+		L: strcon.T(strcon.TC("0"), strcon.TV(x)),
+		R: strcon.T(strcon.TV(x), strcon.TC("1")),
+	})
+	res := Solve(prob, opts())
+	if res.Status != StatusUnsat {
+		t.Fatalf("got %v, want unsat", res.Status)
+	}
+	if !res.OverApproxDecided {
+		t.Errorf("character-count contradiction should be caught by the over-approximation")
+	}
+}
+
+func TestSatWithRegexAndArith(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	prob.Add(
+		&strcon.Membership{X: x, A: regex.MustCompile("(ab|cd)+")},
+		&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 6)},
+	)
+	res := Solve(prob, opts())
+	if res.Status != StatusSat {
+		t.Fatalf("got %v, want sat", res.Status)
+	}
+	s := res.Model.Str[x]
+	if len(s) != 6 || !regex.Matches(regex.MustCompile("(ab|cd)+"), s) {
+		t.Fatalf("model %q invalid", s)
+	}
+}
+
+func TestToNumRoundTrip(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	n := prob.NewIntVar("n")
+	m := prob.NewIntVar("m")
+	y := prob.NewStrVar("y")
+	// n = toNum(x), x has length 3, n = 2*m, m = 26, y = toStr(n).
+	prob.Add(
+		&strcon.ToNum{N: n, X: x},
+		&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 3)},
+		&strcon.Arith{F: lia.Eq(lia.V(n), lia.V(m).ScaleInt(2))},
+		&strcon.Arith{F: lia.EqConst(m, 26)},
+		&strcon.ToStr{N: n, X: y},
+	)
+	res := Solve(prob, opts())
+	if res.Status != StatusSat {
+		t.Fatalf("got %v, want sat", res.Status)
+	}
+	if res.Model.Str[x] != "052" {
+		t.Fatalf("x = %q, want 052", res.Model.Str[x])
+	}
+	if res.Model.Str[y] != "52" {
+		t.Fatalf("y = %q, want 52", res.Model.Str[y])
+	}
+	if res.Model.Int.Value(n).Cmp(big.NewInt(52)) != 0 {
+		t.Fatalf("n = %v", res.Model.Int.Value(n))
+	}
+}
+
+func TestRefinementGrowsNumericPFA(t *testing.T) {
+	// A 7-digit value needs m > 5, i.e. at least one refinement round.
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	n := prob.NewIntVar("n")
+	prob.Add(
+		&strcon.ToNum{N: n, X: x},
+		&strcon.Arith{F: lia.EqConst(n, 1234567)},
+	)
+	res := Solve(prob, opts())
+	if res.Status != StatusSat {
+		t.Fatalf("got %v, want sat", res.Status)
+	}
+	if res.Rounds < 2 {
+		t.Errorf("expected at least 2 rounds, got %d", res.Rounds)
+	}
+	if got := res.Model.Str[x]; strcon.ToNumValue(got).Int64() != 1234567 {
+		t.Fatalf("x = %q", got)
+	}
+}
+
+func TestCharAtDesugar(t *testing.T) {
+	// y = charAt("hello", 1) => y = "e".
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	y := prob.NewStrVar("y")
+	prob.Add(&strcon.WordEq{L: strcon.T(strcon.TV(x)), R: strcon.T(strcon.TC("hello"))})
+	prob.Add(prob.CharAt(y, x, lia.Const(1)))
+	res := Solve(prob, opts())
+	if res.Status != StatusSat {
+		t.Fatalf("got %v, want sat", res.Status)
+	}
+	if res.Model.Str[y] != "e" {
+		t.Fatalf("y = %q, want e", res.Model.Str[y])
+	}
+}
+
+func TestSubstrDesugar(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	y := prob.NewStrVar("y")
+	prob.Add(&strcon.WordEq{L: strcon.T(strcon.TV(x)), R: strcon.T(strcon.TC("abcde"))})
+	prob.Add(prob.Substr(y, x, lia.Const(2), lia.Const(3)))
+	res := Solve(prob, opts())
+	if res.Status != StatusSat {
+		t.Fatalf("got %v, want sat", res.Status)
+	}
+	if res.Model.Str[y] != "cde" {
+		t.Fatalf("y = %q, want cde", res.Model.Str[y])
+	}
+}
+
+func TestTimeoutReturnsUnknown(t *testing.T) {
+	// An instance the under-approximation cannot decide quickly, with a
+	// tiny timeout, must come back unknown (not hang).
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	y := prob.NewStrVar("y")
+	z := prob.NewStrVar("z")
+	prob.Add(
+		&strcon.WordEq{L: strcon.T(strcon.TV(x), strcon.TV(y)), R: strcon.T(strcon.TV(y), strcon.TV(z))},
+		&strcon.WordNeq{L: strcon.T(strcon.TV(x), strcon.TV(z)), R: strcon.T(strcon.TV(z), strcon.TV(x))},
+		&strcon.Arith{F: lia.Ge(lia.V(prob.LenVar(x)), lia.Const(4))},
+	)
+	start := time.Now()
+	res := Solve(prob, Options{Timeout: 300 * time.Millisecond})
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("solve took %v despite 300ms timeout", d)
+	}
+	_ = res // any status is acceptable; the point is bounded time
+}
+
+func TestPrefixSuffixContains(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	prob.Add(prob.PrefixOf(strcon.T(strcon.TC("ab")), x))
+	prob.Add(prob.SuffixOf(strcon.T(strcon.TC("yz")), x))
+	prob.Add(prob.Contains(x, strcon.T(strcon.TC("m"))))
+	prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 5)})
+	res := Solve(prob, opts())
+	if res.Status != StatusSat {
+		t.Fatalf("got %v, want sat", res.Status)
+	}
+	s := res.Model.Str[x]
+	if len(s) != 5 || s[:2] != "ab" || s[3:] != "yz" || s[2] != 'm' {
+		t.Fatalf("x = %q", s)
+	}
+}
+
+func TestUnsatNumericRange(t *testing.T) {
+	// toNum(x) = n, |x| = 2, n >= 100 is unsatisfiable.
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	n := prob.NewIntVar("n")
+	prob.Add(
+		&strcon.ToNum{N: n, X: x},
+		&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 2)},
+		&strcon.Arith{F: lia.Ge(lia.V(n), lia.Const(100))},
+	)
+	res := Solve(prob, opts())
+	if res.Status != StatusUnsat {
+		t.Fatalf("got %v, want unsat", res.Status)
+	}
+}

@@ -1,0 +1,235 @@
+package flatten
+
+import (
+	"testing"
+
+	"repro/internal/lia"
+	"repro/internal/regex"
+	"repro/internal/strcon"
+)
+
+// solve flattens and solves; on SAT it validates the decoded assignment
+// with the concrete evaluator and returns it.
+func solve(t *testing.T, prob *strcon.Problem, params Params) (*strcon.Assignment, lia.Result) {
+	t.Helper()
+	prob.Prepare()
+	res := Flatten(prob, params)
+	r, m := lia.Solve(res.Formula, &lia.Options{OnModel: res.OnModel})
+	if r != lia.ResSat {
+		return nil, r
+	}
+	a := res.Decode(m)
+	if !prob.Eval(a) {
+		t.Fatalf("decoded assignment fails validation: %+v", a.Str)
+	}
+	return a, r
+}
+
+func TestConstEquality(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	prob.Add(&strcon.WordEq{L: strcon.T(strcon.TV(x)), R: strcon.T(strcon.TC("ab"))})
+	a, r := solve(t, prob, DefaultParams)
+	if r != lia.ResSat {
+		t.Fatalf("result %v, want sat", r)
+	}
+	if a.Str[x] != "ab" {
+		t.Fatalf("x = %q, want ab", a.Str[x])
+	}
+}
+
+func TestConstMismatchUnsat(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	prob.Add(&strcon.WordEq{L: strcon.T(strcon.TV(x)), R: strcon.T(strcon.TC("ab"))})
+	prob.Add(&strcon.WordEq{L: strcon.T(strcon.TV(x)), R: strcon.T(strcon.TC("ba"))})
+	_, r := solve(t, prob, DefaultParams)
+	if r != lia.ResUnsat {
+		t.Fatalf("result %v, want unsat", r)
+	}
+}
+
+func TestMembershipWithLength(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	prob.Add(&strcon.Membership{X: x, A: regex.MustCompile("(ab)+"), Pattern: "(ab)+"})
+	prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 4)})
+	a, r := solve(t, prob, DefaultParams)
+	if r != lia.ResSat {
+		t.Fatalf("result %v, want sat", r)
+	}
+	if a.Str[x] != "abab" {
+		t.Fatalf("x = %q, want abab", a.Str[x])
+	}
+}
+
+func TestToNumFixedValueAndLength(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	n := prob.NewIntVar("n")
+	prob.Add(&strcon.ToNum{N: n, X: x})
+	prob.Add(&strcon.Arith{F: lia.EqConst(n, 42)})
+	prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 4)})
+	a, r := solve(t, prob, DefaultParams)
+	if r != lia.ResSat {
+		t.Fatalf("result %v, want sat", r)
+	}
+	if a.Str[x] != "0042" {
+		t.Fatalf("x = %q, want 0042", a.Str[x])
+	}
+}
+
+func TestToNumNaN(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	n := prob.NewIntVar("n")
+	prob.Add(&strcon.ToNum{N: n, X: x})
+	prob.Add(&strcon.Arith{F: lia.EqConst(n, -1)})
+	prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 2)})
+	a, r := solve(t, prob, DefaultParams)
+	if r != lia.ResSat {
+		t.Fatalf("result %v, want sat", r)
+	}
+	if len(a.Str[x]) != 2 {
+		t.Fatalf("|x| = %d, want 2", len(a.Str[x]))
+	}
+}
+
+func TestPaperOverlapEquality(t *testing.T) {
+	// "0"x = x"0" with |x| = 2 forces x = "00".
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	prob.Add(&strcon.WordEq{
+		L: strcon.T(strcon.TC("0"), strcon.TV(x)),
+		R: strcon.T(strcon.TV(x), strcon.TC("0")),
+	})
+	prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 2)})
+	a, r := solve(t, prob, DefaultParams)
+	if r != lia.ResSat {
+		t.Fatalf("result %v, want sat", r)
+	}
+	if a.Str[x] != "00" {
+		t.Fatalf("x = %q, want 00", a.Str[x])
+	}
+}
+
+func TestConcatSplit(t *testing.T) {
+	// x·y = "hello", |x| = 2.
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	y := prob.NewStrVar("y")
+	prob.Add(&strcon.WordEq{
+		L: strcon.T(strcon.TV(x), strcon.TV(y)),
+		R: strcon.T(strcon.TC("hello")),
+	})
+	prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 2)})
+	a, r := solve(t, prob, DefaultParams)
+	if r != lia.ResSat {
+		t.Fatalf("result %v, want sat", r)
+	}
+	if a.Str[x] != "he" || a.Str[y] != "llo" {
+		t.Fatalf("x,y = %q,%q", a.Str[x], a.Str[y])
+	}
+}
+
+func TestDisequality(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	prob.Add(&strcon.Membership{X: x, A: regex.MustCompile("a|b"), Pattern: "a|b"})
+	prob.Add(&strcon.WordNeq{L: strcon.T(strcon.TV(x)), R: strcon.T(strcon.TC("a"))})
+	a, r := solve(t, prob, DefaultParams)
+	if r != lia.ResSat {
+		t.Fatalf("result %v, want sat", r)
+	}
+	if a.Str[x] != "b" {
+		t.Fatalf("x = %q, want b", a.Str[x])
+	}
+}
+
+func TestToStrCanonical(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	n := prob.NewIntVar("n")
+	prob.Add(&strcon.ToStr{N: n, X: x})
+	prob.Add(&strcon.Arith{F: lia.EqConst(n, 907)})
+	a, r := solve(t, prob, DefaultParams)
+	if r != lia.ResSat {
+		t.Fatalf("result %v, want sat", r)
+	}
+	if a.Str[x] != "907" {
+		t.Fatalf("x = %q, want 907", a.Str[x])
+	}
+}
+
+func TestToStrRejectsLeadingZeros(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	n := prob.NewIntVar("n")
+	prob.Add(&strcon.ToStr{N: n, X: x})
+	prob.Add(&strcon.Arith{F: lia.Ge(lia.V(n), lia.Const(0))})
+	prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 3)})
+	prob.Add(&strcon.Arith{F: lia.Le(lia.V(n), lia.Const(99))})
+	_, r := solve(t, prob, DefaultParams)
+	if r != lia.ResUnsat {
+		t.Fatalf("result %v, want unsat (three digits cannot encode <=99 canonically)", r)
+	}
+}
+
+func TestDuplicateOccurrences(t *testing.T) {
+	// x·x = "abab" forces x = "ab" (needs the dedup preparation).
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	prob.Add(&strcon.WordEq{
+		L: strcon.T(strcon.TV(x), strcon.TV(x)),
+		R: strcon.T(strcon.TC("abab")),
+	})
+	a, r := solve(t, prob, DefaultParams)
+	if r != lia.ResSat {
+		t.Fatalf("result %v, want sat", r)
+	}
+	if a.Str[x] != "ab" {
+		t.Fatalf("x = %q, want ab", a.Str[x])
+	}
+}
+
+func TestOrConstraint(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	prob.Add(&strcon.OrCon{Args: []strcon.Constraint{
+		&strcon.WordEq{L: strcon.T(strcon.TV(x)), R: strcon.T(strcon.TC("no"))},
+		&strcon.WordEq{L: strcon.T(strcon.TV(x)), R: strcon.T(strcon.TC("yes"))},
+	}})
+	prob.Add(&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 3)})
+	a, r := solve(t, prob, DefaultParams)
+	if r != lia.ResSat {
+		t.Fatalf("result %v, want sat", r)
+	}
+	if a.Str[x] != "yes" {
+		t.Fatalf("x = %q, want yes", a.Str[x])
+	}
+}
+
+func TestRangeTransitionReadsDistinctCharacters(t *testing.T) {
+	// Regression: a single range transition of a regular constraint
+	// (the loop of [0-9]+) must admit runs that read different
+	// characters on different traversals. An early version equated the
+	// PFA character with the regex transition's variable, wrongly
+	// forcing all traversals to read the same digit and losing
+	// witnesses like "00512".
+	prob := strcon.NewProblem()
+	card := prob.NewStrVar("card")
+	n := prob.NewIntVar("n")
+	prob.Add(
+		&strcon.Membership{X: card, A: regex.MustCompile("[0-9]+"), Pattern: "[0-9]+"},
+		&strcon.ToNum{N: n, X: card},
+		&strcon.Arith{F: lia.EqConst(n, 512)},
+		&strcon.Arith{F: lia.EqConst(prob.LenVar(card), 5)},
+	)
+	a, r := solve(t, prob, DefaultParams)
+	if r != lia.ResSat {
+		t.Fatalf("result %v, want sat", r)
+	}
+	if a.Str[card] != "00512" {
+		t.Fatalf("card = %q, want 00512", a.Str[card])
+	}
+}

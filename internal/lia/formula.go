@@ -1,0 +1,306 @@
+package lia
+
+import (
+	"math/big"
+	"strings"
+)
+
+// Rel is a comparison relation between a linear expression and zero.
+type Rel int
+
+// Comparison relations. Normalization rewrites everything to LE over
+// integers (EQ becomes a conjunction of two LEs, NE a disjunction).
+const (
+	LE Rel = iota // e <= 0
+	LT            // e < 0
+	GE            // e >= 0
+	GT            // e > 0
+	EQ            // e == 0
+	NE            // e != 0
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case LT:
+		return "<"
+	case GE:
+		return ">="
+	case GT:
+		return ">"
+	case EQ:
+		return "="
+	case NE:
+		return "!="
+	}
+	return "?"
+}
+
+// Formula is a quantifier-free boolean combination of linear atoms.
+// The concrete types are *Atom, *NAry, *Not, and Bool.
+type Formula interface {
+	isFormula()
+}
+
+// Bool is a boolean constant formula.
+type Bool bool
+
+func (Bool) isFormula() {}
+
+// Atom is the comparison E Op 0.
+type Atom struct {
+	E  *LinExpr
+	Op Rel
+}
+
+func (*Atom) isFormula() {}
+
+// BoolOp distinguishes conjunction from disjunction in NAry.
+type BoolOp int
+
+// Boolean connectives for NAry nodes.
+const (
+	OpAnd BoolOp = iota
+	OpOr
+)
+
+// NAry is an n-ary conjunction or disjunction.
+type NAry struct {
+	Op   BoolOp
+	Args []Formula
+}
+
+func (*NAry) isFormula() {}
+
+// Not is logical negation.
+type Not struct {
+	F Formula
+}
+
+func (*Not) isFormula() {}
+
+// True and False are the boolean constant formulas.
+const (
+	True  = Bool(true)
+	False = Bool(false)
+)
+
+// And returns the conjunction of args, flattening nested conjunctions
+// and folding boolean constants.
+func And(args ...Formula) Formula {
+	out := make([]Formula, 0, len(args))
+	for _, a := range args {
+		switch t := a.(type) {
+		case Bool:
+			if !bool(t) {
+				return False
+			}
+		case *NAry:
+			if t.Op == OpAnd {
+				out = append(out, t.Args...)
+				continue
+			}
+			out = append(out, a)
+		default:
+			out = append(out, a)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return True
+	case 1:
+		return out[0]
+	}
+	return &NAry{Op: OpAnd, Args: out}
+}
+
+// Or returns the disjunction of args, flattening nested disjunctions
+// and folding boolean constants.
+func Or(args ...Formula) Formula {
+	out := make([]Formula, 0, len(args))
+	for _, a := range args {
+		switch t := a.(type) {
+		case Bool:
+			if bool(t) {
+				return True
+			}
+		case *NAry:
+			if t.Op == OpOr {
+				out = append(out, t.Args...)
+				continue
+			}
+			out = append(out, a)
+		default:
+			out = append(out, a)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return False
+	case 1:
+		return out[0]
+	}
+	return &NAry{Op: OpOr, Args: out}
+}
+
+// Negate returns the negation of f, folding constants and double
+// negation.
+func Negate(f Formula) Formula {
+	switch t := f.(type) {
+	case Bool:
+		return Bool(!bool(t))
+	case *Not:
+		return t.F
+	}
+	return &Not{F: f}
+}
+
+// Implies returns a -> b.
+func Implies(a, b Formula) Formula {
+	return Or(Negate(a), b)
+}
+
+// Iff returns a <-> b.
+func Iff(a, b Formula) Formula {
+	return And(Implies(a, b), Implies(b, a))
+}
+
+// Cmp returns the atom a Op b for linear expressions a and b.
+// The arguments are not modified.
+func Cmp(a *LinExpr, op Rel, b *LinExpr) Formula {
+	e := a.Clone().Sub(b)
+	if k, ok := e.IsConst(); ok {
+		return Bool(evalRel(k, op))
+	}
+	return &Atom{E: e, Op: op}
+}
+
+// Le returns a <= b.
+func Le(a, b *LinExpr) Formula { return Cmp(a, LE, b) }
+
+// Lt returns a < b.
+func Lt(a, b *LinExpr) Formula { return Cmp(a, LT, b) }
+
+// Ge returns a >= b.
+func Ge(a, b *LinExpr) Formula { return Cmp(a, GE, b) }
+
+// Gt returns a > b.
+func Gt(a, b *LinExpr) Formula { return Cmp(a, GT, b) }
+
+// Eq returns a = b.
+func Eq(a, b *LinExpr) Formula { return Cmp(a, EQ, b) }
+
+// Ne returns a != b.
+func Ne(a, b *LinExpr) Formula { return Cmp(a, NE, b) }
+
+// EqConst returns v = k.
+func EqConst(v Var, k int64) Formula { return Cmp(V(v), EQ, Const(k)) }
+
+func evalRel(k *big.Int, op Rel) bool {
+	s := k.Sign()
+	switch op {
+	case LE:
+		return s <= 0
+	case LT:
+		return s < 0
+	case GE:
+		return s >= 0
+	case GT:
+		return s > 0
+	case EQ:
+		return s == 0
+	case NE:
+		return s != 0
+	}
+	return false
+}
+
+// Model maps variables to integer values. Variables not present are
+// treated as zero.
+type Model map[Var]*big.Int
+
+// Value returns the value of v in the model (zero if absent).
+func (m Model) Value(v Var) *big.Int {
+	if x, ok := m[v]; ok {
+		return x
+	}
+	return bigZero
+}
+
+// Int64 returns the value of v as int64; it panics if the value does
+// not fit, which indicates a bug in the caller's encoding.
+func (m Model) Int64(v Var) int64 {
+	x := m.Value(v)
+	if !x.IsInt64() {
+		panic("lia: model value does not fit in int64: " + x.String())
+	}
+	return x.Int64()
+}
+
+// Eval evaluates the formula under the model.
+func Eval(f Formula, m Model) bool {
+	switch t := f.(type) {
+	case Bool:
+		return bool(t)
+	case *Atom:
+		return evalRel(t.E.Eval(m), t.Op)
+	case *Not:
+		return !Eval(t.F, m)
+	case *NAry:
+		if t.Op == OpAnd {
+			for _, a := range t.Args {
+				if !Eval(a, m) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, a := range t.Args {
+			if Eval(a, m) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("lia: unknown formula node")
+}
+
+// String renders f with the pool's variable names; intended for tests
+// and debugging.
+func String(f Formula, p *Pool) string {
+	var b strings.Builder
+	write(&b, f, p)
+	return b.String()
+}
+
+func write(b *strings.Builder, f Formula, p *Pool) {
+	switch t := f.(type) {
+	case Bool:
+		if t {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case *Atom:
+		b.WriteString(t.E.String(p))
+		b.WriteByte(' ')
+		b.WriteString(t.Op.String())
+		b.WriteString(" 0")
+	case *Not:
+		b.WriteString("(not ")
+		write(b, t.F, p)
+		b.WriteByte(')')
+	case *NAry:
+		if t.Op == OpAnd {
+			b.WriteString("(and")
+		} else {
+			b.WriteString("(or")
+		}
+		for _, a := range t.Args {
+			b.WriteByte(' ')
+			write(b, a, p)
+		}
+		b.WriteByte(')')
+	}
+}

@@ -1,0 +1,137 @@
+package lia
+
+import "math/big"
+
+// nnf converts f to negation normal form in which every atom has the
+// form e <= 0 (integers make strict and negated comparisons expressible
+// as non-strict ones) and boolean constants are folded. The neg flag
+// asks for the normal form of the negation of f.
+func nnf(f Formula, neg bool) Formula {
+	switch t := f.(type) {
+	case Bool:
+		return Bool(bool(t) != neg)
+	case *Not:
+		return nnf(t.F, !neg)
+	case *NAry:
+		args := make([]Formula, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = nnf(a, neg)
+		}
+		if (t.Op == OpAnd) != neg {
+			return And(args...)
+		}
+		return Or(args...)
+	case *Atom:
+		return normAtom(t.E, t.Op, neg)
+	}
+	panic("lia: unknown formula node in nnf")
+}
+
+// normAtom rewrites (e op 0), negated if neg, into LE-only form.
+func normAtom(e *LinExpr, op Rel, neg bool) Formula {
+	if neg {
+		// not(e op 0) == (e negop 0)
+		switch op {
+		case LE:
+			op = GT
+		case LT:
+			op = GE
+		case GE:
+			op = LT
+		case GT:
+			op = LE
+		case EQ:
+			op = NE
+		case NE:
+			op = EQ
+		}
+	}
+	le := func(x *LinExpr) Formula {
+		if k, ok := x.IsConst(); ok {
+			return Bool(k.Sign() <= 0)
+		}
+		return &Atom{E: x, Op: LE}
+	}
+	switch op {
+	case LE:
+		return le(e.Clone())
+	case LT: // e < 0  <=>  e+1 <= 0
+		return le(e.Clone().AddConst(1))
+	case GE: // e >= 0 <=> -e <= 0
+		return le(e.Clone().Neg())
+	case GT: // e > 0  <=> -e+1 <= 0
+		return le(e.Clone().Neg().AddConst(1))
+	case EQ:
+		return And(le(e.Clone()), le(e.Clone().Neg()))
+	case NE:
+		return Or(le(e.Clone().AddConst(1)), le(e.Clone().Neg().AddConst(1)))
+	}
+	panic("lia: unknown relation")
+}
+
+// canonAtom canonicalizes the LE atom e <= 0 into a bound on a
+// GCD-reduced, sign-normalized linear combination: it returns the
+// combination (as a coefficient map), its sharing key, the integer
+// bound, and whether the bound is an upper bound (comb <= bound) or a
+// lower bound (comb >= bound).
+func canonAtom(e *LinExpr) (key string, def map[Var]*big.Int, bound *big.Int, upper bool) {
+	vars := e.Vars()
+	if len(vars) == 0 {
+		panic("lia: constant atom reached canonAtom")
+	}
+	// gcd of |coefficients|
+	g := new(big.Int).Abs(e.Coeff(vars[0]))
+	for _, v := range vars[1:] {
+		g.GCD(nil, nil, g, new(big.Int).Abs(e.Coeff(v)))
+	}
+	flip := e.Coeff(vars[0]).Sign() < 0
+	def = make(map[Var]*big.Int, len(vars))
+	for _, v := range vars {
+		c := new(big.Int).Div(e.Coeff(v), g) // exact: g divides every coeff
+		if flip {
+			c.Neg(c)
+		}
+		def[v] = c
+	}
+	k := e.ConstPart()
+	bound = new(big.Int)
+	if !flip {
+		// g*comb + k <= 0  =>  comb <= floor(-k/g)
+		bound.Neg(k)
+		floorDiv(bound, bound, g)
+		upper = true
+	} else {
+		// -g*comb + k <= 0 => comb >= ceil(k/g)
+		ceilDiv(bound, k, g)
+		upper = false
+	}
+	// Sharing key over the normalized combination.
+	ke := NewLin()
+	for v, c := range def {
+		ke.AddTerm(v, c)
+	}
+	key = ke.key()
+	return key, def, bound, upper
+}
+
+// floorDiv sets z = floor(a/b) for b > 0.
+func floorDiv(z, a, b *big.Int) *big.Int {
+	q, m := new(big.Int), new(big.Int)
+	q.QuoRem(a, b, m)
+	if m.Sign() < 0 {
+		q.Sub(q, oneInt)
+	}
+	return z.Set(q)
+}
+
+// ceilDiv sets z = ceil(a/b) for b > 0.
+func ceilDiv(z, a, b *big.Int) *big.Int {
+	q, m := new(big.Int), new(big.Int)
+	q.QuoRem(a, b, m)
+	if m.Sign() > 0 {
+		q.Add(q, oneInt)
+	}
+	return z.Set(q)
+}
+
+var oneInt = big.NewInt(1)

@@ -1,0 +1,122 @@
+package lia
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestPresolvePinsVariables(t *testing.T) {
+	p := NewPool()
+	x, y := p.Fresh("x"), p.Fresh("y")
+	// x = 3 and y = x + 2 should fully presolve; y = 5 in the model.
+	f := And(
+		EqConst(x, 3),
+		Eq(V(y), V(x).AddConst(2)),
+	)
+	ps := &presolver{}
+	g := ps.run(nnf(f, false))
+	if b, ok := g.(Bool); !ok || !bool(b) {
+		t.Fatalf("residue = %v, want true", g)
+	}
+	m := Model{}
+	ps.complete(m)
+	if m.Value(x).Int64() != 3 || m.Value(y).Int64() != 5 {
+		t.Fatalf("model x=%v y=%v", m.Value(x), m.Value(y))
+	}
+}
+
+func TestPresolveDetectsNonIntegralPin(t *testing.T) {
+	p := NewPool()
+	x := p.Fresh("x")
+	f := Eq(V(x).ScaleInt(2), Const(5))
+	ps := &presolver{}
+	g := ps.run(nnf(f, false))
+	if b, ok := g.(Bool); !ok || bool(b) {
+		t.Fatalf("2x = 5 should presolve to false, got %v", g)
+	}
+}
+
+func TestPresolveAliasChains(t *testing.T) {
+	p := NewPool()
+	a, b, c := p.Fresh("a"), p.Fresh("b"), p.Fresh("c")
+	f := And(
+		Eq(V(a), V(b)),             // a = b
+		Eq(V(b), V(c).AddConst(1)), // b = c + 1
+		EqConst(c, 10),
+	)
+	ps := &presolver{}
+	g := ps.run(nnf(f, false))
+	g = nnf(g, false)
+	g = ps.run(g)
+	m := Model{}
+	ps.complete(m)
+	if m.Value(a).Int64() != 11 || m.Value(b).Int64() != 11 {
+		t.Fatalf("a=%v b=%v c=%v; residue %v", m.Value(a), m.Value(b), m.Value(c), g)
+	}
+	_ = g
+}
+
+func TestPresolveApplyRewritesLemmas(t *testing.T) {
+	p := NewPool()
+	x, y := p.Fresh("x"), p.Fresh("y")
+	ps := &presolver{}
+	_ = ps.run(nnf(And(EqConst(x, 4), Ge(V(y), V(x))), false))
+	// A lemma over x must be rewritten through the same pins.
+	lemma := Ge(V(x), Const(5))
+	got := ps.apply(lemma)
+	if b, ok := got.(Bool); !ok || bool(b) {
+		t.Fatalf("apply: got %v, want false (4 >= 5)", got)
+	}
+}
+
+// TestPresolvePreservesSatisfiability is the key soundness property:
+// random formulas solve identically with the full pipeline (which
+// presolves) and by brute force.
+func TestPresolvePreservesSatisfiability(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	p := NewPool()
+	vars := []Var{p.Fresh("a"), p.Fresh("b"), p.Fresh("c")}
+	for iter := 0; iter < 120; iter++ {
+		var conj []Formula
+		// Mix pins, aliases and inequalities.
+		for i := 0; i < 2+rng.Intn(4); i++ {
+			v := vars[rng.Intn(len(vars))]
+			w := vars[rng.Intn(len(vars))]
+			switch rng.Intn(4) {
+			case 0:
+				conj = append(conj, EqConst(v, int64(rng.Intn(5)-2)))
+			case 1:
+				conj = append(conj, Eq(V(v), V(w).AddConst(int64(rng.Intn(3)-1))))
+			case 2:
+				conj = append(conj, Le(V(v), Const(int64(rng.Intn(5)-2))))
+			default:
+				conj = append(conj, Or(Ge(V(v), Const(1)), Le(V(w), Const(-1))))
+			}
+		}
+		for _, v := range vars {
+			conj = append(conj, Ge(V(v), Const(-3)), Le(V(v), Const(3)))
+		}
+		f := And(conj...)
+
+		want := false
+		m := Model{}
+		for a := int64(-3); a <= 3 && !want; a++ {
+			for bb := int64(-3); bb <= 3 && !want; bb++ {
+				for c := int64(-3); c <= 3 && !want; c++ {
+					m[vars[0]], m[vars[1]], m[vars[2]] = big.NewInt(a), big.NewInt(bb), big.NewInt(c)
+					if Eval(f, m) {
+						want = true
+					}
+				}
+			}
+		}
+		res, model := Solve(f, nil)
+		if (res == ResSat) != want {
+			t.Fatalf("iter %d: solver=%v brute=%v f=%s", iter, res, want, String(f, p))
+		}
+		if res == ResSat && !Eval(f, model) {
+			t.Fatalf("iter %d: model invalid", iter)
+		}
+	}
+}

@@ -1,0 +1,639 @@
+package lia
+
+import (
+	"math/big"
+	"time"
+
+	"repro/internal/sat"
+	"repro/internal/simplex"
+)
+
+// Result is the outcome of Solve.
+type Result int
+
+// Solve outcomes.
+const (
+	ResUnsat Result = iota
+	ResSat
+	ResUnknown
+)
+
+func (r Result) String() string {
+	switch r {
+	case ResUnsat:
+		return "unsat"
+	case ResSat:
+		return "sat"
+	case ResUnknown:
+		return "unknown"
+	}
+	return "?"
+}
+
+// Options tune the DPLL(T) search. The zero value selects defaults.
+type Options struct {
+	// Deadline aborts the search with ResUnknown when exceeded.
+	Deadline time.Time
+	// MaxIterations is retained for compatibility; the online engine
+	// does not use it.
+	MaxIterations int
+	// SatConflictBudget bounds conflicts per SAT call.
+	SatConflictBudget int64
+	// BBNodeBudget bounds branch-and-bound nodes per final check.
+	BBNodeBudget int
+	// PivotBudget bounds simplex pivots per consistency check.
+	PivotBudget int64
+	// OnModel, when set, screens each candidate model. Returning nil
+	// accepts the model; returning a formula rejects it and conjoins
+	// the formula as a lemma (the lemma must be satisfied by every
+	// intended solution, or Solve's answers become unsound). Used for
+	// lazy constraint generation such as connectivity cuts.
+	OnModel func(Model) Formula
+}
+
+func (o *Options) defaults() Options {
+	r := Options{}
+	if o != nil {
+		r = *o
+	}
+	if r.SatConflictBudget == 0 {
+		r.SatConflictBudget = 2000000
+	}
+	if r.BBNodeBudget == 0 {
+		r.BBNodeBudget = 6000
+	}
+	if r.PivotBudget == 0 {
+		r.PivotBudget = 2000000
+	}
+	return r
+}
+
+// Stats records search statistics of the most recent Solve call; it is
+// for diagnostics and benchmarking only and is not synchronized.
+type Stats struct {
+	Atoms           int
+	SatConflicts    int64
+	TheoryConflicts int
+	FinalChecks     int
+	FinalConflicts  int
+	Lemmas          int
+	Pivots          int64
+}
+
+// LastStats holds the statistics of the most recent Solve call.
+var LastStats Stats
+
+// atomRec is one canonical theory atom: comb <= Bound (upper) or comb
+// >= Bound (lower), where comb is identified by exprKey.
+type atomRec struct {
+	exprKey string
+	bound   *big.Int
+	upper   bool
+	satVar  int
+}
+
+type exprRec struct {
+	def  map[Var]*big.Int
+	vars []Var
+	sv   int // simplex variable (original var or slack), -1 until built
+}
+
+// dpllt is the online DPLL(T) engine: it implements sat.TheoryClient,
+// streaming atom assignments into a Dutertre–de Moura simplex whose
+// bound frames mirror the SAT decision levels, learning conflict
+// clauses from Farkas explanations, running branch-and-bound for
+// integrality plus lazy lemma generation at complete assignments.
+type dpllt struct {
+	opts  Options
+	sat   *sat.Solver
+	atoms []atomRec
+	byKey map[string]int // canonical atom key -> atom index
+	exprs map[string]*exprRec
+	vars  map[Var]bool // all theory variables
+
+	sx            *simplex.Solver
+	intVars       []int
+	intVarSet     map[int]bool
+	identityLimit int         // lia vars below this map to equal simplex ids
+	extraSv       map[Var]int // simplex ids of later-arriving variables
+	atomOfVar     map[int]int // sat var -> atom index
+
+	assertedPol []int8 // 0 unasserted, 1 true, 2 false (per atom)
+	thTrail     []int  // atom indices in assertion order
+	thLevels    []int  // thTrail marks per theory level
+
+	ps         *presolver
+	finalModel Model
+	abort      bool // pivot budget exhausted mid-search
+}
+
+// Solve decides satisfiability of the quantifier-free LIA formula f
+// over integer-valued variables. On ResSat the model satisfies f.
+func Solve(f Formula, opts *Options) (Result, Model) {
+	ps := &presolver{}
+	g := ps.run(nnf(f, false))
+	// Presolve can expose new top-level structure after substitution;
+	// re-normalize.
+	g = nnf(g, false)
+	g = ps.run(g)
+
+	if b, ok := g.(Bool); ok {
+		if !bool(b) {
+			return ResUnsat, nil
+		}
+		m := Model{}
+		ps.complete(m)
+		if !Eval(f, m) {
+			return ResUnknown, nil
+		}
+		return ResSat, m
+	}
+
+	d := &dpllt{
+		opts:  (opts).defaults(),
+		sat:   sat.New(),
+		byKey: make(map[string]int),
+		exprs: make(map[string]*exprRec),
+		vars:  make(map[Var]bool),
+		ps:    ps,
+	}
+	root := d.encode(g)
+	d.sat.AddClause(root)
+	d.sat.Budget = d.opts.SatConflictBudget
+	d.sat.Deadline = d.opts.Deadline
+	d.initSimplex()
+	d.atomOfVar = make(map[int]int, len(d.atoms))
+	for i, a := range d.atoms {
+		d.atomOfVar[a.satVar] = i
+	}
+	d.assertedPol = make([]int8, len(d.atoms))
+	d.sat.Theory = d
+
+	LastStats = Stats{Atoms: len(d.atoms)}
+	defer func() {
+		LastStats.SatConflicts = d.sat.Conflicts()
+		LastStats.Pivots = d.sx.Pivots
+	}()
+
+	switch d.sat.Solve() {
+	case sat.Unsat:
+		return ResUnsat, nil
+	case sat.Unknown:
+		return ResUnknown, nil
+	}
+	m := d.finalModel
+	if m == nil {
+		return ResUnknown, nil
+	}
+	if !Eval(f, m) {
+		// Defensive: the final model must satisfy the input.
+		return ResUnknown, nil
+	}
+	return ResSat, m
+}
+
+// --- sat.TheoryClient implementation -------------------------------
+
+// TheoryAssert streams one literal into the simplex (cheap bound-vs-
+// bound check only; pivoting happens in TheoryCheck).
+func (d *dpllt) TheoryAssert(l sat.Lit) []sat.Lit {
+	idx, ok := d.atomOfVar[l.Var()]
+	if !ok {
+		return nil
+	}
+	pol := !l.Neg()
+	d.thTrail = append(d.thTrail, idx)
+	if pol {
+		d.assertedPol[idx] = 1
+	} else {
+		d.assertedPol[idx] = 2
+	}
+	if c := d.assertAtom(idx, pol); c != nil {
+		if c.Budget {
+			d.abort = true
+			return nil
+		}
+		LastStats.TheoryConflicts++
+		return d.coreLits(c.Tags)
+	}
+	return nil
+}
+
+// TheoryCheck restores simplex feasibility at a propagation fixpoint.
+func (d *dpllt) TheoryCheck() []sat.Lit {
+	c := d.sx.Check()
+	if c == nil {
+		return nil
+	}
+	if c.Budget {
+		d.abort = true
+		return nil
+	}
+	LastStats.TheoryConflicts++
+	return d.coreLits(c.Tags)
+}
+
+// TheoryPush mirrors a new SAT decision level.
+func (d *dpllt) TheoryPush() {
+	d.sx.Push()
+	d.thLevels = append(d.thLevels, len(d.thTrail))
+}
+
+// TheoryPop undoes the n most recent levels.
+func (d *dpllt) TheoryPop(n int) {
+	for ; n > 0; n-- {
+		mark := d.thLevels[len(d.thLevels)-1]
+		d.thLevels = d.thLevels[:len(d.thLevels)-1]
+		for i := len(d.thTrail) - 1; i >= mark; i-- {
+			d.assertedPol[d.thTrail[i]] = 0
+		}
+		d.thTrail = d.thTrail[:mark]
+		d.sx.Pop()
+	}
+}
+
+// TheoryFinal runs integrality (branch and bound) and lazy lemma
+// generation on a complete assignment.
+func (d *dpllt) TheoryFinal() (sat.FinalResult, []sat.Lit) {
+	LastStats.FinalChecks++
+	if d.abort {
+		return sat.FinalUnknown, nil
+	}
+	if !d.opts.Deadline.IsZero() && time.Now().After(d.opts.Deadline) {
+		return sat.FinalUnknown, nil
+	}
+	bb := &simplex.IntSolver{S: d.sx, IntVars: d.intVars, NodeBudget: d.opts.BBNodeBudget}
+	res, model, confl := bb.Solve()
+	switch res {
+	case simplex.IntUnknown:
+		return sat.FinalUnknown, nil
+	case simplex.IntSat:
+		m := make(Model, len(model))
+		for v, x := range model {
+			if v < d.identityLimit {
+				m[Var(v)] = x
+			}
+		}
+		for v, sv := range d.extraSv {
+			if x, ok := model[sv]; ok {
+				m[v] = x
+			}
+		}
+		d.ps.complete(m)
+		if d.opts.OnModel != nil {
+			if lemma := d.opts.OnModel(m); lemma != nil {
+				if b, isBool := lemma.(Bool); !isBool || !bool(b) {
+					LastStats.Lemmas++
+					d.addLemma(d.ps.apply(lemma))
+					return sat.FinalRestart, nil
+				}
+			}
+		}
+		d.finalModel = m
+		return sat.FinalOK, nil
+	}
+	LastStats.FinalConflicts++
+	var core []int
+	if confl != nil && !confl.Tainted && len(confl.Tags) > 0 {
+		core = confl.Tags
+	} else {
+		full := make([]int, 0, len(d.thTrail))
+		for i := range d.atoms {
+			if d.assertedPol[i] != 0 {
+				full = append(full, i)
+			}
+		}
+		var hint []int
+		if confl != nil {
+			hint = confl.Tags
+		}
+		core = d.explainTainted(full, hint)
+	}
+	return sat.FinalConflict, d.coreLits(core)
+}
+
+// coreLits maps atom indices to the currently-true literals that
+// asserted them.
+func (d *dpllt) coreLits(tags []int) []sat.Lit {
+	out := make([]sat.Lit, 0, len(tags))
+	for _, t := range tags {
+		switch d.assertedPol[t] {
+		case 1:
+			out = append(out, sat.MkLit(d.atoms[t].satVar, false))
+		case 2:
+			out = append(out, sat.MkLit(d.atoms[t].satVar, true))
+		default:
+			// A tag for a bound that is not currently asserted cannot
+			// occur: simplex bounds are popped with their frames.
+			panic("lia: conflict tag for unasserted atom")
+		}
+	}
+	return out
+}
+
+// --- construction ---------------------------------------------------
+
+// svOf maps a theory variable to its simplex variable id, allocating
+// one for variables that arrived after initSimplex (lemma variables).
+func (d *dpllt) svOf(v Var) int {
+	if int(v) < d.identityLimit {
+		return int(v)
+	}
+	if sv, ok := d.extraSv[v]; ok {
+		return sv
+	}
+	sv := d.sx.NumVars()
+	d.sx.EnsureVars(sv + 1)
+	d.extraSv[v] = sv
+	d.registerIntVar(sv)
+	return sv
+}
+
+func (d *dpllt) registerIntVar(sv int) {
+	if d.intVarSet == nil {
+		d.intVarSet = make(map[int]bool)
+	}
+	if !d.intVarSet[sv] {
+		d.intVarSet[sv] = true
+		d.intVars = append(d.intVars, sv)
+	}
+}
+
+// addLemma conjoins a lazily generated lemma: it is normalized, encoded
+// incrementally into the SAT solver, and any new linear combinations
+// get simplex variables. Adding clauses resets the SAT solver (and thus
+// the theory frames) to decision level zero.
+func (d *dpllt) addLemma(lemma Formula) {
+	g := nnf(lemma, false)
+	root := d.encode(g)
+	d.sat.AddClause(root)
+	d.defineExprs()
+	for len(d.assertedPol) < len(d.atoms) {
+		d.assertedPol = append(d.assertedPol, 0)
+	}
+	for i, a := range d.atoms {
+		if _, ok := d.atomOfVar[a.satVar]; !ok {
+			d.atomOfVar[a.satVar] = i
+		}
+	}
+	for v := range d.vars {
+		if int(v) < d.identityLimit {
+			d.registerIntVar(int(v))
+		}
+	}
+}
+
+// encode performs polarity-aware (positive-only; the input is in NNF)
+// Tseitin conversion and returns the literal representing f.
+func (d *dpllt) encode(f Formula) sat.Lit {
+	switch t := f.(type) {
+	case Bool:
+		v := d.sat.NewVar()
+		d.sat.AddClause(sat.MkLit(v, !bool(t)))
+		return sat.MkLit(v, false)
+	case *Atom:
+		return sat.MkLit(d.atomVar(t.E), false)
+	case *NAry:
+		x := d.sat.NewVar()
+		xl := sat.MkLit(x, false)
+		if t.Op == OpAnd {
+			for _, a := range t.Args {
+				d.sat.AddClause(xl.Flip(), d.encode(a))
+			}
+		} else {
+			clause := make([]sat.Lit, 0, len(t.Args)+1)
+			clause = append(clause, xl.Flip())
+			for _, a := range t.Args {
+				clause = append(clause, d.encode(a))
+			}
+			d.sat.AddClause(clause...)
+		}
+		return xl
+	}
+	panic("lia: unexpected node in encode (input not in NNF?)")
+}
+
+// atomVar interns the LE atom e <= 0 and returns its SAT variable.
+func (d *dpllt) atomVar(e *LinExpr) int {
+	key, def, bound, upper := canonAtom(e)
+	full := key + "|" + bound.String()
+	if upper {
+		full += "|u"
+	} else {
+		full += "|l"
+	}
+	if i, ok := d.byKey[full]; ok {
+		return d.atoms[i].satVar
+	}
+	if _, ok := d.exprs[key]; !ok {
+		vars := make([]Var, 0, len(def))
+		for v := range def {
+			vars = append(vars, v)
+			d.vars[v] = true
+		}
+		d.exprs[key] = &exprRec{def: def, vars: vars, sv: -1}
+	}
+	v := d.sat.NewVar()
+	d.atoms = append(d.atoms, atomRec{exprKey: key, bound: bound, upper: upper, satVar: v})
+	d.byKey[full] = len(d.atoms) - 1
+	return v
+}
+
+// initSimplex builds the persistent simplex: one variable per theory
+// variable, one slack per distinct linear combination.
+func (d *dpllt) initSimplex() {
+	maxVar := -1
+	for v := range d.vars {
+		if int(v) > maxVar {
+			maxVar = int(v)
+		}
+	}
+	d.identityLimit = maxVar + 1
+	d.extraSv = make(map[Var]int)
+	d.sx = simplex.New(maxVar + 1)
+	d.sx.PivotBudget = d.opts.PivotBudget
+	d.sx.Deadline = d.opts.Deadline
+	for v := range d.vars {
+		d.registerIntVar(int(v))
+	}
+	d.defineExprs()
+}
+
+// defineExprs gives every not-yet-built linear combination a simplex
+// variable (the variable itself for single unit terms, a slack
+// otherwise). Called at init and again after lemma encoding.
+func (d *dpllt) defineExprs() {
+	for _, er := range d.exprs {
+		if er.sv >= 0 {
+			continue
+		}
+		if len(er.def) == 1 {
+			for v, c := range er.def {
+				if c.Cmp(oneInt) == 0 {
+					er.sv = d.svOf(v)
+				}
+			}
+			if er.sv >= 0 {
+				continue
+			}
+		}
+		idef := make(map[int]*big.Int, len(er.def))
+		for v, c := range er.def {
+			idef[d.svOf(v)] = c
+		}
+		er.sv = d.sx.DefineSlack(idef)
+	}
+}
+
+// assertAtom asserts atom i with the given polarity into the current
+// simplex frame.
+func (d *dpllt) assertAtom(i int, polarity bool) *simplex.Conflict {
+	a := d.atoms[i]
+	sv := d.exprs[a.exprKey].sv
+	b := new(big.Rat)
+	if polarity == a.upper {
+		// comb <= bound, or the negation of a lower bound.
+		bi := new(big.Int).Set(a.bound)
+		if !polarity {
+			bi.Sub(bi, oneInt)
+		}
+		return d.sx.AssertUpper(sv, b.SetInt(bi), i)
+	}
+	bi := new(big.Int).Set(a.bound)
+	if !polarity {
+		bi.Add(bi, oneInt)
+	}
+	return d.sx.AssertLower(sv, b.SetInt(bi), i)
+}
+
+// --- tainted-core explanation ---------------------------------------
+
+// explainTainted turns an unexplained (full assignment) integer
+// conflict into a small core: the branch-and-bound tag hint is verified
+// first; failing that, geometric-chunk deletion shrinks the full set.
+// Subset checks run on a scratch simplex so the search tableau and its
+// frames stay untouched.
+func (d *dpllt) explainTainted(core, hint []int) []int {
+	checks := 0
+	const maxChecks = 48
+	if len(hint) > 0 && len(hint) < len(core) {
+		if inf, sub := d.subsetCheck(hint); inf {
+			checks++
+			if len(sub) > 0 && len(sub) < len(hint) {
+				hint = sub
+			}
+			return d.chunkShrink(hint, maxChecks-checks)
+		}
+		checks++
+	}
+	return d.chunkShrink(core, maxChecks-checks)
+}
+
+// chunkShrink performs deletion-based core shrinking with geometrically
+// decreasing chunk sizes, adopting any smaller sub-core reported by the
+// re-checks.
+func (d *dpllt) chunkShrink(core []int, maxChecks int) []int {
+	cur := append([]int(nil), core...)
+	checks := 0
+	for chunk := (len(cur) + 1) / 2; chunk >= 1 && checks < maxChecks; chunk /= 2 {
+		for i := 0; i < len(cur) && checks < maxChecks && len(cur) > 1; {
+			end := i + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			trial := make([]int, 0, len(cur)-(end-i))
+			trial = append(trial, cur[:i]...)
+			trial = append(trial, cur[end:]...)
+			if len(trial) == 0 {
+				break
+			}
+			inf, sub := d.subsetCheck(trial)
+			checks++
+			if !inf {
+				i = end
+				continue
+			}
+			if len(sub) > 0 && len(sub) < len(trial) {
+				cur = append(cur[:0], sub...)
+				i = 0
+				continue
+			}
+			cur = trial
+		}
+	}
+	return cur
+}
+
+// subsetCheck tests integer feasibility of a subset of the currently
+// asserted atoms on a scratch simplex; when infeasible it may return a
+// smaller verified core.
+func (d *dpllt) subsetCheck(subset []int) (infeasible bool, subcore []int) {
+	maxSv := d.sx.NumVars()
+	scratch := simplex.New(maxSv)
+	scratch.PivotBudget = d.opts.PivotBudget / 4
+	scratch.Deadline = d.opts.Deadline
+	slackOf := make(map[string]int)
+	intVarsSet := make(map[int]bool)
+	one := big.NewInt(1)
+	for _, i := range subset {
+		a := d.atoms[i]
+		er := d.exprs[a.exprKey]
+		sv, ok := slackOf[a.exprKey]
+		if !ok {
+			if len(er.def) == 1 {
+				for v, c := range er.def {
+					if c.Cmp(oneInt) == 0 {
+						sv = d.svOf(v)
+						ok = true
+					}
+				}
+			}
+			if !ok {
+				idef := make(map[int]*big.Int, len(er.def))
+				for v, c := range er.def {
+					idef[d.svOf(v)] = c
+				}
+				sv = scratch.DefineSlack(idef)
+			}
+			slackOf[a.exprKey] = sv
+		}
+		for _, v := range er.vars {
+			intVarsSet[d.svOf(v)] = true
+		}
+		pol := d.assertedPol[i] == 1
+		b := new(big.Rat)
+		var c *simplex.Conflict
+		if pol == a.upper {
+			bi := new(big.Int).Set(a.bound)
+			if !pol {
+				bi.Sub(bi, one)
+			}
+			c = scratch.AssertUpper(sv, b.SetInt(bi), i)
+		} else {
+			bi := new(big.Int).Set(a.bound)
+			if !pol {
+				bi.Add(bi, one)
+			}
+			c = scratch.AssertLower(sv, b.SetInt(bi), i)
+		}
+		if c != nil {
+			if !c.Tainted {
+				return true, c.Tags
+			}
+			return true, nil
+		}
+	}
+	intVars := make([]int, 0, len(intVarsSet))
+	for v := range intVarsSet {
+		intVars = append(intVars, v)
+	}
+	bb := &simplex.IntSolver{S: scratch, IntVars: intVars, NodeBudget: d.opts.BBNodeBudget / 8}
+	res, _, c := bb.Solve()
+	if res != simplex.IntUnsat {
+		return false, nil
+	}
+	if c != nil && !c.Tainted {
+		return true, c.Tags
+	}
+	return true, nil
+}

@@ -1,0 +1,318 @@
+package lia
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func mustSat(t *testing.T, f Formula) Model {
+	t.Helper()
+	res, m := Solve(f, nil)
+	if res != ResSat {
+		t.Fatalf("Solve = %v, want sat", res)
+	}
+	if !Eval(f, m) {
+		t.Fatalf("model does not satisfy formula")
+	}
+	return m
+}
+
+func mustUnsat(t *testing.T, f Formula) {
+	t.Helper()
+	res, _ := Solve(f, nil)
+	if res != ResUnsat {
+		t.Fatalf("Solve = %v, want unsat", res)
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	mustSat(t, True)
+	mustUnsat(t, False)
+}
+
+func TestSingleAtom(t *testing.T) {
+	p := NewPool()
+	x := p.Fresh("x")
+	mustSat(t, Ge(V(x), Const(5)))
+	mustUnsat(t, And(Ge(V(x), Const(5)), Le(V(x), Const(4))))
+}
+
+func TestEquationSystem(t *testing.T) {
+	p := NewPool()
+	x, y := p.Fresh("x"), p.Fresh("y")
+	// x + y = 10, x - y = 4 -> x=7, y=3
+	f := And(
+		Eq(V(x).Add(V(y)), Const(10)),
+		Eq(V(x).Sub(V(y)), Const(4)),
+	)
+	m := mustSat(t, f)
+	if m.Int64(x) != 7 || m.Int64(y) != 3 {
+		t.Fatalf("got x=%v y=%v, want 7,3", m.Value(x), m.Value(y))
+	}
+}
+
+func TestIntegrality(t *testing.T) {
+	p := NewPool()
+	x := p.Fresh("x")
+	// 2x = 7 has no integer solution.
+	mustUnsat(t, Eq(V(x).ScaleInt(2), Const(7)))
+	// 2x+4y = 6 has solutions; 2x+4y = 7 does not.
+	y := p.Fresh("y")
+	mustSat(t, Eq(V(x).ScaleInt(2).Add(V(y).ScaleInt(4)), Const(6)))
+	mustUnsat(t, Eq(V(x).ScaleInt(2).Add(V(y).ScaleInt(4)), Const(7)))
+}
+
+func TestDisjunction(t *testing.T) {
+	p := NewPool()
+	x := p.Fresh("x")
+	f := And(
+		Or(Eq(V(x), Const(3)), Eq(V(x), Const(8))),
+		Ge(V(x), Const(5)),
+	)
+	m := mustSat(t, f)
+	if m.Int64(x) != 8 {
+		t.Fatalf("x = %v, want 8", m.Value(x))
+	}
+}
+
+func TestNotAndNe(t *testing.T) {
+	p := NewPool()
+	x := p.Fresh("x")
+	f := And(
+		Ge(V(x), Const(0)),
+		Le(V(x), Const(2)),
+		Ne(V(x), Const(0)),
+		Ne(V(x), Const(1)),
+		Ne(V(x), Const(2)),
+	)
+	mustUnsat(t, f)
+
+	g := And(
+		Ge(V(x), Const(0)),
+		Le(V(x), Const(2)),
+		Negate(Eq(V(x), Const(0))),
+		Negate(Eq(V(x), Const(1))),
+	)
+	m := mustSat(t, g)
+	if m.Int64(x) != 2 {
+		t.Fatalf("x = %v, want 2", m.Value(x))
+	}
+}
+
+func TestBigCoefficients(t *testing.T) {
+	p := NewPool()
+	x, n := p.Fresh("x"), p.Fresh("n")
+	// n = 10^25 * x, n >= 10^25, x <= 1 -> x = 1.
+	pow := new(big.Int).Exp(big.NewInt(10), big.NewInt(25), nil)
+	f := And(
+		Eq(V(n), V(x).Scale(pow)),
+		Ge(V(n), ConstBig(pow)),
+		Le(V(x), Const(1)),
+	)
+	m := mustSat(t, f)
+	if m.Value(x).Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("x = %v, want 1", m.Value(x))
+	}
+	if m.Value(n).Cmp(pow) != 0 {
+		t.Fatalf("n = %v, want 10^25", m.Value(n))
+	}
+}
+
+func TestImpliesIff(t *testing.T) {
+	p := NewPool()
+	x, y := p.Fresh("x"), p.Fresh("y")
+	f := And(
+		Implies(Ge(V(x), Const(1)), Ge(V(y), Const(10))),
+		Ge(V(x), Const(5)),
+		Le(V(y), Const(9)),
+	)
+	mustUnsat(t, f)
+
+	g := And(
+		Iff(Ge(V(x), Const(1)), Ge(V(y), Const(10))),
+		Le(V(x), Const(0)),
+		Ge(V(y), Const(10)),
+	)
+	mustUnsat(t, g)
+}
+
+func TestNestedBooleans(t *testing.T) {
+	p := NewPool()
+	x, y, z := p.Fresh("x"), p.Fresh("y"), p.Fresh("z")
+	f := And(
+		Or(
+			And(Eq(V(x), Const(1)), Eq(V(y), Const(2))),
+			And(Eq(V(x), Const(3)), Eq(V(y), Const(4))),
+		),
+		Eq(V(z), V(x).Add(V(y))),
+		Ge(V(z), Const(6)),
+	)
+	m := mustSat(t, f)
+	if m.Int64(x) != 3 || m.Int64(y) != 4 || m.Int64(z) != 7 {
+		t.Fatalf("got x=%v y=%v z=%v", m.Value(x), m.Value(y), m.Value(z))
+	}
+}
+
+func TestUnboundedDirections(t *testing.T) {
+	p := NewPool()
+	x, y := p.Fresh("x"), p.Fresh("y")
+	// x can be arbitrarily negative; formula still sat.
+	mustSat(t, And(Le(V(x), Const(-1000)), Ge(V(y).Sub(V(x)), Const(2000))))
+}
+
+// TestRandomAgainstBruteForce compares Solve against exhaustive search
+// over a small box, on random boolean combinations of linear atoms.
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := NewPool()
+	vars := []Var{p.Fresh("a"), p.Fresh("b"), p.Fresh("c")}
+
+	randAtom := func() Formula {
+		e := NewLin()
+		for _, v := range vars {
+			e.AddTermInt(v, int64(rng.Intn(5)-2))
+		}
+		e.AddConst(int64(rng.Intn(9) - 4))
+		ops := []Rel{LE, LT, GE, GT, EQ, NE}
+		f := Cmp(e, ops[rng.Intn(len(ops))], Const(0))
+		return f
+	}
+	var randFormula func(depth int) Formula
+	randFormula = func(depth int) Formula {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return randAtom()
+		}
+		n := 2 + rng.Intn(2)
+		args := make([]Formula, n)
+		for i := range args {
+			args[i] = randFormula(depth - 1)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return And(args...)
+		case 1:
+			return Or(args...)
+		default:
+			return Negate(And(args...))
+		}
+	}
+
+	for iter := 0; iter < 150; iter++ {
+		f := randFormula(2)
+		// Constrain to the box [-3,3]^3 so brute force is exact.
+		box := make([]Formula, 0, 7)
+		box = append(box, f)
+		for _, v := range vars {
+			box = append(box, Ge(V(v), Const(-3)), Le(V(v), Const(3)))
+		}
+		g := And(box...)
+
+		want := false
+		m := Model{}
+		for a := int64(-3); a <= 3 && !want; a++ {
+			for b := int64(-3); b <= 3 && !want; b++ {
+				for c := int64(-3); c <= 3 && !want; c++ {
+					m[vars[0]] = big.NewInt(a)
+					m[vars[1]] = big.NewInt(b)
+					m[vars[2]] = big.NewInt(c)
+					if Eval(g, m) {
+						want = true
+					}
+				}
+			}
+		}
+
+		res, model := Solve(g, nil)
+		if res == ResUnknown {
+			t.Fatalf("iter %d: unexpected unknown", iter)
+		}
+		if (res == ResSat) != want {
+			t.Fatalf("iter %d: solver=%v brute=%v formula=%s", iter, res, want, String(g, p))
+		}
+		if res == ResSat && !Eval(g, model) {
+			t.Fatalf("iter %d: returned model invalid", iter)
+		}
+	}
+}
+
+func TestEvalAndString(t *testing.T) {
+	p := NewPool()
+	x := p.Fresh("x")
+	f := And(Ge(V(x), Const(1)), Negate(Eq(V(x), Const(2))))
+	m := Model{x: big.NewInt(3)}
+	if !Eval(f, m) {
+		t.Errorf("Eval = false, want true")
+	}
+	m[x] = big.NewInt(2)
+	if Eval(f, m) {
+		t.Errorf("Eval = true, want false")
+	}
+	if s := String(f, p); s == "" {
+		t.Errorf("String returned empty")
+	}
+}
+
+func TestLinExprOps(t *testing.T) {
+	p := NewPool()
+	x, y := p.Fresh("x"), p.Fresh("y")
+	e := V(x).ScaleInt(3).Add(V(y)).AddConst(5) // 3x + y + 5
+	m := Model{x: big.NewInt(2), y: big.NewInt(-1)}
+	if got := e.Eval(m); got.Int64() != 10 {
+		t.Fatalf("eval = %v, want 10", got)
+	}
+	e2 := e.Clone().Sub(V(y)) // 3x + 5
+	if got := e2.Eval(m); got.Int64() != 11 {
+		t.Fatalf("eval2 = %v, want 11", got)
+	}
+	if e2.NumTerms() != 1 {
+		t.Fatalf("NumTerms = %d, want 1", e2.NumTerms())
+	}
+	// Cancelling terms.
+	e3 := V(x).Sub(V(x))
+	if k, ok := e3.IsConst(); !ok || k.Sign() != 0 {
+		t.Fatalf("x - x should be constant 0")
+	}
+}
+
+func TestCanonAtomSharing(t *testing.T) {
+	p := NewPool()
+	x, y := p.Fresh("x"), p.Fresh("y")
+	// 2x+2y <= 4 and x+y >= 5 must share the same combination key.
+	k1, _, b1, up1 := canonAtom(V(x).ScaleInt(2).Add(V(y).ScaleInt(2)).AddConst(-4))
+	k2, _, b2, up2 := canonAtom(V(x).Neg().Sub(V(y)).AddConst(5))
+	if k1 != k2 {
+		t.Fatalf("keys differ: %q vs %q", k1, k2)
+	}
+	if !up1 || b1.Int64() != 2 {
+		t.Fatalf("atom1: upper=%v bound=%v, want upper bound 2", up1, b1)
+	}
+	if up2 || b2.Int64() != 5 {
+		t.Fatalf("atom2: upper=%v bound=%v, want lower bound 5", up2, b2)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	// A formula that takes some search: magic series-like constraints.
+	p := NewPool()
+	n := 9
+	vs := make([]Var, n)
+	for i := range vs {
+		vs[i] = p.Fresh("")
+	}
+	var fs []Formula
+	sum := NewLin()
+	for i, v := range vs {
+		fs = append(fs, Ge(V(v), Const(0)), Le(V(v), Const(int64(n))))
+		sum.AddTermInt(v, int64(i+1))
+	}
+	fs = append(fs, Eq(sum, Const(int64(n*n))))
+	f := And(fs...)
+	res, m := Solve(f, nil)
+	if res != ResSat {
+		t.Fatalf("got %v", res)
+	}
+	if !Eval(f, m) {
+		t.Fatalf("bad model")
+	}
+}

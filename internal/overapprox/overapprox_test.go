@@ -1,0 +1,170 @@
+package overapprox
+
+import (
+	"testing"
+
+	"repro/internal/lia"
+	"repro/internal/regex"
+	"repro/internal/strcon"
+)
+
+// abstractStatus solves the abstraction of a prepared problem.
+func abstractStatus(t *testing.T, prob *strcon.Problem) lia.Result {
+	t.Helper()
+	prob.Prepare()
+	oa := Abstract(prob)
+	res, _ := lia.Solve(oa.Formula, &lia.Options{OnModel: oa.OnModel})
+	return res
+}
+
+func TestSoundOnSatisfiable(t *testing.T) {
+	// The abstraction must never refute a satisfiable instance.
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	y := prob.NewStrVar("y")
+	prob.Add(
+		&strcon.WordEq{L: strcon.T(strcon.TV(x), strcon.TV(y)), R: strcon.T(strcon.TC("abba"))},
+		&strcon.Membership{X: x, A: regex.MustCompile("a(b)*")},
+		&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 2)},
+	)
+	if got := abstractStatus(t, prob); got == lia.ResUnsat {
+		t.Fatal("over-approximation refuted a satisfiable instance")
+	}
+}
+
+func TestRefutesLengthConflict(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	y := prob.NewStrVar("y")
+	prob.Add(
+		&strcon.WordEq{L: strcon.T(strcon.TV(x), strcon.TV(y)), R: strcon.T(strcon.TC("ab"))},
+		&strcon.Arith{F: lia.EqConst(prob.LenVar(y), 7)},
+	)
+	if got := abstractStatus(t, prob); got != lia.ResUnsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestRefutesCharCountConflict(t *testing.T) {
+	// "1"x = x"2": the sides disagree on digit counts.
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	prob.Add(&strcon.WordEq{
+		L: strcon.T(strcon.TC("1"), strcon.TV(x)),
+		R: strcon.T(strcon.TV(x), strcon.TC("2")),
+	})
+	if got := abstractStatus(t, prob); got != lia.ResUnsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestRefutesRegexEmptiness(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	prob.Add(
+		&strcon.Membership{X: x, A: regex.MustCompile("a+")},
+		&strcon.Membership{X: x, A: regex.MustCompile("b+")},
+	)
+	if got := abstractStatus(t, prob); got != lia.ResUnsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestRefutesToNumMagnitude(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	n := prob.NewIntVar("n")
+	prob.Add(
+		&strcon.ToNum{N: n, X: x},
+		&strcon.Arith{F: lia.Ge(lia.V(n), lia.Const(1000))},
+		&strcon.Arith{F: lia.Le(lia.V(prob.LenVar(x)), lia.Const(3))},
+	)
+	if got := abstractStatus(t, prob); got != lia.ResUnsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestRefutesToNumDigitPurity(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	n := prob.NewIntVar("n")
+	prob.Add(
+		&strcon.ToNum{N: n, X: x},
+		&strcon.Arith{F: lia.Ge(lia.V(n), lia.Const(0))},
+		&strcon.Membership{X: x, A: regex.MustCompile("[a-z]+")},
+	)
+	if got := abstractStatus(t, prob); got != lia.ResUnsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestRefutesPrefixConflict(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	y := prob.NewStrVar("y")
+	z := prob.NewStrVar("z")
+	prob.Add(
+		&strcon.WordEq{L: strcon.T(strcon.TV(x)), R: strcon.T(strcon.TC("abc"), strcon.TV(y))},
+		&strcon.WordEq{L: strcon.T(strcon.TV(x)), R: strcon.T(strcon.TC("abd"), strcon.TV(z))},
+	)
+	if got := abstractStatus(t, prob); got != lia.ResUnsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestSuffixConflict(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	y := prob.NewStrVar("y")
+	z := prob.NewStrVar("z")
+	prob.Add(
+		&strcon.WordEq{L: strcon.T(strcon.TV(x)), R: strcon.T(strcon.TV(y), strcon.TC("oo"))},
+		&strcon.WordEq{L: strcon.T(strcon.TV(x)), R: strcon.T(strcon.TV(z), strcon.TC("xo"))},
+	)
+	if got := abstractStatus(t, prob); got != lia.ResUnsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestPrefixAgreementStaysSat(t *testing.T) {
+	// Compatible prefixes (one extends the other) must not be refuted.
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	y := prob.NewStrVar("y")
+	z := prob.NewStrVar("z")
+	prob.Add(
+		&strcon.WordEq{L: strcon.T(strcon.TV(x)), R: strcon.T(strcon.TC("ab"), strcon.TV(y))},
+		&strcon.WordEq{L: strcon.T(strcon.TV(x)), R: strcon.T(strcon.TC("abc"), strcon.TV(z))},
+	)
+	if got := abstractStatus(t, prob); got == lia.ResUnsat {
+		t.Fatal("compatible prefixes refuted")
+	}
+}
+
+func TestToStrRanges(t *testing.T) {
+	// Canonical numerals have no leading zeros: |x| = 3 forces n >= 100.
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	n := prob.NewIntVar("n")
+	prob.Add(
+		&strcon.ToStr{N: n, X: x},
+		&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 3)},
+		&strcon.Arith{F: lia.Le(lia.V(n), lia.Const(99))},
+	)
+	if got := abstractStatus(t, prob); got != lia.ResUnsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestDisjunctionKeepsBothBranches(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	prob.Add(&strcon.OrCon{Args: []strcon.Constraint{
+		&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 90)},
+		&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 2)},
+	}})
+	prob.Add(&strcon.Arith{F: lia.Le(lia.V(prob.LenVar(x)), lia.Const(10))})
+	if got := abstractStatus(t, prob); got == lia.ResUnsat {
+		t.Fatal("live disjunct refuted")
+	}
+}

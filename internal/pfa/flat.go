@@ -1,0 +1,214 @@
+package pfa
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alphabet"
+	"repro/internal/lia"
+)
+
+// Flat is the standard parametric flat automaton of Figure 1: a spine
+// of states, each carrying a simple cycle of character variables, with
+// bridge character variables between consecutive spine states. Constant
+// strings are represented as loop-free Flats with pinned bridges.
+type Flat struct {
+	// Loops[i] lists the cycle variables attached to spine state i, in
+	// traversal order; it may be empty (no cycle).
+	Loops [][]lia.Var
+	// Bridges[i] is the character variable between spine states i and
+	// i+1; len(Bridges) == len(Loops)-1.
+	Bridges []lia.Var
+
+	counts map[lia.Var]lia.Var
+	pins   map[lia.Var]int // pinned character values (constants)
+	pa     *PA
+}
+
+// NewFlat builds a PFA with numLoops spine states, each carrying a
+// cycle of loopLen fresh character variables, joined by fresh bridge
+// variables. All variables range over ε and the full character set.
+func NewFlat(pool *lia.Pool, numLoops, loopLen int, name string) *Flat {
+	if numLoops < 1 {
+		panic("pfa: NewFlat requires at least one spine state")
+	}
+	f := &Flat{counts: make(map[lia.Var]lia.Var)}
+	for i := 0; i < numLoops; i++ {
+		loop := make([]lia.Var, loopLen)
+		for j := range loop {
+			v := pool.Fresh(fmt.Sprintf("%s_l%d_%d", name, i, j))
+			f.counts[v] = pool.Fresh(fmt.Sprintf("#%s_l%d_%d", name, i, j))
+			loop[j] = v
+		}
+		f.Loops = append(f.Loops, loop)
+		if i+1 < numLoops {
+			b := pool.Fresh(fmt.Sprintf("%s_b%d", name, i))
+			f.counts[b] = pool.Fresh(fmt.Sprintf("#%s_b%d", name, i))
+			f.Bridges = append(f.Bridges, b)
+		}
+	}
+	f.build()
+	return f
+}
+
+// NewFreeWord builds a loop-free PFA whose spine carries k free
+// character variables: it represents exactly the words of length <= k
+// (ε assignments shorten the word). It is the restriction of choice for
+// variables whose length is pinned by the constraints, where it is
+// complete and much smaller than a loop PFA.
+func NewFreeWord(pool *lia.Pool, k int, name string) *Flat {
+	f := &Flat{counts: make(map[lia.Var]lia.Var)}
+	f.Loops = make([][]lia.Var, k+1)
+	for i := 0; i < k; i++ {
+		b := pool.Fresh(fmt.Sprintf("%s_w%d", name, i))
+		f.counts[b] = pool.Fresh(fmt.Sprintf("#%s_w%d", name, i))
+		f.Bridges = append(f.Bridges, b)
+	}
+	f.build()
+	return f
+}
+
+// NewConst builds the PFA of the constant string s: a loop-free spine
+// whose bridge variables are pinned to the characters of s.
+func NewConst(pool *lia.Pool, s string, name string) *Flat {
+	f := &Flat{counts: make(map[lia.Var]lia.Var), pins: make(map[lia.Var]int)}
+	f.Loops = make([][]lia.Var, len(s)+1)
+	for i := 0; i < len(s); i++ {
+		b := pool.Fresh(fmt.Sprintf("%s_c%d", name, i))
+		f.counts[b] = pool.Fresh(fmt.Sprintf("#%s_c%d", name, i))
+		f.Bridges = append(f.Bridges, b)
+		f.pins[b] = alphabet.Code(s[i])
+	}
+	f.build()
+	return f
+}
+
+// build materializes the parametric automaton.
+func (f *Flat) build() {
+	pa := &PA{}
+	spine := make([]int, len(f.Loops))
+	next := 0
+	alloc := func() int { next++; return next - 1 }
+	for i := range f.Loops {
+		spine[i] = alloc()
+	}
+	rng := func(v lia.Var) (int, int) {
+		if code, ok := f.pins[v]; ok {
+			return code, code
+		}
+		return -1, alphabet.MaxCode
+	}
+	for i, loop := range f.Loops {
+		if len(loop) > 0 {
+			prev := spine[i]
+			for j, v := range loop {
+				to := spine[i]
+				if j+1 < len(loop) {
+					to = alloc()
+				}
+				lo, hi := rng(v)
+				pa.Trans = append(pa.Trans, Trans{From: prev, To: to, V: v, C: f.counts[v], Lo: lo, Hi: hi})
+				prev = to
+			}
+		}
+		if i < len(f.Bridges) {
+			b := f.Bridges[i]
+			lo, hi := rng(b)
+			pa.Trans = append(pa.Trans, Trans{From: spine[i], To: spine[i+1], V: b, C: f.counts[b], Lo: lo, Hi: hi})
+		}
+	}
+	pa.NumStates = next
+	pa.Init = spine[0]
+	pa.Final = spine[len(spine)-1]
+	for v, code := range f.pins {
+		pa.Local = append(pa.Local, lia.EqConst(v, int64(code)))
+	}
+	f.pa = pa
+}
+
+// PA returns the parametric automaton of the restriction.
+func (f *Flat) PA() *PA { return f.pa }
+
+// Base returns the character domains, the flat Parikh constraints
+// (every edge of one cycle is used the same number of times; every
+// bridge exactly once), and the constant pins.
+func (f *Flat) Base() lia.Formula {
+	var conj []lia.Formula
+	for _, loop := range f.Loops {
+		for j, v := range loop {
+			conj = append(conj, domain(v)...)
+			c := f.counts[v]
+			if j == 0 {
+				conj = append(conj, lia.Ge(lia.V(c), lia.Const(0)))
+			} else {
+				conj = append(conj, lia.Eq(lia.V(c), lia.V(f.counts[loop[0]])))
+			}
+		}
+	}
+	for _, b := range f.Bridges {
+		conj = append(conj, domain(b)...)
+		conj = append(conj, lia.EqConst(f.counts[b], 1))
+	}
+	for v, code := range f.pins {
+		conj = append(conj, lia.EqConst(v, int64(code)))
+	}
+	return lia.And(conj...)
+}
+
+// domain constrains a character variable to ε or a character code.
+func domain(v lia.Var) []lia.Formula {
+	return []lia.Formula{
+		lia.Ge(lia.V(v), lia.Const(alphabet.Epsilon)),
+		lia.Le(lia.V(v), lia.Const(alphabet.MaxCode)),
+	}
+}
+
+// Count returns the Parikh counter of a character variable of f.
+func (f *Flat) Count(v lia.Var) lia.Var { return f.counts[v] }
+
+// Decode reconstructs the string from a model (Lemma 5.1): each cycle
+// contributes its (ε-filtered) word repeated by its counter; bridges
+// contribute their character when not ε.
+func (f *Flat) Decode(m lia.Model) string {
+	var b strings.Builder
+	for i, loop := range f.Loops {
+		if len(loop) > 0 {
+			k := m.Int64(f.counts[loop[0]])
+			var word []byte
+			for _, v := range loop {
+				if c := m.Int64(v); c >= 0 {
+					word = append(word, alphabet.Byte(int(c)))
+				}
+			}
+			for ; k > 0; k-- {
+				b.Write(word)
+			}
+		}
+		if i < len(f.Bridges) {
+			if c := m.Int64(f.Bridges[i]); c >= 0 {
+				b.WriteByte(alphabet.Byte(int(c)))
+			}
+		}
+	}
+	return b.String()
+}
+
+// MaxLength reports -1 when f has cycles, else the spine length.
+func (f *Flat) MaxLength() int {
+	for _, loop := range f.Loops {
+		if len(loop) > 0 {
+			return -1
+		}
+	}
+	return len(f.Bridges)
+}
+
+// AllVars returns every character variable of f (cycles then bridges).
+func (f *Flat) AllVars() []lia.Var {
+	var out []lia.Var
+	for _, loop := range f.Loops {
+		out = append(out, loop...)
+	}
+	out = append(out, f.Bridges...)
+	return out
+}

@@ -1,0 +1,190 @@
+package pfa
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"repro/internal/alphabet"
+	"repro/internal/lia"
+)
+
+// Numeric is the numeric PFA of §8 (Figure 3): a self-loop on the
+// initial state (used only for leading zeros in the numeral branch)
+// followed by a chain of m character variables. Its shape keeps the
+// integer value of the represented numeral expressible linearly — the
+// exponential components that general loop structures would induce in
+// toNum constraints never arise.
+type Numeric struct {
+	M     int
+	V0    lia.Var   // self-loop character variable
+	Chain []lia.Var // chain character variables, most significant first
+
+	counts map[lia.Var]lia.Var
+	pa     *PA
+}
+
+// NewNumeric builds a numeric PFA with m chain positions.
+func NewNumeric(pool *lia.Pool, m int, name string) *Numeric {
+	if m < 1 {
+		panic("pfa: NewNumeric requires m >= 1")
+	}
+	n := &Numeric{M: m, counts: make(map[lia.Var]lia.Var)}
+	n.V0 = pool.Fresh(name + "_v0")
+	n.counts[n.V0] = pool.Fresh("#" + name + "_v0")
+	for i := 1; i <= m; i++ {
+		v := pool.Fresh(fmt.Sprintf("%s_v%d", name, i))
+		n.counts[v] = pool.Fresh(fmt.Sprintf("#%s_v%d", name, i))
+		n.Chain = append(n.Chain, v)
+	}
+	pa := &PA{NumStates: m + 1, Init: 0, Final: m}
+	pa.Trans = append(pa.Trans, Trans{From: 0, To: 0, V: n.V0, C: n.counts[n.V0], Lo: -1, Hi: alphabet.MaxCode})
+	for i, v := range n.Chain {
+		pa.Trans = append(pa.Trans, Trans{From: i, To: i + 1, V: v, C: n.counts[v], Lo: -1, Hi: alphabet.MaxCode})
+	}
+	n.pa = pa
+	return n
+}
+
+// PA returns the parametric automaton of the restriction.
+func (n *Numeric) PA() *PA { return n.pa }
+
+// Count returns the Parikh counter of a character variable of n.
+func (n *Numeric) Count(v lia.Var) lia.Var { return n.counts[v] }
+
+// Base returns character domains and the flat Parikh constraints: the
+// chain is traversed exactly once, the self-loop any number of times.
+func (n *Numeric) Base() lia.Formula {
+	var conj []lia.Formula
+	conj = append(conj, domain(n.V0)...)
+	conj = append(conj, lia.Ge(lia.V(n.counts[n.V0]), lia.Const(0)))
+	for _, v := range n.Chain {
+		conj = append(conj, domain(v)...)
+		conj = append(conj, lia.EqConst(n.counts[v], 1))
+	}
+	return lia.And(conj...)
+}
+
+// NaN is Ψ_NaN: some chain character is a non-digit (code > 9). Note
+// that ε (-1) does not satisfy it.
+func (n *Numeric) NaN() lia.Formula {
+	var dis []lia.Formula
+	for _, v := range n.Chain {
+		dis = append(dis, lia.Ge(lia.V(v), lia.Const(10)))
+	}
+	return lia.Or(dis...)
+}
+
+// NotNaN is ¬Ψ_NaN: every chain character is a digit or ε.
+func (n *Numeric) NotNaN() lia.Formula {
+	var conj []lia.Formula
+	for _, v := range n.Chain {
+		conj = append(conj, lia.Le(lia.V(v), lia.Const(9)))
+	}
+	return lia.And(conj...)
+}
+
+// Shift is Ψ_shift: ε positions are pushed behind the least significant
+// digit, so the digits form a prefix of the chain.
+func (n *Numeric) Shift() lia.Formula {
+	var conj []lia.Formula
+	for i := 1; i < len(n.Chain); i++ {
+		conj = append(conj, lia.Implies(
+			lia.Ge(lia.V(n.Chain[i]), lia.Const(0)),
+			lia.Ge(lia.V(n.Chain[i-1]), lia.Const(0)),
+		))
+	}
+	return lia.And(conj...)
+}
+
+// ToInt is Ψ_toInt: a disjunction over the index k of the last non-ε
+// chain position, each disjunct defining the integer value nv of the
+// numeral linearly: nv = v1*10^(k-1) + ... + vk.
+func (n *Numeric) ToInt(nv lia.Var) lia.Formula {
+	var dis []lia.Formula
+	ten := big.NewInt(10)
+	for k := 1; k <= n.M; k++ {
+		var conj []lia.Formula
+		conj = append(conj, lia.Ge(lia.V(n.Chain[k-1]), lia.Const(0)))
+		if k < n.M {
+			conj = append(conj, lia.EqConst(n.Chain[k], alphabet.Epsilon))
+		}
+		sum := lia.NewLin()
+		pow := big.NewInt(1)
+		for j := k; j >= 1; j-- {
+			sum.AddTerm(n.Chain[j-1], pow)
+			pow = new(big.Int).Mul(pow, ten)
+		}
+		conj = append(conj, lia.Eq(lia.V(nv), sum))
+		dis = append(dis, lia.And(conj...))
+	}
+	return lia.Or(dis...)
+}
+
+// FlattenToNum returns the flattening of the constraint nv = toNum(x)
+// for a variable x restricted by n (paper §8, flatten_R(ϕ_s), extended
+// with the empty-string case toNum(ε) = -1 which the paper's Ψ_toInt
+// misses). The caller conjoins Base separately.
+func (n *Numeric) FlattenToNum(nv lia.Var) lia.Formula {
+	// Branch 1: not a numeral.
+	nan := lia.And(n.NaN(), lia.EqConst(nv, -1))
+	// Branch 2: a numeral 0^k d1..dj.
+	num := lia.And(
+		n.NotNaN(),
+		lia.EqConst(n.V0, 0),
+		n.Shift(),
+		n.ToInt(nv),
+	)
+	// Branch 3: the empty string (not in [0-9]+, so toNum is -1).
+	var empty []lia.Formula
+	for _, v := range n.Chain {
+		empty = append(empty, lia.EqConst(v, alphabet.Epsilon))
+	}
+	empty = append(empty, lia.EqConst(n.counts[n.V0], 0), lia.EqConst(nv, -1))
+	return lia.Or(nan, num, lia.And(empty...))
+}
+
+// Canonical constrains the decoded string to be the canonical numeral
+// of its value: no leading zeros from the self-loop, and the first
+// chain digit nonzero unless the numeral is exactly "0". Used for
+// toStr/str.from_int semantics.
+func (n *Numeric) Canonical() lia.Formula {
+	noLoop := lia.EqConst(n.counts[n.V0], 0)
+	first := n.Chain[0]
+	var singleZero []lia.Formula
+	singleZero = append(singleZero, lia.EqConst(first, 0))
+	for _, v := range n.Chain[1:] {
+		singleZero = append(singleZero, lia.EqConst(v, alphabet.Epsilon))
+	}
+	return lia.And(noLoop, lia.Or(
+		lia.Ge(lia.V(first), lia.Const(1)),
+		lia.And(singleZero...),
+	))
+}
+
+// Decode reconstructs the string from a model.
+func (n *Numeric) Decode(m lia.Model) string {
+	var b strings.Builder
+	if c := m.Int64(n.V0); c >= 0 {
+		k := m.Int64(n.counts[n.V0])
+		for ; k > 0; k-- {
+			b.WriteByte(alphabet.Byte(int(c)))
+		}
+	}
+	for _, v := range n.Chain {
+		if c := m.Int64(v); c >= 0 {
+			b.WriteByte(alphabet.Byte(int(c)))
+		}
+	}
+	return b.String()
+}
+
+// MaxLength reports -1: the self-loop makes lengths unbounded.
+func (n *Numeric) MaxLength() int { return -1 }
+
+// AllVars returns every character variable of n.
+func (n *Numeric) AllVars() []lia.Var {
+	out := []lia.Var{n.V0}
+	out = append(out, n.Chain...)
+	return out
+}

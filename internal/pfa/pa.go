@@ -1,0 +1,169 @@
+// Package pfa implements parametric automata and parametric flat
+// automata (PFA), the paper's core device (§5): finite automata whose
+// transitions are labeled with integer character variables instead of
+// concrete characters. A character variable may take any character code
+// or the value ε (encoded as -1); constraints over the variables and
+// their Parikh counters turn string reasoning into linear arithmetic.
+//
+// The package provides the standard loop-chain PFA (Figure 1), constant
+// PFAs, the numeric PFA of §8 (Figure 3), conversion of classic NFAs to
+// parametric form, concatenation, and the synchronization formula of §7
+// built on the asynchronous product.
+package pfa
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/automata"
+	"repro/internal/lia"
+)
+
+// Trans is a parametric transition: reading the character variable V
+// while moving between states. C is the Parikh counter of the
+// transition (how many times an accepting run uses it). Every
+// transition owns distinct V and C variables.
+//
+// Lo and Hi give the a-priori value range of V (a sound over-
+// approximation of the constraints in Local); the synchronization
+// product uses them to prune impossible pairings. -1 encodes ε, so a
+// free variable has range [-1, 255] and an ε-pinned one [-1, -1].
+type Trans struct {
+	From, To int
+	V        lia.Var // character variable (value in -1..255; -1 is ε)
+	C        lia.Var // Parikh counter (#V)
+	Lo, Hi   int
+}
+
+// PA is a parametric automaton with a single initial and final state.
+// Local collects interpretation constraints specific to this automaton
+// (ψ in the paper) that must accompany it into any synchronization
+// formula: character ranges for NFA conversions, ε pins for
+// concatenation bridges, character pins for constants.
+type PA struct {
+	NumStates int
+	Init      int
+	Final     int
+	Trans     []Trans
+	Local     []lia.Formula
+
+	// Anonymous marks automata whose character variables are not
+	// referenced outside the automaton (NFA conversions of regular
+	// constraints). A run may traverse one of their transitions several
+	// times reading different characters, so synchronization constrains
+	// the partner's character variable by the transition's range
+	// per product edge instead of equating the two variables (which
+	// would wrongly force all traversals to read the same character).
+	// The paper sidesteps this by giving every concrete character its
+	// own transition — the alphabet explosion it complains about;
+	// range transitions plus per-edge range constraints keep the
+	// construction small and complete.
+	Anonymous bool
+}
+
+// Chars returns the character variables of all transitions, in
+// transition order.
+func (p *PA) Chars() []lia.Var {
+	out := make([]lia.Var, len(p.Trans))
+	for i, t := range p.Trans {
+		out[i] = t.V
+	}
+	return out
+}
+
+// shift returns a structural copy with state ids offset by d. Variable
+// identities are preserved (they are global, not per-automaton).
+func (p *PA) shift(d int) *PA {
+	q := &PA{NumStates: p.NumStates, Init: p.Init + d, Final: p.Final + d, Local: p.Local}
+	q.Trans = make([]Trans, len(p.Trans))
+	for i, t := range p.Trans {
+		q.Trans[i] = Trans{From: t.From + d, To: t.To + d, V: t.V, C: t.C, Lo: t.Lo, Hi: t.Hi}
+	}
+	return q
+}
+
+// Concat connects a's final state to b's initial state with a fresh
+// ε-pinned bridge variable (paper §7, concatenation of PFAs). The
+// operand automata share their variables with the result.
+func Concat(pool *lia.Pool, a, b *PA) *PA {
+	if a.Anonymous || b.Anonymous {
+		// Concatenating an anonymous automaton would lose its
+		// per-edge range semantics in Sync.
+		panic("pfa: cannot concatenate anonymous automata")
+	}
+	bs := b.shift(a.NumStates)
+	out := &PA{
+		NumStates: a.NumStates + b.NumStates,
+		Init:      a.Init,
+		Final:     bs.Final,
+	}
+	out.Trans = append(out.Trans, a.Trans...)
+	out.Trans = append(out.Trans, bs.Trans...)
+	v := pool.Fresh("veps")
+	c := pool.Fresh("#veps")
+	out.Trans = append(out.Trans, Trans{From: a.Final, To: bs.Init, V: v, C: c, Lo: -1, Hi: -1})
+	out.Local = append(out.Local, a.Local...)
+	out.Local = append(out.Local, bs.Local...)
+	out.Local = append(out.Local, lia.EqConst(v, alphabet.Epsilon))
+	return out
+}
+
+// ConcatAll concatenates automata left to right; it panics on an empty
+// list (callers insert an ε constant for empty word terms).
+func ConcatAll(pool *lia.Pool, pas ...*PA) *PA {
+	if len(pas) == 0 {
+		panic("pfa: ConcatAll of zero automata")
+	}
+	out := pas[0]
+	for _, p := range pas[1:] {
+		out = Concat(pool, out, p)
+	}
+	return out
+}
+
+// FromNFA converts a classic automaton into a parametric one: each NFA
+// transition becomes a parametric transition over a fresh character
+// variable constrained to the transition's symbol range (ε-transitions
+// pin the variable to ε). Multiple final states are funneled into a
+// fresh single final state through ε-pinned bridges.
+func FromNFA(pool *lia.Pool, n *automata.NFA, name string) *PA {
+	out := &PA{NumStates: n.NumStates + 1, Init: n.Init, Final: n.NumStates, Anonymous: true}
+	for i, t := range n.Trans {
+		v := pool.Fresh(fmt.Sprintf("%s_t%d", name, i))
+		c := pool.Fresh(fmt.Sprintf("#%s_t%d", name, i))
+		if t.Eps {
+			out.Trans = append(out.Trans, Trans{From: t.From, To: t.To, V: v, C: c, Lo: -1, Hi: -1})
+		} else {
+			out.Trans = append(out.Trans, Trans{From: t.From, To: t.To, V: v, C: c, Lo: t.R.Lo, Hi: t.R.Hi})
+		}
+	}
+	for i, f := range n.Finals {
+		v := pool.Fresh(fmt.Sprintf("%s_f%d", name, i))
+		c := pool.Fresh(fmt.Sprintf("#%s_f%d", name, i))
+		out.Trans = append(out.Trans, Trans{From: f, To: out.Final, V: v, C: c, Lo: -1, Hi: -1})
+	}
+	return out
+}
+
+// Restriction is the common interface of the per-variable domain
+// restrictions R(x): a parametric flat automaton together with enough
+// structure to decode models back into strings (Lemma 5.1).
+type Restriction interface {
+	// PA returns the parametric automaton.
+	PA() *PA
+	// Base returns the formula that must hold globally whenever this
+	// restriction is used: character domains and the (specialized,
+	// flat) Parikh-image constraints of the automaton.
+	Base() lia.Formula
+	// Decode reconstructs the string value from a model that satisfies
+	// Base and whatever flattenings reference the restriction.
+	Decode(m lia.Model) string
+	// MaxLength returns an upper bound on the length of decoded strings
+	// when bounded, or -1 when the restriction contains loops.
+	MaxLength() int
+	// AllVars returns every character variable of the restriction.
+	AllVars() []lia.Var
+	// Count returns the Parikh counter of one of the restriction's
+	// character variables.
+	Count(v lia.Var) lia.Var
+}

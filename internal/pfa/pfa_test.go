@@ -1,0 +1,273 @@
+package pfa
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/automata"
+	"repro/internal/lia"
+	"repro/internal/regex"
+)
+
+// solveWith conjoins the formulas, solves with lazy connectivity cuts,
+// and returns the model.
+func solveWith(t *testing.T, reg *CutRegistry, fs ...lia.Formula) (lia.Result, lia.Model) {
+	t.Helper()
+	opts := &lia.Options{}
+	if reg != nil {
+		opts.OnModel = func(m lia.Model) lia.Formula { return reg.Lemmas(m) }
+	}
+	return lia.Solve(lia.And(fs...), opts)
+}
+
+func TestStandardPFAShape(t *testing.T) {
+	pool := lia.NewPool()
+	f := NewFlat(pool, 3, 2, "x")
+	if len(f.Loops) != 3 || len(f.Bridges) != 2 {
+		t.Fatalf("loops=%d bridges=%d", len(f.Loops), len(f.Bridges))
+	}
+	pa := f.PA()
+	// 3 spine states + one extra state per loop of length 2.
+	if pa.NumStates != 6 {
+		t.Fatalf("NumStates = %d, want 6", pa.NumStates)
+	}
+	// 3 loops x 2 transitions + 2 bridges.
+	if len(pa.Trans) != 8 {
+		t.Fatalf("Trans = %d, want 8", len(pa.Trans))
+	}
+	// Character variables must be distinct across transitions (flatness
+	// condition 3 of §5).
+	seen := map[lia.Var]bool{}
+	for _, tr := range pa.Trans {
+		if seen[tr.V] {
+			t.Fatalf("character variable reused")
+		}
+		seen[tr.V] = true
+	}
+}
+
+func TestConstPFADecode(t *testing.T) {
+	pool := lia.NewPool()
+	c := NewConst(pool, "hi!", "k")
+	res, m := solveWith(t, nil, c.Base())
+	if res != lia.ResSat {
+		t.Fatalf("const base unsat")
+	}
+	if got := c.Decode(m); got != "hi!" {
+		t.Fatalf("Decode = %q, want %q", got, "hi!")
+	}
+	if c.MaxLength() != 3 {
+		t.Fatalf("MaxLength = %d", c.MaxLength())
+	}
+}
+
+func TestFlatDecodeLemma51RoundTrip(t *testing.T) {
+	// Lemma 5.1: a word in the language is uniquely determined by its
+	// Parikh image (here: counts plus character values). Pin counts and
+	// values, solve, decode, and compare.
+	pool := lia.NewPool()
+	f := NewFlat(pool, 2, 2, "x")
+	var conj []lia.Formula
+	conj = append(conj, f.Base())
+	// Loop 0 = "ab" twice; bridge = "-"; loop 1 = "z" (second var ε) once.
+	l0, l1, b := f.Loops[0], f.Loops[1], f.Bridges[0]
+	conj = append(conj,
+		lia.EqConst(l0[0], int64(alphabet.Code('a'))),
+		lia.EqConst(l0[1], int64(alphabet.Code('b'))),
+		lia.EqConst(f.Count(l0[0]), 2),
+		lia.EqConst(b, int64(alphabet.Code('-'))),
+		lia.EqConst(l1[0], int64(alphabet.Code('z'))),
+		lia.EqConst(l1[1], alphabet.Epsilon),
+		lia.EqConst(f.Count(l1[0]), 1),
+	)
+	res, m := solveWith(t, nil, conj...)
+	if res != lia.ResSat {
+		t.Fatalf("unsat")
+	}
+	if got := f.Decode(m); got != "abab-z" {
+		t.Fatalf("Decode = %q, want abab-z", got)
+	}
+}
+
+func TestNumericToNumValues(t *testing.T) {
+	// For several target values, pin n and check the decoded string
+	// converts back to n.
+	for _, want := range []int64{0, 7, 10, 99, 12345, 99999} {
+		pool := lia.NewPool()
+		nu := NewNumeric(pool, 5, "x")
+		n := pool.Fresh("n")
+		res, m := solveWith(t, nil, nu.Base(), nu.FlattenToNum(n), lia.EqConst(n, want))
+		if res != lia.ResSat {
+			t.Fatalf("value %d: unsat", want)
+		}
+		s := nu.Decode(m)
+		got := new(big.Int)
+		if _, ok := got.SetString(s, 10); !ok {
+			t.Fatalf("value %d: decoded %q is not a numeral", want, s)
+		}
+		if got.Int64() != want {
+			t.Fatalf("decoded %q = %v, want %d", s, got, want)
+		}
+	}
+}
+
+func TestNumericTooManyDigits(t *testing.T) {
+	pool := lia.NewPool()
+	nu := NewNumeric(pool, 3, "x")
+	n := pool.Fresh("n")
+	// 4-digit value cannot be represented with m=3.
+	res, _ := solveWith(t, nil, nu.Base(), nu.FlattenToNum(n), lia.EqConst(n, 1234))
+	if res != lia.ResUnsat {
+		t.Fatalf("got %v, want unsat", res)
+	}
+}
+
+func TestNumericEmptyString(t *testing.T) {
+	pool := lia.NewPool()
+	nu := NewNumeric(pool, 3, "x")
+	n := pool.Fresh("n")
+	lenSum := lia.NewLin()
+	// Sum of counts of non-ε... simpler: force all chain ε and no loop.
+	var conj []lia.Formula
+	conj = append(conj, nu.Base(), nu.FlattenToNum(n))
+	for _, v := range nu.Chain {
+		conj = append(conj, lia.EqConst(v, alphabet.Epsilon))
+	}
+	conj = append(conj, lia.EqConst(nu.Count(nu.V0), 0))
+	_ = lenSum
+	res, m := solveWith(t, nil, conj...)
+	if res != lia.ResSat {
+		t.Fatalf("empty string case unsat")
+	}
+	if s := nu.Decode(m); s != "" {
+		t.Fatalf("decoded %q, want empty", s)
+	}
+	if m.Int64(n) != -1 {
+		t.Fatalf("n = %v, want -1 (toNum of empty string)", m.Value(n))
+	}
+}
+
+func TestNumericNaN(t *testing.T) {
+	pool := lia.NewPool()
+	nu := NewNumeric(pool, 4, "x")
+	n := pool.Fresh("n")
+	// Force a non-digit character in the chain.
+	res, m := solveWith(t, nil, nu.Base(), nu.FlattenToNum(n),
+		lia.EqConst(nu.Chain[0], int64(alphabet.Code('z'))))
+	if res != lia.ResSat {
+		t.Fatalf("NaN case unsat")
+	}
+	if m.Int64(n) != -1 {
+		t.Fatalf("n = %v, want -1", m.Value(n))
+	}
+	s := nu.Decode(m)
+	if !strings.Contains(s, "z") {
+		t.Fatalf("decoded %q should contain z", s)
+	}
+}
+
+func TestNumericCanonical(t *testing.T) {
+	pool := lia.NewPool()
+	nu := NewNumeric(pool, 4, "x")
+	n := pool.Fresh("n")
+	conj := []lia.Formula{
+		nu.Base(),
+		nu.NotNaN(), lia.EqConst(nu.V0, 0), nu.Shift(), nu.ToInt(n), nu.Canonical(),
+		lia.EqConst(n, 0),
+	}
+	res, m := solveWith(t, nil, conj...)
+	if res != lia.ResSat {
+		t.Fatalf("canonical 0 unsat")
+	}
+	if s := nu.Decode(m); s != "0" {
+		t.Fatalf("canonical zero decoded %q, want \"0\"", s)
+	}
+}
+
+func TestSyncEqualWords(t *testing.T) {
+	// Sync a free flat PFA against the constant "abc": decoding must
+	// give "abc".
+	pool := lia.NewPool()
+	x := NewFlat(pool, 2, 2, "x")
+	k := NewConst(pool, "abc", "k")
+	reg := &CutRegistry{}
+	sync := Sync(pool, x.PA(), k.PA(), reg)
+	res, m := solveWith(t, reg, x.Base(), k.Base(), sync)
+	if res != lia.ResSat {
+		t.Fatalf("sync with constant unsat")
+	}
+	if got := x.Decode(m); got != "abc" {
+		t.Fatalf("Decode = %q, want abc", got)
+	}
+}
+
+func TestSyncEmptyIntersection(t *testing.T) {
+	pool := lia.NewPool()
+	a := NewConst(pool, "ab", "a")
+	b := NewConst(pool, "cd", "b")
+	reg := &CutRegistry{}
+	sync := Sync(pool, a.PA(), b.PA(), reg)
+	res, _ := solveWith(t, reg, a.Base(), b.Base(), sync)
+	if res != lia.ResUnsat {
+		t.Fatalf("got %v, want unsat", res)
+	}
+}
+
+func TestSyncWithRegexPA(t *testing.T) {
+	pool := lia.NewPool()
+	x := NewFlat(pool, 2, 2, "x")
+	nfa := regex.MustCompile("(ab)+").RemoveEpsilon().Trim()
+	re := FromNFA(pool, nfa, "re")
+	reg := &CutRegistry{}
+	sync := Sync(pool, x.PA(), re, reg)
+	// Also force length 6 via counts: loop words of x.
+	res, m := solveWith(t, reg, x.Base(), sync)
+	if res != lia.ResSat {
+		t.Fatalf("unsat")
+	}
+	got := x.Decode(m)
+	if !regex.Matches(regex.MustCompile("(ab)+"), got) {
+		t.Fatalf("decoded %q not in (ab)+", got)
+	}
+}
+
+func TestConcatSharesVariables(t *testing.T) {
+	pool := lia.NewPool()
+	a := NewFlat(pool, 1, 1, "a")
+	b := NewFlat(pool, 1, 1, "b")
+	cat := Concat(pool, a.PA(), b.PA())
+	// Transition variables of the operands must appear in the result.
+	vars := map[lia.Var]bool{}
+	for _, tr := range cat.Trans {
+		vars[tr.V] = true
+	}
+	for _, tr := range a.PA().Trans {
+		if !vars[tr.V] {
+			t.Fatalf("concat lost a variable of the left operand")
+		}
+	}
+	for _, tr := range b.PA().Trans {
+		if !vars[tr.V] {
+			t.Fatalf("concat lost a variable of the right operand")
+		}
+	}
+	if cat.NumStates != a.PA().NumStates+b.PA().NumStates {
+		t.Fatalf("state count")
+	}
+}
+
+func TestFromNFAIsLanguageEquivalent(t *testing.T) {
+	// Words of the PA under satisfying interpretations = words of the NFA.
+	pool := lia.NewPool()
+	nfa := automata.Word(alphabet.Encode("ok"))
+	pa := FromNFA(pool, nfa, "w")
+	if pa.Final != nfa.NumStates {
+		t.Fatalf("final state should be the fresh funnel state")
+	}
+	// 2 word transitions + 1 funnel.
+	if len(pa.Trans) != 3 {
+		t.Fatalf("trans = %d", len(pa.Trans))
+	}
+}

@@ -1,0 +1,116 @@
+package pfa
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alphabet"
+	"repro/internal/lia"
+)
+
+func bigInt(v int64) *big.Int { return big.NewInt(v) }
+
+// TestQuickFlatDecodeRoundTrip is Lemma 5.1 as a property: any word
+// poured into a flat restriction's encoding (counts + character values)
+// decodes back to itself.
+func TestQuickFlatDecodeRoundTrip(t *testing.T) {
+	f := func(loopWord0 []byte, reps0 uint8, bridge byte, loopWord1 []byte, reps1 uint8) bool {
+		trim := func(w []byte, max int) []byte {
+			if len(w) > max {
+				return w[:max]
+			}
+			return w
+		}
+		loop0 := trim(loopWord0, 3)
+		loop1 := trim(loopWord1, 3)
+		k0 := int64(reps0 % 4)
+		k1 := int64(reps1 % 4)
+
+		pool := lia.NewPool()
+		fl := NewFlat(pool, 2, 3, "x")
+		m := lia.Model{}
+		fill := func(loopVars []lia.Var, word []byte, reps int64) string {
+			for i, v := range loopVars {
+				if i < len(word) {
+					m[v] = bigInt(int64(alphabet.Code(word[i])))
+				} else {
+					m[v] = bigInt(-1)
+				}
+				m[fl.Count(v)] = bigInt(reps)
+			}
+			var one strings.Builder
+			for i := 0; i < len(word) && i < len(loopVars); i++ {
+				one.WriteByte(word[i])
+			}
+			return strings.Repeat(one.String(), int(reps))
+		}
+		want := fill(fl.Loops[0], loop0, k0)
+		m[fl.Bridges[0]] = bigInt(int64(alphabet.Code(bridge)))
+		want += string([]byte{bridge})
+		want += fill(fl.Loops[1], loop1, k1)
+
+		return fl.Decode(m) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNumericDecode: a numeric restriction with loop count k and a
+// digit chain decodes to 0^k followed by the digits.
+func TestQuickNumericDecode(t *testing.T) {
+	f := func(digits []byte, zeros uint8) bool {
+		if len(digits) > 5 {
+			digits = digits[:5]
+		}
+		k := int64(zeros % 7)
+		pool := lia.NewPool()
+		nu := NewNumeric(pool, 5, "x")
+		m := lia.Model{
+			nu.V0:           bigInt(0),
+			nu.Count(nu.V0): bigInt(k),
+		}
+		want := strings.Repeat("0", int(k))
+		for i, v := range nu.Chain {
+			if i < len(digits) {
+				d := int64(digits[i] % 10)
+				m[v] = bigInt(d)
+				m[nu.Count(v)] = bigInt(1)
+				want += string(byte('0' + d))
+			} else {
+				m[v] = bigInt(-1)
+				m[nu.Count(v)] = bigInt(1)
+			}
+		}
+		return nu.Decode(m) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConstPFA: constant restrictions always decode to their
+// constant under any model satisfying Base.
+func TestQuickConstPFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		n := rng.Intn(8)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(' ' + rng.Intn(90))
+		}
+		s := string(b)
+		pool := lia.NewPool()
+		c := NewConst(pool, s, "k")
+		res, m := solveWith(t, nil, c.Base())
+		if res != lia.ResSat {
+			t.Fatalf("const base unsat for %q", s)
+		}
+		if got := c.Decode(m); got != s {
+			t.Fatalf("decode %q != %q", got, s)
+		}
+	}
+}

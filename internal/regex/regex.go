@@ -1,0 +1,338 @@
+// Package regex parses a practical regular-expression dialect and
+// compiles it to the NFAs of package automata (over the solver's
+// numeric alphabet). Supported syntax: literals, escapes (\d \w \s \.
+// etc.), '.', character classes with ranges and negation, grouping,
+// alternation, and the quantifiers * + ? {n} {n,} {n,m}. Matching is
+// anchored (whole-string) as is conventional for regular constraints.
+package regex
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/alphabet"
+	"repro/internal/automata"
+)
+
+// Compile parses the pattern and returns its automaton.
+func Compile(pattern string) (*automata.NFA, error) {
+	p := &parser{src: pattern}
+	n, err := p.alternation()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("regex: unexpected %q at offset %d", p.src[p.pos], p.pos)
+	}
+	return n, nil
+}
+
+// MustCompile is Compile for patterns known to be valid; it panics on
+// error and is intended for tests and generators.
+func MustCompile(pattern string) *automata.NFA {
+	n, err := Compile(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) peek() (byte, bool) {
+	if p.pos < len(p.src) {
+		return p.src[p.pos], true
+	}
+	return 0, false
+}
+
+func (p *parser) alternation() (*automata.NFA, error) {
+	n, err := p.sequence()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok || c != '|' {
+			return n, nil
+		}
+		p.pos++
+		m, err := p.sequence()
+		if err != nil {
+			return nil, err
+		}
+		n = automata.Union(n, m)
+	}
+}
+
+func (p *parser) sequence() (*automata.NFA, error) {
+	n := automata.Epsilon()
+	for {
+		c, ok := p.peek()
+		if !ok || c == '|' || c == ')' {
+			return n, nil
+		}
+		m, err := p.quantified()
+		if err != nil {
+			return nil, err
+		}
+		n = automata.Concat(n, m)
+	}
+}
+
+func (p *parser) quantified() (*automata.NFA, error) {
+	n, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return n, nil
+		}
+		switch c {
+		case '*':
+			p.pos++
+			n = automata.Star(n)
+		case '+':
+			p.pos++
+			n = automata.Plus(n)
+		case '?':
+			p.pos++
+			n = automata.Optional(n)
+		case '{':
+			min, max, err := p.bounds()
+			if err != nil {
+				return nil, err
+			}
+			n = automata.Repeat(n, min, max)
+		default:
+			return n, nil
+		}
+	}
+}
+
+// bounds parses {n}, {n,} or {n,m} starting at '{'.
+func (p *parser) bounds() (int, int, error) {
+	start := p.pos
+	p.pos++ // '{'
+	i := p.pos
+	for i < len(p.src) && p.src[i] != '}' {
+		i++
+	}
+	if i == len(p.src) {
+		return 0, 0, fmt.Errorf("regex: unterminated repetition at offset %d", start)
+	}
+	body := p.src[p.pos:i]
+	p.pos = i + 1
+	for ci := 0; ci < len(body); ci++ {
+		if !(body[ci] >= '0' && body[ci] <= '9' || body[ci] == ',') {
+			return 0, 0, fmt.Errorf("regex: bad repetition %q", body)
+		}
+	}
+	comma := -1
+	for ci := 0; ci < len(body); ci++ {
+		if body[ci] == ',' {
+			comma = ci
+			break
+		}
+	}
+	if comma == -1 {
+		n, err := strconv.Atoi(body)
+		if err != nil {
+			return 0, 0, fmt.Errorf("regex: bad repetition %q", body)
+		}
+		return n, n, nil
+	}
+	lo, err := strconv.Atoi(body[:comma])
+	if err != nil {
+		return 0, 0, fmt.Errorf("regex: bad repetition %q", body)
+	}
+	if comma == len(body)-1 {
+		return lo, -1, nil
+	}
+	hi, err := strconv.Atoi(body[comma+1:])
+	if err != nil || hi < lo {
+		return 0, 0, fmt.Errorf("regex: bad repetition %q", body)
+	}
+	return lo, hi, nil
+}
+
+func (p *parser) atom() (*automata.NFA, error) {
+	c, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("regex: unexpected end of pattern")
+	}
+	switch c {
+	case '(':
+		p.pos++
+		n, err := p.alternation()
+		if err != nil {
+			return nil, err
+		}
+		if b, ok := p.peek(); !ok || b != ')' {
+			return nil, fmt.Errorf("regex: missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return n, nil
+	case '[':
+		return p.class()
+	case '.':
+		p.pos++
+		return automata.Symbol(alphabet.AnyRange), nil
+	case '\\':
+		p.pos++
+		return p.escape()
+	case '*', '+', '?', '{', ')':
+		return nil, fmt.Errorf("regex: unexpected %q at offset %d", c, p.pos)
+	default:
+		p.pos++
+		return rangesNFA(alphabet.CodeRanges(c, c)), nil
+	}
+}
+
+func (p *parser) escape() (*automata.NFA, error) {
+	c, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("regex: dangling backslash")
+	}
+	p.pos++
+	switch c {
+	case 'd':
+		return rangesNFA(alphabet.CodeRanges('0', '9')), nil
+	case 'w':
+		rs := alphabet.CodeRanges('a', 'z')
+		rs = append(rs, alphabet.CodeRanges('A', 'Z')...)
+		rs = append(rs, alphabet.CodeRanges('0', '9')...)
+		rs = append(rs, alphabet.CodeRanges('_', '_')...)
+		return rangesNFA(rs), nil
+	case 's':
+		rs := alphabet.CodeRanges(' ', ' ')
+		rs = append(rs, alphabet.CodeRanges('\t', '\r')...)
+		return rangesNFA(rs), nil
+	case 'n':
+		return rangesNFA(alphabet.CodeRanges('\n', '\n')), nil
+	case 't':
+		return rangesNFA(alphabet.CodeRanges('\t', '\t')), nil
+	default:
+		// Escaped literal metacharacter.
+		return rangesNFA(alphabet.CodeRanges(c, c)), nil
+	}
+}
+
+// class parses a character class starting at '['.
+func (p *parser) class() (*automata.NFA, error) {
+	start := p.pos
+	p.pos++ // '['
+	negate := false
+	if c, ok := p.peek(); ok && c == '^' {
+		negate = true
+		p.pos++
+	}
+	var bytes [256]bool
+	first := true
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("regex: unterminated class at offset %d", start)
+		}
+		if c == ']' && !first {
+			p.pos++
+			break
+		}
+		first = false
+		if c == '\\' {
+			p.pos++
+			e, ok := p.peek()
+			if !ok {
+				return nil, fmt.Errorf("regex: dangling backslash in class")
+			}
+			p.pos++
+			switch e {
+			case 'd':
+				for b := '0'; b <= '9'; b++ {
+					bytes[b] = true
+				}
+			case 'w':
+				for b := 'a'; b <= 'z'; b++ {
+					bytes[b] = true
+				}
+				for b := 'A'; b <= 'Z'; b++ {
+					bytes[b] = true
+				}
+				for b := '0'; b <= '9'; b++ {
+					bytes[b] = true
+				}
+				bytes['_'] = true
+			case 'n':
+				bytes['\n'] = true
+			case 't':
+				bytes['\t'] = true
+			default:
+				bytes[e] = true
+			}
+			continue
+		}
+		p.pos++
+		// Possible range c-d.
+		if d, ok := p.peek(); ok && d == '-' {
+			if e := p.pos + 1; e < len(p.src) && p.src[e] != ']' {
+				hi := p.src[e]
+				p.pos += 2
+				if hi < c {
+					return nil, fmt.Errorf("regex: inverted range %c-%c", c, hi)
+				}
+				for b := int(c); b <= int(hi); b++ {
+					bytes[b] = true
+				}
+				continue
+			}
+		}
+		bytes[c] = true
+	}
+	if negate {
+		for i := range bytes {
+			bytes[i] = !bytes[i]
+		}
+	}
+	// Convert the byte set to maximal byte ranges, then to code ranges.
+	var rs []automata.Range
+	for b := 0; b < 256; {
+		if !bytes[b] {
+			b++
+			continue
+		}
+		e := b
+		for e+1 < 256 && bytes[e+1] {
+			e++
+		}
+		rs = append(rs, alphabet.CodeRanges(byte(b), byte(e))...)
+		b = e + 1
+	}
+	if len(rs) == 0 {
+		return automata.Empty(), nil
+	}
+	return rangesNFA(rs), nil
+}
+
+// rangesNFA returns an automaton accepting any single symbol from the
+// given code ranges.
+func rangesNFA(rs []automata.Range) *automata.NFA {
+	n := &automata.NFA{NumStates: 2, Init: 0, Finals: []int{1}}
+	for _, r := range rs {
+		n.Trans = append(n.Trans, automata.Transition{From: 0, R: r, To: 1})
+	}
+	if len(rs) == 0 {
+		return automata.Empty()
+	}
+	return n
+}
+
+// Matches reports whether the pattern (anchored) matches s; it is a
+// convenience for tests and the concrete evaluator.
+func Matches(n *automata.NFA, s string) bool {
+	return n.Accepts(alphabet.Encode(s))
+}

@@ -1,0 +1,168 @@
+package regex
+
+import (
+	"regexp"
+	"testing"
+)
+
+func match(t *testing.T, pattern, s string) bool {
+	t.Helper()
+	n, err := Compile(pattern)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", pattern, err)
+	}
+	return Matches(n, s)
+}
+
+func TestLiterals(t *testing.T) {
+	if !match(t, "abc", "abc") {
+		t.Error("abc should match abc")
+	}
+	if match(t, "abc", "ab") || match(t, "abc", "abcd") {
+		t.Error("anchored literal mismatch")
+	}
+	if !match(t, "", "") {
+		t.Error("empty pattern should match empty string")
+	}
+}
+
+func TestQuantifiers(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"a*", "", true},
+		{"a*", "aaaa", true},
+		{"a*", "ab", false},
+		{"a+", "", false},
+		{"a+", "a", true},
+		{"a?b", "b", true},
+		{"a?b", "ab", true},
+		{"a?b", "aab", false},
+		{"a{3}", "aaa", true},
+		{"a{3}", "aa", false},
+		{"a{2,4}", "aaa", true},
+		{"a{2,4}", "aaaaa", false},
+		{"a{2,}", "aaaaaaa", true},
+		{"a{2,}", "a", false},
+	}
+	for _, c := range cases {
+		if got := match(t, c.pat, c.s); got != c.want {
+			t.Errorf("%q on %q: got %v want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}
+
+func TestClassesAndDot(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"[0-9]+", "0123", true},
+		{"[0-9]+", "12a", false},
+		{"[1-9][0-9]*", "907", true},
+		{"[1-9][0-9]*", "07", false},
+		{"[abc]", "b", true},
+		{"[abc]", "d", false},
+		{"[^abc]", "d", true},
+		{"[^abc]", "a", false},
+		{"[a-z0-9_]+", "hello_42", true},
+		{".", "x", true},
+		{".", "", false},
+		{".*", "anything at all!", true},
+		{"\\d+", "314", true},
+		{"\\d+", "31a", false},
+		{"\\w+", "Az09_", true},
+		{"[.]", ".", true},
+		{"[.]", "x", false},
+		{"\\.", ".", true},
+		{"\\.", "a", false},
+		{"[-a]", "-", true},
+		{"[a-]", "-", true},
+	}
+	for _, c := range cases {
+		if got := match(t, c.pat, c.s); got != c.want {
+			t.Errorf("%q on %q: got %v want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}
+
+func TestAlternationGrouping(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"ab|cd", "ab", true},
+		{"ab|cd", "cd", true},
+		{"ab|cd", "ad", false},
+		{"(ab)+", "ababab", true},
+		{"(ab)+", "aba", false},
+		{"(a|b)*c", "abbac", true},
+		{"(a|b)*c", "abbad", false},
+		{"x(1|2|3){2}y", "x12y", true},
+		{"x(1|2|3){2}y", "x1y", false},
+	}
+	for _, c := range cases {
+		if got := match(t, c.pat, c.s); got != c.want {
+			t.Errorf("%q on %q: got %v want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}
+
+func TestIPOctetPattern(t *testing.T) {
+	// The pattern used by the LeetCode-style IP benchmarks.
+	pat := "(25[0-5]|2[0-4][0-9]|1[0-9][0-9]|[1-9][0-9]|[0-9])"
+	for i := 0; i <= 299; i++ {
+		s := itoa(i)
+		want := i <= 255
+		if got := match(t, pat, s); got != want {
+			t.Errorf("octet %q: got %v want %v", s, got, want)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{"(", ")", "a)", "(a", "[", "[a", "a{", "a{x}", "a{3,1}", "*", "+a"[0:1], "\\"}
+	for _, p := range bad {
+		if _, err := Compile(p); err == nil {
+			t.Errorf("Compile(%q) should fail", p)
+		}
+	}
+}
+
+// TestAgainstStdlib cross-validates our engine with regexp/syntax on a
+// shared dialect subset.
+func TestAgainstStdlib(t *testing.T) {
+	patterns := []string{
+		"a*b+c?",
+		"(ab|ba)*",
+		"[0-9]{1,3}",
+		"x.y",
+		"(a|bb)+(c|d)*",
+		"[a-f]+[0-9]*",
+	}
+	inputs := []string{"", "a", "b", "ab", "ba", "abba", "aabbc", "x5y", "xy", "123", "1234",
+		"abc", "cd", "bbd", "af09", "fff", "a0", "zz"}
+	for _, p := range patterns {
+		std := regexp.MustCompile("^(?:" + p + ")$")
+		n := MustCompile(p)
+		for _, in := range inputs {
+			want := std.MatchString(in)
+			if got := Matches(n, in); got != want {
+				t.Errorf("pattern %q input %q: got %v want %v", p, in, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,742 @@
+// Package sat implements a CDCL (conflict-driven clause learning)
+// boolean satisfiability solver in the MiniSat tradition: two-watched
+// literals, first-UIP conflict analysis, VSIDS variable activities,
+// phase saving, and Luby restarts.
+//
+// The string solver uses it in two roles: as the propositional engine
+// of the DPLL(T) linear-integer-arithmetic solver (package lia), and as
+// the backend of the bit-blasting baseline solver (package baseline).
+package sat
+
+import (
+	"sort"
+	"time"
+)
+
+// Lit is a literal: variable index shifted left with the low bit as
+// negation flag. Use MkLit to construct literals.
+type Lit int32
+
+// MkLit returns the literal for variable v, negated if neg is true.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Flip returns the complementary literal.
+func (l Lit) Flip() Lit { return l ^ 1 }
+
+const (
+	valUnassigned int8 = iota
+	valTrue
+	valFalse
+)
+
+type clause struct {
+	lits    []Lit
+	learnt  bool
+	act     float64
+	deleted bool
+}
+
+// FinalResult is the outcome of a theory final check.
+type FinalResult int
+
+// Theory final-check outcomes.
+const (
+	// FinalOK accepts the full assignment; Solve returns Sat.
+	FinalOK FinalResult = iota
+	// FinalConflict rejects it with a conflict clause built from the
+	// returned literals (which must all be currently true).
+	FinalConflict
+	// FinalRestart indicates the client added clauses (lazy lemmas);
+	// search continues from decision level zero.
+	FinalRestart
+	// FinalUnknown aborts the search (theory budget exhausted).
+	FinalUnknown
+)
+
+// TheoryClient is the DPLL(T) hook: the SAT solver streams literal
+// assignments to the theory as they happen, synchronizing decision
+// levels, and asks for a final check on complete assignments. All
+// conflict explanations are sets of currently-true literals whose
+// conjunction the theory refutes.
+type TheoryClient interface {
+	// TheoryAssert observes one newly assigned literal (cheap check).
+	TheoryAssert(l Lit) []Lit
+	// TheoryCheck runs the full consistency check at a propagation
+	// fixpoint.
+	TheoryCheck() []Lit
+	// TheoryPush marks a new decision level.
+	TheoryPush()
+	// TheoryPop undoes the n most recent levels.
+	TheoryPop(n int)
+	// TheoryFinal checks a complete assignment.
+	TheoryFinal() (FinalResult, []Lit)
+}
+
+// Solver is a CDCL SAT solver with an optional DPLL(T) theory hook. The
+// zero value is not ready; use New. Clauses may be added between Solve
+// calls (incremental use); the solver automatically restarts from
+// decision level zero.
+type Solver struct {
+	clauses []*clause
+	watches [][]*clause // watches[lit] = clauses watching lit
+
+	assign []int8 // per var
+	level  []int
+	reason []*clause
+	trail  []Lit
+	lim    []int // decision-level boundaries in trail
+	qhead  int
+
+	activity []float64
+	varInc   float64
+	heap     *varHeap
+	phase    []bool
+
+	ok        bool // false once a top-level conflict is derived
+	seen      []bool
+	conflicts int64
+	decisions int64
+	propags   int64
+
+	// Budget limits the number of conflicts per Solve call; 0 means
+	// unlimited. When exhausted, Solve returns Unknown.
+	Budget int64
+	// Deadline, when non-zero, aborts Solve with Unknown once passed
+	// (checked at conflicts and final checks).
+	Deadline time.Time
+	// Theory, when non-nil, receives assignments and level changes and
+	// vetoes complete assignments (DPLL(T)).
+	Theory TheoryClient
+
+	theoryHead int // trail prefix already sent to the theory
+
+	claInc float64
+}
+
+// Result is the outcome of Solve.
+type Result int
+
+// Solve outcomes.
+const (
+	Unsat Result = iota
+	Sat
+	Unknown
+)
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{ok: true, varInc: 1, claInc: 1, heap: newVarHeap()}
+}
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, valUnassigned)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.push(v, s.activity)
+	return v
+}
+
+// NumVars reports how many variables have been allocated.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NumClauses reports how many clauses are in the database.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// Conflicts reports the total number of conflicts across Solve calls.
+func (s *Solver) Conflicts() int64 { return s.conflicts }
+
+func (s *Solver) litValue(l Lit) int8 {
+	a := s.assign[l.Var()]
+	if a == valUnassigned {
+		return valUnassigned
+	}
+	if l.Neg() {
+		if a == valTrue {
+			return valFalse
+		}
+		return valTrue
+	}
+	return a
+}
+
+// AddClause adds a clause. Duplicate and false literals are removed;
+// tautologies are dropped. Adding an empty (or all-false at level 0)
+// clause makes the solver permanently unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) {
+	if !s.ok {
+		return
+	}
+	s.cancelUntil(0)
+	// Sort and dedupe; detect tautology.
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = -1
+	for _, l := range ls {
+		if l == prev {
+			continue
+		}
+		if prev >= 0 && l == prev.Flip() {
+			return // tautology
+		}
+		switch s.litValue(l) {
+		case valTrue:
+			return // already satisfied at level 0
+		case valFalse:
+			// drop false literal
+		default:
+			out = append(out, l)
+		}
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.ok = false
+		} else if s.propagate() != nil {
+			s.ok = false
+		}
+		return
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.attach(c)
+	s.clauses = append(s.clauses, c)
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Flip()] = append(s.watches[c.lits[0].Flip()], c)
+	s.watches[c.lits[1].Flip()] = append(s.watches[c.lits[1].Flip()], c)
+}
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.litValue(l) {
+	case valTrue:
+		return true
+	case valFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = valFalse
+	} else {
+		s.assign[v] = valTrue
+	}
+	s.level[v] = len(s.lim)
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation; it returns a conflicting clause
+// or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.propags++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			if confl != nil || c.deleted {
+				if !c.deleted {
+					kept = append(kept, c)
+				}
+				continue
+			}
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == p.Flip() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.litValue(c.lits[0]) == valTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Find a new watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != valFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Flip()] = append(s.watches[c.lits[1].Flip()], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, c)
+			if !s.enqueue(c.lits[0], c) {
+				confl = c
+			}
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			s.qhead = len(s.trail)
+			return confl
+		}
+	}
+	return nil
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if len(s.lim) <= lvl {
+		return
+	}
+	if s.Theory != nil {
+		s.Theory.TheoryPop(len(s.lim) - lvl)
+	}
+	for i := len(s.trail) - 1; i >= s.lim[lvl]; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.phase[v] = s.assign[v] == valTrue
+		s.assign[v] = valUnassigned
+		s.reason[v] = nil
+		if !s.heap.contains(v) {
+			s.heap.push(v, s.activity)
+		}
+	}
+	s.trail = s.trail[:s.lim[lvl]]
+	s.lim = s.lim[:lvl]
+	s.qhead = len(s.trail)
+	if s.theoryHead > len(s.trail) {
+		s.theoryHead = len(s.trail)
+	}
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v, s.activity)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, d := range s.clauses {
+			d.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// analyze computes a first-UIP learnt clause and the backjump level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot for asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	curLevel := len(s.lim)
+	var marked []int // vars with seen set, cleared at the end
+
+	for {
+		s.bumpClause(confl)
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				marked = append(marked, v)
+				s.bumpVar(v)
+				if s.level[v] >= curLevel {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Find next literal to resolve on. Resolved variables keep
+		// their seen flag so later reason clauses cannot re-introduce
+		// them; idx only moves down, so they are never revisited.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Flip()
+
+	// Clause minimization: remove literals implied by the rest.
+	out := learnt[:1]
+	for _, l := range learnt[1:] {
+		if !s.redundant(l, learnt) {
+			out = append(out, l)
+		}
+	}
+	learnt = out
+
+	for _, v := range marked {
+		s.seen[v] = false
+	}
+
+	// Backjump level: max level among learnt[1:].
+	bj := 0
+	swapIdx := -1
+	for i, l := range learnt[1:] {
+		if s.level[l.Var()] > bj {
+			bj = s.level[l.Var()]
+			swapIdx = i + 1
+		}
+	}
+	if swapIdx > 1 {
+		learnt[1], learnt[swapIdx] = learnt[swapIdx], learnt[1]
+	}
+	return learnt, bj
+}
+
+// redundant reports whether literal l in a learnt clause is implied by
+// the remaining literals (simple local minimization: l's reason clause
+// consists only of literals already in the clause or at level 0).
+func (s *Solver) redundant(l Lit, learnt []Lit) bool {
+	r := s.reason[l.Var()]
+	if r == nil {
+		return false
+	}
+	for _, q := range r.lits[1:] {
+		v := q.Var()
+		if s.level[v] == 0 {
+			continue
+		}
+		in := false
+		for _, m := range learnt {
+			if m.Var() == v {
+				in = true
+				break
+			}
+		}
+		if !in {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) decide() bool {
+	for {
+		v, ok := s.heap.pop(s.activity)
+		if !ok {
+			return false
+		}
+		if s.assign[v] == valUnassigned {
+			s.decisions++
+			s.lim = append(s.lim, len(s.trail))
+			if s.Theory != nil {
+				s.Theory.TheoryPush()
+			}
+			s.enqueue(MkLit(v, !s.phase[v]), nil)
+			return true
+		}
+	}
+}
+
+// luby returns the i-th element of the Luby restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<uint(k))-1 {
+			return int64(1) << uint(k-1)
+		}
+		if i >= int64(1)<<uint(k-1) && i < (int64(1)<<uint(k))-1 {
+			return luby(i - (int64(1) << uint(k-1)) + 1)
+		}
+	}
+}
+
+// Solve searches for a satisfying assignment consistent with the
+// theory (when one is attached). It returns Sat, Unsat, or Unknown
+// (budget or deadline exhausted, or the theory gave up).
+func (s *Solver) Solve() Result {
+	if !s.ok {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.ok = false
+		return Unsat
+	}
+	startConflicts := s.conflicts
+	var restart int64 = 1
+	restartBudget := luby(restart) * 100
+
+	for {
+		confl := s.propagate()
+		if confl == nil && s.Theory != nil {
+			confl = s.theorySync()
+		}
+		if confl == nil {
+			if s.decide() {
+				continue
+			}
+			// Complete propositionally consistent assignment.
+			if s.Theory == nil {
+				return Sat
+			}
+			res, core := s.Theory.TheoryFinal()
+			switch res {
+			case FinalOK:
+				return Sat
+			case FinalRestart:
+				s.cancelUntil(0)
+				continue
+			case FinalUnknown:
+				s.cancelUntil(0)
+				return Unknown
+			}
+			confl = s.clauseFromCore(core)
+		}
+
+		// Conflict handling. Theory clauses may lack a literal at the
+		// current decision level; backtrack to the deepest level they
+		// mention first so first-UIP analysis applies.
+		s.conflicts++
+		maxLvl := 0
+		for _, l := range confl.lits {
+			if lv := s.level[l.Var()]; lv > maxLvl {
+				maxLvl = lv
+			}
+		}
+		if maxLvl == 0 {
+			s.ok = false
+			return Unsat
+		}
+		if maxLvl < len(s.lim) {
+			s.cancelUntil(maxLvl)
+		}
+		learnt, bj := s.analyze(confl)
+		s.cancelUntil(bj)
+		if len(learnt) == 1 {
+			s.cancelUntil(0)
+			if !s.enqueue(learnt[0], nil) {
+				s.ok = false
+				return Unsat
+			}
+		} else {
+			c := &clause{lits: learnt, learnt: true, act: s.claInc}
+			s.attach(c)
+			s.clauses = append(s.clauses, c)
+			s.enqueue(learnt[0], c)
+		}
+		s.varInc /= 0.95
+		s.claInc /= 0.999
+		if s.Budget > 0 && s.conflicts-startConflicts >= s.Budget {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if !s.Deadline.IsZero() && s.conflicts%64 == 0 && time.Now().After(s.Deadline) {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if s.conflicts-startConflicts >= restartBudget {
+			restart++
+			restartBudget += luby(restart) * 100
+			s.cancelUntil(0)
+			s.reduceDB()
+		}
+	}
+}
+
+// theorySync streams newly assigned literals to the theory and runs its
+// fixpoint check, converting any reported conflict into a clause.
+func (s *Solver) theorySync() *clause {
+	advanced := false
+	for s.theoryHead < len(s.trail) {
+		l := s.trail[s.theoryHead]
+		s.theoryHead++
+		advanced = true
+		if core := s.Theory.TheoryAssert(l); core != nil {
+			return s.clauseFromCore(core)
+		}
+	}
+	if !advanced {
+		return nil
+	}
+	if core := s.Theory.TheoryCheck(); core != nil {
+		return s.clauseFromCore(core)
+	}
+	return nil
+}
+
+// clauseFromCore negates a set of currently-true literals into a
+// (falsified) conflict clause. An empty core yields the empty clause,
+// which the conflict handler turns into Unsat.
+func (s *Solver) clauseFromCore(core []Lit) *clause {
+	lits := make([]Lit, len(core))
+	for i, l := range core {
+		lits[i] = l.Flip()
+	}
+	return &clause{lits: lits}
+}
+
+// reduceDB deletes the less active half of the learnt clauses that are
+// not currently reasons, keeping binary clauses.
+func (s *Solver) reduceDB() {
+	learnts := make([]*clause, 0, len(s.clauses))
+	for _, c := range s.clauses {
+		if c.learnt && !c.deleted && len(c.lits) > 2 {
+			learnts = append(learnts, c)
+		}
+	}
+	if len(learnts) < 2000 {
+		return
+	}
+	sort.Slice(learnts, func(i, j int) bool { return learnts[i].act < learnts[j].act })
+	locked := make(map[*clause]bool)
+	for _, r := range s.reason {
+		if r != nil {
+			locked[r] = true
+		}
+	}
+	for _, c := range learnts[:len(learnts)/2] {
+		if !locked[c] {
+			c.deleted = true
+		}
+	}
+	// Compact the clause list and watch lists lazily: deleted clauses
+	// are skipped during propagation; here we drop them from s.clauses.
+	kept := s.clauses[:0]
+	for _, c := range s.clauses {
+		if !c.deleted {
+			kept = append(kept, c)
+		}
+	}
+	s.clauses = kept
+}
+
+// Value reports the assignment of variable v after a Sat result.
+func (s *Solver) Value(v int) bool {
+	return s.assign[v] == valTrue
+}
+
+// SetPhase sets the initial decision polarity of a variable (phase
+// saving overwrites it as search progresses). Callers use it to bias
+// don't-care decisions toward theory-friendly values.
+func (s *Solver) SetPhase(v int, val bool) {
+	s.phase[v] = val
+}
+
+// Fixed reports whether v is permanently assigned (at decision level
+// zero) and, if so, its value. Such assignments hold in every model of
+// the current clause set.
+func (s *Solver) Fixed(v int) (value, fixed bool) {
+	if s.assign[v] == valUnassigned || s.level[v] != 0 {
+		return false, false
+	}
+	return s.assign[v] == valTrue, true
+}
+
+// varHeap is a max-heap over variable activities.
+type varHeap struct {
+	heap []int
+	pos  []int // pos[v] = index in heap, -1 if absent
+}
+
+func newVarHeap() *varHeap { return &varHeap{} }
+
+func (h *varHeap) contains(v int) bool {
+	return v < len(h.pos) && h.pos[v] >= 0
+}
+
+func (h *varHeap) push(v int, act []float64) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = len(h.heap) - 1
+	h.up(h.pos[v], act)
+}
+
+func (h *varHeap) pop(act []float64) (int, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	v := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[v] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.pos[last] = 0
+		h.down(0, act)
+	}
+	return v, true
+}
+
+func (h *varHeap) update(v int, act []float64) {
+	if h.contains(v) {
+		h.up(h.pos[v], act)
+	}
+}
+
+func (h *varHeap) up(i int, act []float64) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if act[h.heap[p]] >= act[v] {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.pos[h.heap[i]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}
+
+func (h *varHeap) down(i int, act []float64) {
+	v := h.heap[i]
+	for {
+		c := 2*i + 1
+		if c >= len(h.heap) {
+			break
+		}
+		if c+1 < len(h.heap) && act[h.heap[c+1]] > act[h.heap[c]] {
+			c++
+		}
+		if act[h.heap[c]] <= act[v] {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.pos[h.heap[i]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}

@@ -1,0 +1,214 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEmptySolverIsSat(t *testing.T) {
+	s := New()
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve() = %v, want Sat", got)
+	}
+}
+
+func TestUnitClauses(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	s.AddClause(MkLit(b, true))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve() = %v, want Sat", got)
+	}
+	if !s.Value(a) {
+		t.Errorf("a should be true")
+	}
+	if s.Value(b) {
+		t.Errorf("b should be false")
+	}
+}
+
+func TestDirectContradiction(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	s.AddClause(MkLit(a, true))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve() = %v, want Unsat", got)
+	}
+}
+
+func TestEmptyClauseIsUnsat(t *testing.T) {
+	s := New()
+	s.AddClause()
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve() = %v, want Unsat", got)
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(a, true))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve() = %v, want Sat", got)
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	// a, a->b, b->c, c->d; then assert !d later.
+	s := New()
+	vs := make([]int, 4)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	s.AddClause(MkLit(vs[0], false))
+	for i := 0; i < 3; i++ {
+		s.AddClause(MkLit(vs[i], true), MkLit(vs[i+1], false))
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve() = %v, want Sat", got)
+	}
+	for i, v := range vs {
+		if !s.Value(v) {
+			t.Errorf("var %d should be true", i)
+		}
+	}
+	// Incremental: now forbid d.
+	s.AddClause(MkLit(vs[3], true))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("after adding !d, Solve() = %v, want Unsat", got)
+	}
+}
+
+// pigeonhole encodes n+1 pigeons in n holes (unsatisfiable).
+func pigeonhole(s *Solver, n int) {
+	p := make([][]int, n+1)
+	for i := range p {
+		p[i] = make([]int, n)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i <= n; i++ {
+		lits := make([]Lit, n)
+		for j := 0; j < n; j++ {
+			lits[j] = MkLit(p[i][j], false)
+		}
+		s.AddClause(lits...)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i <= n; i++ {
+			for k := i + 1; k <= n; k++ {
+				s.AddClause(MkLit(p[i][j], true), MkLit(p[k][j], true))
+			}
+		}
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s := New()
+		pigeonhole(s, n)
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("pigeonhole(%d) = %v, want Unsat", n, got)
+		}
+	}
+}
+
+// bruteForce checks satisfiability of a CNF by enumeration.
+func bruteForce(nvars int, cnf [][]Lit) bool {
+	for mask := 0; mask < 1<<nvars; mask++ {
+		ok := true
+		for _, cl := range cnf {
+			clauseSat := false
+			for _, l := range cl {
+				val := mask>>uint(l.Var())&1 == 1
+				if l.Neg() {
+					val = !val
+				}
+				if val {
+					clauseSat = true
+					break
+				}
+			}
+			if !clauseSat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandomCNFAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 400; iter++ {
+		nvars := 3 + rng.Intn(8)
+		nclauses := 1 + rng.Intn(30)
+		cnf := make([][]Lit, nclauses)
+		for i := range cnf {
+			width := 1 + rng.Intn(3)
+			cl := make([]Lit, width)
+			for j := range cl {
+				cl[j] = MkLit(rng.Intn(nvars), rng.Intn(2) == 0)
+			}
+			cnf[i] = cl
+		}
+		want := bruteForce(nvars, cnf)
+
+		s := New()
+		for i := 0; i < nvars; i++ {
+			s.NewVar()
+		}
+		for _, cl := range cnf {
+			s.AddClause(cl...)
+		}
+		got := s.Solve()
+		if (got == Sat) != want {
+			t.Fatalf("iter %d: solver=%v bruteforce=%v cnf=%v", iter, got, want, cnf)
+		}
+		if got == Sat {
+			// The returned model must satisfy every clause.
+			for ci, cl := range cnf {
+				sat := false
+				for _, l := range cl {
+					v := s.Value(l.Var())
+					if l.Neg() {
+						v = !v
+					}
+					if v {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("iter %d: model does not satisfy clause %d (%v)", iter, ci, cl)
+				}
+			}
+		}
+	}
+}
+
+func TestBudget(t *testing.T) {
+	s := New()
+	pigeonhole(s, 9) // hard instance
+	s.Budget = 50
+	got := s.Solve()
+	if got == Sat {
+		t.Fatalf("pigeonhole(9) reported Sat")
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package simplex
+
+import "math/big"
+
+// IntResult is the outcome of an integer feasibility search.
+type IntResult int
+
+// Branch-and-bound outcomes.
+const (
+	IntUnsat IntResult = iota
+	IntSat
+	IntUnknown
+)
+
+// IntSolver searches for an integer solution of the bounds currently
+// asserted in S by branch and bound over the rational relaxation.
+type IntSolver struct {
+	S *Solver
+	// IntVars lists the variables that must take integer values.
+	IntVars []int
+	// NodeBudget bounds the number of explored branch nodes; zero means
+	// a conservative default.
+	NodeBudget int
+
+	nodes int
+}
+
+// DefaultNodeBudget is used when IntSolver.NodeBudget is zero.
+const DefaultNodeBudget = 8000
+
+// Solve runs branch and bound. On IntSat the returned map assigns an
+// integer to every variable in IntVars. On IntUnsat the conflict
+// explains infeasibility (possibly tainted when derived under branch
+// splits). On IntUnknown the budget was exhausted.
+func (b *IntSolver) Solve() (IntResult, map[int]*big.Int, *Conflict) {
+	if b.NodeBudget == 0 {
+		b.NodeBudget = DefaultNodeBudget
+	}
+	b.nodes = 0
+	return b.rec(0)
+}
+
+func (b *IntSolver) rec(depth int) (IntResult, map[int]*big.Int, *Conflict) {
+	b.nodes++
+	if b.nodes > b.NodeBudget || depth > 512 {
+		return IntUnknown, nil, nil
+	}
+	if confl := b.S.Check(); confl != nil {
+		if confl.Budget {
+			return IntUnknown, nil, nil
+		}
+		return IntUnsat, nil, confl
+	}
+	// Find a fractional integer variable; branch on the one with the
+	// smallest id for determinism.
+	v := -1
+	for _, iv := range b.IntVars {
+		if !b.S.Value(iv).IsInt() {
+			v = iv
+			break
+		}
+	}
+	if v == -1 {
+		m := make(map[int]*big.Int, len(b.IntVars))
+		for _, iv := range b.IntVars {
+			m[iv] = new(big.Int).Set(b.S.Value(iv).Num())
+		}
+		return IntSat, m, nil
+	}
+	fl := floorRat(b.S.Value(v))
+
+	// Left branch: v <= floor.
+	b.S.Push()
+	var leftRes IntResult
+	var leftConfl *Conflict
+	var model map[int]*big.Int
+	if c := b.S.AssertUpper(v, new(big.Rat).SetInt(fl), NoTag); c != nil {
+		leftRes, leftConfl = IntUnsat, c
+	} else {
+		leftRes, model, leftConfl = b.rec(depth + 1)
+	}
+	b.S.Pop()
+	if leftRes == IntSat {
+		return IntSat, model, nil
+	}
+	if leftRes == IntUnsat && leftConfl != nil && !leftConfl.Tainted {
+		// The conflict does not involve the split bound, so it is valid
+		// globally.
+		return IntUnsat, nil, leftConfl
+	}
+
+	// Right branch: v >= floor+1.
+	ceil := new(big.Int).Add(fl, big.NewInt(1))
+	b.S.Push()
+	var rightRes IntResult
+	var rightConfl *Conflict
+	if c := b.S.AssertLower(v, new(big.Rat).SetInt(ceil), NoTag); c != nil {
+		rightRes, rightConfl = IntUnsat, c
+	} else {
+		rightRes, model, rightConfl = b.rec(depth + 1)
+	}
+	b.S.Pop()
+	if rightRes == IntSat {
+		return IntSat, model, nil
+	}
+	if rightRes == IntUnsat && rightConfl != nil && !rightConfl.Tainted {
+		return IntUnsat, nil, rightConfl
+	}
+	if leftRes == IntUnknown || rightRes == IntUnknown {
+		return IntUnknown, nil, nil
+	}
+	// Both branches infeasible but only under split bounds: merge tags
+	// as a tainted explanation.
+	merged := &Conflict{Tainted: true}
+	seen := make(map[int]bool)
+	for _, c := range []*Conflict{leftConfl, rightConfl} {
+		if c == nil {
+			continue
+		}
+		for _, t := range c.Tags {
+			if !seen[t] {
+				seen[t] = true
+				merged.Tags = append(merged.Tags, t)
+			}
+		}
+	}
+	return IntUnsat, nil, merged
+}
+
+// floorRat returns floor(r) as a big.Int.
+func floorRat(r *big.Rat) *big.Int {
+	q := new(big.Int)
+	m := new(big.Int)
+	q.QuoRem(r.Num(), r.Denom(), m)
+	if m.Sign() < 0 {
+		q.Sub(q, big.NewInt(1))
+	}
+	return q
+}

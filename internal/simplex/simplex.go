@@ -1,0 +1,549 @@
+// Package simplex implements a general simplex procedure for
+// conjunctions of linear-arithmetic bounds in the style of Dutertre and
+// de Moura ("A fast linear-arithmetic solver for DPLL(T)", CAV 2006),
+// with exact rational arithmetic, pushed/popped bound frames, Farkas-style
+// conflict explanations, and a branch-and-bound layer for integrality.
+//
+// It is the theory backend of the DPLL(T) loop in package lia.
+package simplex
+
+import (
+	"math/big"
+	"sort"
+	"time"
+)
+
+// NoTag marks bounds that do not correspond to an asserted atom (for
+// example branch-and-bound split bounds); conflicts involving such a
+// bound cannot be explained in terms of input atoms alone.
+const NoTag = -1
+
+type bound struct {
+	val *big.Rat
+	tag int
+	set bool
+}
+
+// Solver holds a simplex tableau over variables identified by small
+// integers. Create one with New, define slack variables with
+// DefineSlack, assert bounds, and call Check.
+type Solver struct {
+	n     int // number of variables
+	beta  []*big.Rat
+	lower []bound
+	upper []bound
+
+	rows map[int]map[int]*big.Rat // basic var -> coefficient map over nonbasic vars
+	cols map[int]map[int]bool     // nonbasic var -> set of basic rows containing it
+
+	// defs keeps each slack's original definition over problem
+	// variables so the tableau can be refactorized (rebuilt) when
+	// pivoting fill-in makes the rows too dense.
+	defs         map[int]map[int]*big.Int
+	baseTerms    int
+	lastRefactor int64
+
+	// Bound changes are undone through a trail so Push is O(1).
+	undo   []boundChange
+	frames []int // marks into undo
+
+	// dirty records that some basic variable may violate a bound, so
+	// Check must actually pivot. Asserting a bound on a nonbasic
+	// variable keeps the tableau feasible (the assignment is updated in
+	// place), which makes most Check calls O(1).
+	dirty bool
+
+	// Pivots counts pivot operations, for diagnostics and budgets.
+	Pivots int64
+	// PivotBudget, when positive, bounds the pivots per Check call.
+	PivotBudget int64
+	// Deadline, when non-zero, aborts Check (with a budget conflict)
+	// once passed; checked periodically during pivoting.
+	Deadline time.Time
+}
+
+type boundChange struct {
+	v     int
+	upper bool
+	old   bound
+}
+
+// New returns a solver with n problem variables (ids 0..n-1).
+func New(n int) *Solver {
+	s := &Solver{
+		n:    n,
+		rows: make(map[int]map[int]*big.Rat),
+		cols: make(map[int]map[int]bool),
+		defs: make(map[int]map[int]*big.Int),
+	}
+	s.beta = make([]*big.Rat, n)
+	s.lower = make([]bound, n)
+	s.upper = make([]bound, n)
+	for i := 0; i < n; i++ {
+		s.beta[i] = new(big.Rat)
+	}
+	return s
+}
+
+// NumVars reports the number of variables including slack variables.
+func (s *Solver) NumVars() int { return s.n }
+
+// EnsureVars grows the variable space so ids 0..n-1 are valid. New
+// variables are unbounded with value 0. Intended for callers that add
+// constraints incrementally (lazy lemmas).
+func (s *Solver) EnsureVars(n int) {
+	for s.n < n {
+		s.beta = append(s.beta, new(big.Rat))
+		s.lower = append(s.lower, bound{})
+		s.upper = append(s.upper, bound{})
+		s.n++
+	}
+}
+
+// DefineSlack introduces a new variable constrained to equal
+// sum(def[v] * v) and returns its id. The new variable starts basic.
+// The definition must be over problem variables (not other slacks) so
+// refactorization can rebuild the tableau from definitions.
+func (s *Solver) DefineSlack(def map[int]*big.Int) int {
+	id := s.n
+	s.n++
+	s.lower = append(s.lower, bound{})
+	s.upper = append(s.upper, bound{})
+	stored := make(map[int]*big.Int, len(def))
+	for v, c := range def {
+		if _, isSlack := s.defs[v]; isSlack {
+			panic("simplex: slack definition may not reference another slack")
+		}
+		stored[v] = new(big.Int).Set(c)
+	}
+	s.defs[id] = stored
+
+	row := make(map[int]*big.Rat, len(def))
+	val := new(big.Rat)
+	tmp := new(big.Rat)
+	for v, c := range def {
+		if c.Sign() == 0 {
+			continue
+		}
+		rc := new(big.Rat).SetInt(c)
+		// If v is itself basic, substitute its row.
+		if r, ok := s.rows[v]; ok {
+			for w, cw := range r {
+				addInto(row, w, tmp.Mul(rc, cw))
+			}
+		} else {
+			addInto(row, v, rc)
+		}
+	}
+	for w, cw := range row {
+		if cw.Sign() == 0 {
+			delete(row, w)
+			continue
+		}
+		val.Add(val, tmp.Mul(cw, s.beta[w]))
+		s.colAdd(w, id)
+	}
+	s.beta = append(s.beta, new(big.Rat).Set(val))
+	s.rows[id] = row
+	s.baseTerms += len(stored)
+	return id
+}
+
+// refactorize rebuilds the tableau from the slack definitions, undoing
+// accumulated pivot fill-in: every slack becomes basic again, every
+// problem variable nonbasic. Problem variables whose current value
+// drifted outside their bounds (they were basic) are clamped back,
+// propagating through the fresh rows.
+func (s *Solver) refactorize() {
+	s.rows = make(map[int]map[int]*big.Rat, len(s.defs))
+	s.cols = make(map[int]map[int]bool)
+	tmp := new(big.Rat)
+	for id, def := range s.defs {
+		row := make(map[int]*big.Rat, len(def))
+		val := new(big.Rat)
+		for v, c := range def {
+			rc := new(big.Rat).SetInt(c)
+			row[v] = rc
+			s.colAdd(v, id)
+			val.Add(val, tmp.Mul(rc, s.beta[v]))
+		}
+		s.rows[id] = row
+		s.beta[id].Set(val)
+	}
+	// Restore the nonbasic-within-bounds invariant for problem vars.
+	for v := 0; v < s.n; v++ {
+		if _, isSlack := s.defs[v]; isSlack {
+			continue
+		}
+		if s.lower[v].set && s.beta[v].Cmp(s.lower[v].val) < 0 {
+			s.update(v, s.lower[v].val)
+		} else if s.upper[v].set && s.beta[v].Cmp(s.upper[v].val) > 0 {
+			s.update(v, s.upper[v].val)
+		}
+	}
+	s.dirty = true
+}
+
+// maybeRefactorize rebuilds the tableau when fill-in has grown it far
+// beyond its definition size, at most once per pivot interval (frequent
+// rebuilds would discard useful basis progress).
+func (s *Solver) maybeRefactorize() {
+	if s.Pivots-s.lastRefactor < 2000 {
+		return
+	}
+	total := 0
+	for _, row := range s.rows {
+		total += len(row)
+	}
+	if total > 6*s.baseTerms+1024 {
+		s.refactorize()
+		s.lastRefactor = s.Pivots
+	}
+}
+
+func addInto(row map[int]*big.Rat, v int, c *big.Rat) {
+	if cur, ok := row[v]; ok {
+		cur.Add(cur, c)
+		if cur.Sign() == 0 {
+			delete(row, v)
+		}
+	} else {
+		row[v] = new(big.Rat).Set(c)
+	}
+}
+
+func (s *Solver) colAdd(v, row int) {
+	m, ok := s.cols[v]
+	if !ok {
+		m = make(map[int]bool)
+		s.cols[v] = m
+	}
+	m[row] = true
+}
+
+func (s *Solver) colDel(v, row int) {
+	if m, ok := s.cols[v]; ok {
+		delete(m, row)
+		if len(m) == 0 {
+			delete(s.cols, v)
+		}
+	}
+}
+
+// Push saves the current bound state so a later Pop can restore it.
+func (s *Solver) Push() {
+	s.frames = append(s.frames, len(s.undo))
+}
+
+// Pop restores the bounds saved by the matching Push by replaying the
+// undo trail. The tableau and assignment are unchanged (rows are
+// equivalences and the assignment satisfied the tighter bounds, hence
+// also the restored looser ones when the frame was feasible).
+func (s *Solver) Pop() {
+	mark := s.frames[len(s.frames)-1]
+	s.frames = s.frames[:len(s.frames)-1]
+	for i := len(s.undo) - 1; i >= mark; i-- {
+		c := s.undo[i]
+		if c.upper {
+			s.upper[c.v] = c.old
+		} else {
+			s.lower[c.v] = c.old
+		}
+	}
+	s.undo = s.undo[:mark]
+}
+
+// Conflict is a set of atom tags whose conjunction is infeasible. If
+// Tainted is true the conflict involves an internal bound (NoTag) and
+// the tags alone do not explain the infeasibility.
+type Conflict struct {
+	Tags    []int
+	Tainted bool
+	// Budget is true when the conflict is not a real infeasibility but
+	// an exhausted pivot budget; the caller must report unknown.
+	Budget bool
+}
+
+// AssertUpper adds the bound v <= c (tagged with the originating atom).
+// It returns a non-nil conflict if the bound contradicts the current
+// lower bound of v.
+func (s *Solver) AssertUpper(v int, c *big.Rat, tag int) *Conflict {
+	if s.lower[v].set && s.lower[v].val.Cmp(c) > 0 {
+		return s.mkConflict([]bound{s.lower[v], {val: c, tag: tag, set: true}})
+	}
+	if s.upper[v].set && s.upper[v].val.Cmp(c) <= 0 {
+		return nil // existing bound at least as tight
+	}
+	if len(s.frames) > 0 {
+		s.undo = append(s.undo, boundChange{v: v, upper: true, old: s.upper[v]})
+	}
+	s.upper[v] = bound{val: new(big.Rat).Set(c), tag: tag, set: true}
+	if _, basic := s.rows[v]; basic {
+		if s.beta[v].Cmp(c) > 0 {
+			s.dirty = true
+		}
+	} else if s.beta[v].Cmp(c) > 0 {
+		s.update(v, c)
+	}
+	return nil
+}
+
+// AssertLower adds the bound v >= c.
+func (s *Solver) AssertLower(v int, c *big.Rat, tag int) *Conflict {
+	if s.upper[v].set && s.upper[v].val.Cmp(c) < 0 {
+		return s.mkConflict([]bound{s.upper[v], {val: c, tag: tag, set: true}})
+	}
+	if s.lower[v].set && s.lower[v].val.Cmp(c) >= 0 {
+		return nil
+	}
+	if len(s.frames) > 0 {
+		s.undo = append(s.undo, boundChange{v: v, upper: false, old: s.lower[v]})
+	}
+	s.lower[v] = bound{val: new(big.Rat).Set(c), tag: tag, set: true}
+	if _, basic := s.rows[v]; basic {
+		if s.beta[v].Cmp(c) < 0 {
+			s.dirty = true
+		}
+	} else if s.beta[v].Cmp(c) < 0 {
+		s.update(v, c)
+	}
+	return nil
+}
+
+func (s *Solver) mkConflict(bs []bound) *Conflict {
+	c := &Conflict{}
+	seen := make(map[int]bool)
+	for _, b := range bs {
+		if b.tag == NoTag {
+			c.Tainted = true
+			continue
+		}
+		if !seen[b.tag] {
+			seen[b.tag] = true
+			c.Tags = append(c.Tags, b.tag)
+		}
+	}
+	sort.Ints(c.Tags)
+	return c
+}
+
+// update sets the value of nonbasic variable j to v, adjusting all
+// basic variables whose rows mention j. Adjusted basic variables may
+// leave their bounds, so the tableau is marked dirty.
+func (s *Solver) update(j int, v *big.Rat) {
+	theta := new(big.Rat).Sub(v, s.beta[j])
+	tmp := new(big.Rat)
+	for r := range s.cols[j] {
+		a := s.rows[r][j]
+		s.beta[r].Add(s.beta[r], tmp.Mul(a, theta))
+		s.dirty = true
+	}
+	s.beta[j].Set(v)
+}
+
+// pivotAndUpdate makes nonbasic j basic in place of basic i, setting
+// x_i's value to v (one of its violated bounds).
+func (s *Solver) pivotAndUpdate(i, j int, v *big.Rat) {
+	s.Pivots++
+	aij := s.rows[i][j]
+	theta := new(big.Rat).Sub(v, s.beta[i])
+	theta.Quo(theta, aij)
+	s.beta[i].Set(v)
+	s.beta[j].Add(s.beta[j], theta)
+	tmp := new(big.Rat)
+	for r := range s.cols[j] {
+		if r == i {
+			continue
+		}
+		a := s.rows[r][j]
+		s.beta[r].Add(s.beta[r], tmp.Mul(a, theta))
+	}
+	s.pivot(i, j)
+}
+
+// pivot swaps basic i with nonbasic j.
+func (s *Solver) pivot(i, j int) {
+	rowI := s.rows[i]
+	aij := rowI[j]
+	// Solve for x_j: x_j = (1/aij) x_i - sum_{k != j} (a_ik/aij) x_k.
+	newRow := make(map[int]*big.Rat, len(rowI))
+	inv := new(big.Rat).Inv(aij)
+	for k, a := range rowI {
+		if k == j {
+			continue
+		}
+		c := new(big.Rat).Mul(a, inv)
+		c.Neg(c)
+		newRow[k] = c
+		s.colDel(k, i)
+		s.colAdd(k, j)
+	}
+	newRow[i] = new(big.Rat).Set(inv)
+	s.colAdd(i, j)
+	s.colDel(j, i)
+	delete(s.rows, i)
+	s.rows[j] = newRow
+
+	// Substitute x_j's definition into every other row containing j.
+	tmp := new(big.Rat)
+	for r := range s.cols[j] {
+		if r == j {
+			continue
+		}
+		row := s.rows[r]
+		arj := row[j]
+		if arj == nil {
+			continue
+		}
+		coef := new(big.Rat).Set(arj)
+		delete(row, j)
+		s.colDel(j, r)
+		for k, c := range newRow {
+			add := tmp.Mul(coef, c)
+			if cur, ok := row[k]; ok {
+				cur.Add(cur, add)
+				if cur.Sign() == 0 {
+					delete(row, k)
+					s.colDel(k, r)
+				}
+			} else {
+				row[k] = new(big.Rat).Set(add)
+				s.colAdd(k, r)
+			}
+		}
+	}
+	// j is no longer in any column index as nonbasic.
+	delete(s.cols, j)
+	// Rebuild cols entries for j's row members done above via colAdd.
+}
+
+// Check restores feasibility of the current bounds. It returns nil on
+// success, or a conflict explaining infeasibility. On success every
+// variable's value (Value) respects its bounds.
+func (s *Solver) Check() *Conflict {
+	if !s.dirty {
+		return nil
+	}
+	s.maybeRefactorize()
+	pivotsAtStart := s.Pivots
+	// Heuristic rule (largest violation) first; pure Bland's rule after
+	// a while to guarantee termination despite potential cycling.
+	blandAfter := pivotsAtStart + 500
+	viol := new(big.Rat)
+	for {
+		if s.PivotBudget > 0 && s.Pivots-pivotsAtStart > s.PivotBudget {
+			return &Conflict{Tainted: true, Budget: true}
+		}
+		if !s.Deadline.IsZero() && s.Pivots%128 == 0 && time.Now().After(s.Deadline) {
+			return &Conflict{Tainted: true, Budget: true}
+		}
+		bland := s.Pivots >= blandAfter
+		i := -1
+		var needLower bool
+		var worst *big.Rat
+		for r := range s.rows {
+			var below bool
+			if s.lower[r].set && s.beta[r].Cmp(s.lower[r].val) < 0 {
+				below = true
+			} else if !(s.upper[r].set && s.beta[r].Cmp(s.upper[r].val) > 0) {
+				continue
+			}
+			if bland {
+				if i == -1 || r < i {
+					i, needLower = r, below
+				}
+				continue
+			}
+			if below {
+				viol.Sub(s.lower[r].val, s.beta[r])
+			} else {
+				viol.Sub(s.beta[r], s.upper[r].val)
+			}
+			if worst == nil || viol.Cmp(worst) > 0 || (viol.Cmp(worst) == 0 && r < i) {
+				if worst == nil {
+					worst = new(big.Rat)
+				}
+				worst.Set(viol)
+				i, needLower = r, below
+			}
+		}
+		if i == -1 {
+			s.dirty = false
+			return nil
+		}
+		row := s.rows[i]
+		// Eligible nonbasic selection: under Bland's rule the smallest
+		// index (termination guarantee); otherwise the one appearing in
+		// the fewest rows (Markowitz-style, minimizes pivot fill-in),
+		// with index tie-breaks for determinism.
+		j := -1
+		jCost := 0
+		for k, a := range row {
+			var ok bool
+			if needLower {
+				// x_i must increase.
+				ok = a.Sign() > 0 && (!s.upper[k].set || s.beta[k].Cmp(s.upper[k].val) < 0) ||
+					a.Sign() < 0 && (!s.lower[k].set || s.beta[k].Cmp(s.lower[k].val) > 0)
+			} else {
+				// x_i must decrease.
+				ok = a.Sign() < 0 && (!s.upper[k].set || s.beta[k].Cmp(s.upper[k].val) < 0) ||
+					a.Sign() > 0 && (!s.lower[k].set || s.beta[k].Cmp(s.lower[k].val) > 0)
+			}
+			if !ok {
+				continue
+			}
+			if bland {
+				if j == -1 || k < j {
+					j = k
+				}
+				continue
+			}
+			cost := len(s.cols[k])
+			if j == -1 || cost < jCost || (cost == jCost && k < j) {
+				j, jCost = k, cost
+			}
+		}
+		if j == -1 {
+			// Infeasible: explain with the bound of i and the blocking
+			// bounds of all row variables.
+			keys := make([]int, 0, len(row))
+			for k := range row {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			bs := make([]bound, 0, len(row)+1)
+			if needLower {
+				bs = append(bs, s.lower[i])
+			} else {
+				bs = append(bs, s.upper[i])
+			}
+			for _, k := range keys {
+				a := row[k]
+				pos := a.Sign() > 0
+				if needLower == pos {
+					bs = append(bs, s.upper[k])
+				} else {
+					bs = append(bs, s.lower[k])
+				}
+			}
+			return s.mkConflict(bs)
+		}
+		if needLower {
+			s.pivotAndUpdate(i, j, s.lower[i].val)
+		} else {
+			s.pivotAndUpdate(i, j, s.upper[i].val)
+		}
+	}
+}
+
+// Value returns the current value of variable v. Valid after a
+// successful Check.
+func (s *Solver) Value(v int) *big.Rat {
+	return s.beta[v]
+}
+
+// IsBasic reports whether v is currently basic (useful in tests).
+func (s *Solver) IsBasic(v int) bool {
+	_, ok := s.rows[v]
+	return ok
+}

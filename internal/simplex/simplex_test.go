@@ -1,0 +1,262 @@
+package simplex
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func rat(n, d int64) *big.Rat { return big.NewRat(n, d) }
+
+func TestSingleVarBounds(t *testing.T) {
+	s := New(1)
+	if c := s.AssertLower(0, rat(3, 1), 1); c != nil {
+		t.Fatalf("lower: unexpected conflict")
+	}
+	if c := s.AssertUpper(0, rat(5, 1), 2); c != nil {
+		t.Fatalf("upper: unexpected conflict")
+	}
+	if c := s.Check(); c != nil {
+		t.Fatalf("Check: unexpected conflict")
+	}
+	v := s.Value(0)
+	if v.Cmp(rat(3, 1)) < 0 || v.Cmp(rat(5, 1)) > 0 {
+		t.Fatalf("value %v out of [3,5]", v)
+	}
+	// Now contradict.
+	c := s.AssertUpper(0, rat(2, 1), 3)
+	if c == nil {
+		t.Fatalf("expected immediate bound conflict")
+	}
+	if len(c.Tags) != 2 || c.Tags[0] != 1 || c.Tags[1] != 3 {
+		t.Fatalf("conflict tags = %v, want [1 3]", c.Tags)
+	}
+}
+
+func TestSlackFeasible(t *testing.T) {
+	// x + y >= 4, x - y <= 0, x <= 1  => y >= 3, fine.
+	s := New(2)
+	sum := s.DefineSlack(map[int]*big.Int{0: big.NewInt(1), 1: big.NewInt(1)})
+	diff := s.DefineSlack(map[int]*big.Int{0: big.NewInt(1), 1: big.NewInt(-1)})
+	if c := s.AssertLower(sum, rat(4, 1), 1); c != nil {
+		t.Fatal("conflict on sum lower")
+	}
+	if c := s.AssertUpper(diff, rat(0, 1), 2); c != nil {
+		t.Fatal("conflict on diff upper")
+	}
+	if c := s.AssertUpper(0, rat(1, 1), 3); c != nil {
+		t.Fatal("conflict on x upper")
+	}
+	if c := s.Check(); c != nil {
+		t.Fatalf("Check: unexpected conflict %+v", c)
+	}
+	x, y := s.Value(0), s.Value(1)
+	got := new(big.Rat).Add(x, y)
+	if got.Cmp(rat(4, 1)) < 0 {
+		t.Errorf("x+y = %v < 4", got)
+	}
+	if new(big.Rat).Sub(x, y).Sign() > 0 {
+		t.Errorf("x-y > 0")
+	}
+}
+
+func TestSlackInfeasibleWithCore(t *testing.T) {
+	// x + y <= 1, x >= 1, y >= 1 is infeasible.
+	s := New(2)
+	sum := s.DefineSlack(map[int]*big.Int{0: big.NewInt(1), 1: big.NewInt(1)})
+	if c := s.AssertUpper(sum, rat(1, 1), 10); c != nil {
+		t.Fatal("unexpected")
+	}
+	if c := s.AssertLower(0, rat(1, 1), 11); c != nil {
+		t.Fatal("unexpected")
+	}
+	if c := s.AssertLower(1, rat(1, 1), 12); c != nil {
+		t.Fatal("unexpected")
+	}
+	c := s.Check()
+	if c == nil {
+		t.Fatalf("expected conflict")
+	}
+	if c.Tainted {
+		t.Fatalf("conflict should not be tainted")
+	}
+	// Core must mention all three bounds.
+	want := map[int]bool{10: true, 11: true, 12: true}
+	for _, tag := range c.Tags {
+		delete(want, tag)
+	}
+	if len(want) != 0 {
+		t.Errorf("core %v missing tags %v", c.Tags, want)
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	s := New(1)
+	s.AssertLower(0, rat(0, 1), 1)
+	s.Push()
+	if c := s.AssertUpper(0, rat(-5, 1), 2); c == nil {
+		t.Fatal("expected conflict inside frame")
+	}
+	s.Pop()
+	if c := s.AssertUpper(0, rat(7, 1), 3); c != nil {
+		t.Fatal("conflict after pop; bounds not restored")
+	}
+	if c := s.Check(); c != nil {
+		t.Fatal("check failed after pop")
+	}
+}
+
+func TestBranchAndBoundSimple(t *testing.T) {
+	// 2x = 3 has no integer solution: x in [3/2, 3/2].
+	s := New(1)
+	dbl := s.DefineSlack(map[int]*big.Int{0: big.NewInt(2)})
+	s.AssertLower(dbl, rat(3, 1), 1)
+	s.AssertUpper(dbl, rat(3, 1), 2)
+	b := &IntSolver{S: s, IntVars: []int{0}}
+	res, _, _ := b.Solve()
+	if res != IntUnsat {
+		t.Fatalf("2x=3 integer: got %v, want IntUnsat", res)
+	}
+}
+
+func TestBranchAndBoundFindsModel(t *testing.T) {
+	// 3x + 5y = 31, x,y >= 0: x=2,y=5 or x=7,y=2.
+	s := New(2)
+	e := s.DefineSlack(map[int]*big.Int{0: big.NewInt(3), 1: big.NewInt(5)})
+	s.AssertLower(e, rat(31, 1), 1)
+	s.AssertUpper(e, rat(31, 1), 2)
+	s.AssertLower(0, rat(0, 1), 3)
+	s.AssertLower(1, rat(0, 1), 4)
+	b := &IntSolver{S: s, IntVars: []int{0, 1}}
+	res, m, _ := b.Solve()
+	if res != IntSat {
+		t.Fatalf("got %v, want IntSat", res)
+	}
+	x, y := m[0], m[1]
+	got := new(big.Int).Add(new(big.Int).Mul(big.NewInt(3), x), new(big.Int).Mul(big.NewInt(5), y))
+	if got.Cmp(big.NewInt(31)) != 0 {
+		t.Fatalf("3*%v+5*%v = %v != 31", x, y, got)
+	}
+	if x.Sign() < 0 || y.Sign() < 0 {
+		t.Fatalf("negative solution %v %v", x, y)
+	}
+}
+
+func TestFloorRat(t *testing.T) {
+	cases := []struct {
+		n, d int64
+		want int64
+	}{
+		{7, 2, 3}, {-7, 2, -4}, {6, 3, 2}, {-6, 3, -2}, {0, 5, 0}, {1, 3, 0}, {-1, 3, -1},
+	}
+	for _, c := range cases {
+		got := floorRat(big.NewRat(c.n, c.d))
+		if got.Int64() != c.want {
+			t.Errorf("floor(%d/%d) = %v, want %d", c.n, c.d, got, c.want)
+		}
+	}
+}
+
+// TestRandomSystemsAgainstBruteForce generates small random integer
+// constraint systems with variables in [0,6] and compares branch-and-
+// bound against exhaustive enumeration.
+func TestRandomSystemsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 250; iter++ {
+		nv := 2 + rng.Intn(2) // 2..3 vars
+		type ineq struct {
+			coef []int64
+			lo   bool
+			c    int64
+		}
+		nc := 1 + rng.Intn(5)
+		sys := make([]ineq, nc)
+		for i := range sys {
+			co := make([]int64, nv)
+			for j := range co {
+				co[j] = int64(rng.Intn(7) - 3)
+			}
+			sys[i] = ineq{coef: co, lo: rng.Intn(2) == 0, c: int64(rng.Intn(15) - 5)}
+		}
+
+		// Brute force over [0,6]^nv.
+		want := false
+		var enumerate func(idx int, vals []int64)
+		found := false
+		enumerate = func(idx int, vals []int64) {
+			if found {
+				return
+			}
+			if idx == nv {
+				for _, q := range sys {
+					lhs := int64(0)
+					for j, c := range q.coef {
+						lhs += c * vals[j]
+					}
+					if q.lo && lhs < q.c {
+						return
+					}
+					if !q.lo && lhs > q.c {
+						return
+					}
+				}
+				found = true
+				return
+			}
+			for v := int64(0); v <= 6; v++ {
+				vals[idx] = v
+				enumerate(idx+1, vals)
+			}
+		}
+		enumerate(0, make([]int64, nv))
+		want = found
+
+		s := New(nv)
+		intVars := make([]int, nv)
+		for j := 0; j < nv; j++ {
+			intVars[j] = j
+			s.AssertLower(j, rat(0, 1), 100+j)
+			s.AssertUpper(j, rat(6, 1), 200+j)
+		}
+		bad := false
+		for qi, q := range sys {
+			def := make(map[int]*big.Int)
+			for j, c := range q.coef {
+				if c != 0 {
+					def[j] = big.NewInt(c)
+				}
+			}
+			var sv int
+			if len(def) == 0 {
+				// Constant zero expression: check directly.
+				if q.lo && 0 < q.c || !q.lo && 0 > q.c {
+					bad = true
+				}
+				continue
+			}
+			sv = s.DefineSlack(def)
+			var confl *Conflict
+			if q.lo {
+				confl = s.AssertLower(sv, rat(q.c, 1), 300+qi)
+			} else {
+				confl = s.AssertUpper(sv, rat(q.c, 1), 300+qi)
+			}
+			if confl != nil {
+				bad = true
+			}
+		}
+		var res IntResult
+		if bad {
+			res = IntUnsat
+		} else {
+			b := &IntSolver{S: s, IntVars: intVars}
+			res, _, _ = b.Solve()
+		}
+		if res == IntUnknown {
+			continue // budget; rare on these sizes
+		}
+		if (res == IntSat) != want {
+			t.Fatalf("iter %d: simplex=%v brute=%v system=%+v", iter, res, want, sys)
+		}
+	}
+}

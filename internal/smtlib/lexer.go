@@ -1,0 +1,209 @@
+// Package smtlib implements a reader and writer for the SMT-LIB 2
+// fragment used by string-solving benchmarks (QF_S / QF_SLIA): sorts
+// Bool, Int and String; the core boolean connectives; linear integer
+// arithmetic; and the string operations str.++, str.len, str.at,
+// str.substr, str.prefixof, str.suffixof, str.contains, str.in_re
+// (with the re.* algebra), str.to_int and str.from_int (including the
+// older str.to.int/str.from.int spellings used by legacy benchmarks).
+package smtlib
+
+import (
+	"fmt"
+	"strings"
+)
+
+// node is an S-expression: either an atom or a list.
+type node struct {
+	atom string
+	str  bool // atom is a string literal (quotes removed, unescaped)
+	list []*node
+	line int
+}
+
+func (n *node) isAtom(s string) bool {
+	return n != nil && n.list == nil && !n.str && n.atom == s
+}
+
+func (n *node) String() string {
+	if n.list == nil {
+		if n.str {
+			return `"` + n.atom + `"`
+		}
+		return n.atom
+	}
+	parts := make([]string, len(n.list))
+	for i, c := range n.list {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// parseSExprs tokenizes and parses a whole file into top-level forms.
+func parseSExprs(src string) ([]*node, error) {
+	p := &sparser{src: src, line: 1}
+	var out []*node
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return out, nil
+		}
+		n, err := p.sexpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+}
+
+type sparser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *sparser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.pos++
+		case c == ';':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *sparser) sexpr() (*node, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("line %d: unexpected end of input", p.line)
+	}
+	line := p.line
+	switch c := p.src[p.pos]; {
+	case c == '(':
+		p.pos++
+		out := &node{list: []*node{}, line: line}
+		for {
+			p.skipSpace()
+			if p.pos >= len(p.src) {
+				return nil, fmt.Errorf("line %d: unterminated list", line)
+			}
+			if p.src[p.pos] == ')' {
+				p.pos++
+				return out, nil
+			}
+			child, err := p.sexpr()
+			if err != nil {
+				return nil, err
+			}
+			out.list = append(out.list, child)
+		}
+	case c == ')':
+		return nil, fmt.Errorf("line %d: unexpected ')'", line)
+	case c == '"':
+		p.pos++
+		var b strings.Builder
+		for {
+			if p.pos >= len(p.src) {
+				return nil, fmt.Errorf("line %d: unterminated string literal", line)
+			}
+			ch := p.src[p.pos]
+			if ch == '"' {
+				// SMT-LIB escapes a quote by doubling it.
+				if p.pos+1 < len(p.src) && p.src[p.pos+1] == '"' {
+					b.WriteByte('"')
+					p.pos += 2
+					continue
+				}
+				p.pos++
+				return &node{atom: unescape(b.String()), str: true, line: line}, nil
+			}
+			if ch == '\n' {
+				p.line++
+			}
+			b.WriteByte(ch)
+			p.pos++
+		}
+	case c == '|':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '|' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("line %d: unterminated quoted symbol", line)
+		}
+		sym := p.src[start:p.pos]
+		p.pos++
+		return &node{atom: sym, line: line}, nil
+	default:
+		start := p.pos
+		for p.pos < len(p.src) {
+			ch := p.src[p.pos]
+			if ch == '(' || ch == ')' || ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r' || ch == ';' || ch == '"' {
+				break
+			}
+			p.pos++
+		}
+		return &node{atom: p.src[start:p.pos], line: line}, nil
+	}
+}
+
+// unescape handles the legacy \xNN / \n / \\ escapes some benchmark
+// files use inside string literals.
+func unescape(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 >= len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		switch s[i+1] {
+		case 'n':
+			b.WriteByte('\n')
+			i++
+		case 't':
+			b.WriteByte('\t')
+			i++
+		case '\\':
+			b.WriteByte('\\')
+			i++
+		case 'x':
+			if i+3 < len(s) {
+				hi, okH := hexVal(s[i+2])
+				lo, okL := hexVal(s[i+3])
+				if okH && okL {
+					b.WriteByte(byte(hi<<4 | lo))
+					i += 3
+					continue
+				}
+			}
+			b.WriteByte(s[i])
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func hexVal(c byte) (int, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0'), true
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10, true
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10, true
+	}
+	return 0, false
+}

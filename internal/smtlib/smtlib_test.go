@@ -1,0 +1,194 @@
+package smtlib
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lia"
+	"repro/internal/strcon"
+)
+
+func solveSrc(t *testing.T, src string) (core.Result, *Script) {
+	t.Helper()
+	sc, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res := core.Solve(sc.Problem, core.Options{Timeout: 30 * time.Second})
+	return res, sc
+}
+
+func TestParseBasicEquation(t *testing.T) {
+	src := `
+(set-logic QF_S)
+(declare-fun x () String)
+(declare-fun y () String)
+(assert (= (str.++ x y) "hello"))
+(assert (= (str.len x) 2))
+(check-sat)
+`
+	res, sc := solveSrc(t, src)
+	if res.Status != core.StatusSat {
+		t.Fatalf("got %v", res.Status)
+	}
+	if res.Model.Str[sc.StrVars["x"]] != "he" {
+		t.Fatalf("x = %q", res.Model.Str[sc.StrVars["x"]])
+	}
+	if !sc.CheckSat {
+		t.Error("check-sat not detected")
+	}
+}
+
+func TestParseToIntFromInt(t *testing.T) {
+	src := `
+(declare-fun s () String)
+(declare-const n Int)
+(assert (= n (str.to_int s)))
+(assert (= n 42))
+(assert (= (str.len s) 3))
+(check-sat)
+`
+	res, sc := solveSrc(t, src)
+	if res.Status != core.StatusSat {
+		t.Fatalf("got %v", res.Status)
+	}
+	if res.Model.Str[sc.StrVars["s"]] != "042" {
+		t.Fatalf("s = %q", res.Model.Str[sc.StrVars["s"]])
+	}
+	src2 := `
+(declare-fun s () String)
+(assert (= s (str.from_int 99)))
+(check-sat)
+`
+	res2, sc2 := solveSrc(t, src2)
+	if res2.Status != core.StatusSat || res2.Model.Str[sc2.StrVars["s"]] != "99" {
+		t.Fatalf("from_int: %v", res2.Status)
+	}
+}
+
+func TestParseRegexMembership(t *testing.T) {
+	src := `
+(declare-fun x () String)
+(assert (str.in_re x (re.+ (re.range "0" "9"))))
+(assert (not (str.in_re x (re.* (str.to_re "0")))))
+(assert (= (str.len x) 2))
+(check-sat)
+`
+	res, sc := solveSrc(t, src)
+	if res.Status != core.StatusSat {
+		t.Fatalf("got %v", res.Status)
+	}
+	got := res.Model.Str[sc.StrVars["x"]]
+	if len(got) != 2 || got == "00" {
+		t.Fatalf("x = %q", got)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	src := `
+(declare-fun x () String)
+(assert (str.prefixof "ab" x))
+(assert (str.suffixof "yz" x))
+(assert (str.contains x "m"))
+(assert (= (str.len x) 5))
+(check-sat)
+`
+	res, sc := solveSrc(t, src)
+	if res.Status != core.StatusSat {
+		t.Fatalf("got %v", res.Status)
+	}
+	got := res.Model.Str[sc.StrVars["x"]]
+	if !strings.HasPrefix(got, "ab") || !strings.HasSuffix(got, "yz") || !strings.Contains(got, "m") {
+		t.Fatalf("x = %q", got)
+	}
+}
+
+func TestParseIteAndCharAt(t *testing.T) {
+	src := `
+(declare-fun v () String)
+(declare-const d Int)
+(declare-const e Int)
+(assert (= d (str.to_int (str.at v 0))))
+(assert (= e (ite (> (* 2 d) 9) (- (* 2 d) 9) (* 2 d))))
+(assert (= e 3))
+(assert (= (str.len v) 1))
+(check-sat)
+`
+	res, sc := solveSrc(t, src)
+	if res.Status != core.StatusSat {
+		t.Fatalf("got %v", res.Status)
+	}
+	// e = 3 requires 2d-9 = 3 (d=6), since 2d = 3 has no integer d.
+	if got := res.Model.Str[sc.StrVars["v"]]; got != "6" {
+		t.Fatalf("v = %q, want 6", got)
+	}
+}
+
+func TestParseUnsat(t *testing.T) {
+	src := `
+(declare-fun x () String)
+(assert (= x "ab"))
+(assert (= x "ba"))
+(check-sat)
+`
+	res, _ := solveSrc(t, src)
+	if res.Status != core.StatusUnsat {
+		t.Fatalf("got %v", res.Status)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`(declare-fun x () Widget)`,
+		`(assert (= x "a"))`,
+		`(declare-fun f (Int) Int)`,
+		`(assert (str.in_re "a" (re.magic)))(declare-fun y () String)`,
+		`(`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	n := prob.NewIntVar("n")
+	prob.Add(
+		&strcon.ToNum{N: n, X: x},
+		&strcon.Arith{F: lia.EqConst(n, 42)},
+		&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 2)},
+	)
+	src, err := Write(prob)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	sc, err := Parse(src)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, src)
+	}
+	res := core.Solve(sc.Problem, core.Options{Timeout: 30 * time.Second})
+	if res.Status != core.StatusSat {
+		t.Fatalf("round-trip solve: %v\n%s", res.Status, src)
+	}
+	if got := res.Model.Str[sc.StrVars["x"]]; strcon.ToNumValue(got).Int64() != 42 {
+		t.Fatalf("x = %q", got)
+	}
+}
+
+func TestWriteMembershipPattern(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	prob.Add(&strcon.Membership{X: x, A: nil, Pattern: "(ab|cd)+[0-9]"})
+	src, err := Write(prob)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if !strings.Contains(src, "re.union") || !strings.Contains(src, "re.range") {
+		t.Fatalf("pattern not converted:\n%s", src)
+	}
+}

@@ -1,0 +1,376 @@
+package smtlib
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"repro/internal/lia"
+	"repro/internal/strcon"
+)
+
+// Write renders a problem as an SMT-LIB script (QF_SLIA). Regular
+// membership constraints require their Pattern field to be set; the
+// pattern (in the dialect of internal/regex) is converted to the re.*
+// algebra.
+func Write(prob *strcon.Problem) (string, error) {
+	var b strings.Builder
+	b.WriteString("(set-logic QF_SLIA)\n")
+	for v := 0; v < prob.NumStrVars(); v++ {
+		fmt.Fprintf(&b, "(declare-fun %s () String)\n", symbol(prob.StrName(strcon.Var(v))))
+	}
+	for _, iv := range prob.IntVars {
+		fmt.Fprintf(&b, "(declare-fun %s () Int)\n", symbol(prob.Lia.Name(iv)))
+	}
+	for _, c := range prob.Constraints {
+		s, err := writeCon(prob, c)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "(assert %s)\n", s)
+	}
+	b.WriteString("(check-sat)\n")
+	return b.String(), nil
+}
+
+func symbol(name string) string {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '_' || c == '.' || c == '-' || c == '!') {
+			return "|" + name + "|"
+		}
+	}
+	return name
+}
+
+func writeCon(prob *strcon.Problem, c strcon.Constraint) (string, error) {
+	switch t := c.(type) {
+	case *strcon.WordEq:
+		return fmt.Sprintf("(= %s %s)", writeTerm(prob, t.L), writeTerm(prob, t.R)), nil
+	case *strcon.WordNeq:
+		return fmt.Sprintf("(not (= %s %s))", writeTerm(prob, t.L), writeTerm(prob, t.R)), nil
+	case *strcon.Membership:
+		if t.Pattern == "" {
+			return "", fmt.Errorf("smtlib: membership constraint without a pattern")
+		}
+		re, err := patternToRe(t.Pattern)
+		if err != nil {
+			return "", err
+		}
+		s := fmt.Sprintf("(str.in_re %s %s)", symbol(prob.StrName(t.X)), re)
+		if t.Neg {
+			s = "(not " + s + ")"
+		}
+		return s, nil
+	case *strcon.Arith:
+		return writeFormula(prob, t.F), nil
+	case *strcon.ToNum:
+		return fmt.Sprintf("(= %s (str.to_int %s))",
+			symbol(prob.Lia.Name(t.N)), symbol(prob.StrName(t.X))), nil
+	case *strcon.ToStr:
+		return fmt.Sprintf("(= %s (str.from_int %s))",
+			symbol(prob.StrName(t.X)), symbol(prob.Lia.Name(t.N))), nil
+	case *strcon.Ord:
+		// ord is expressed through to_int on a single character plus a
+		// length pin; exact only for digits, so emit the defining pair.
+		return fmt.Sprintf("(and (= (str.len %s) 1) (= %s (str.to_int %s)))",
+			symbol(prob.StrName(t.X)), symbol(prob.Lia.Name(t.N)), symbol(prob.StrName(t.X))), nil
+	case *strcon.AndCon:
+		return writeJunction(prob, "and", t.Args)
+	case *strcon.OrCon:
+		return writeJunction(prob, "or", t.Args)
+	}
+	return "", fmt.Errorf("smtlib: unsupported constraint %T", c)
+}
+
+func writeJunction(prob *strcon.Problem, op string, args []strcon.Constraint) (string, error) {
+	if len(args) == 0 {
+		if op == "and" {
+			return "true", nil
+		}
+		return "false", nil
+	}
+	parts := make([]string, len(args))
+	for i, a := range args {
+		s, err := writeCon(prob, a)
+		if err != nil {
+			return "", err
+		}
+		parts[i] = s
+	}
+	return "(" + op + " " + strings.Join(parts, " ") + ")", nil
+}
+
+func writeTerm(prob *strcon.Problem, t strcon.Term) string {
+	if len(t) == 0 {
+		return `""`
+	}
+	parts := make([]string, len(t))
+	for i, it := range t {
+		if it.IsVar {
+			parts[i] = symbol(prob.StrName(it.V))
+		} else {
+			parts[i] = quote(it.Const)
+		}
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return "(str.++ " + strings.Join(parts, " ") + ")"
+}
+
+func quote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// writeFormula renders a lia formula, mapping length variables back to
+// (str.len x).
+func writeFormula(prob *strcon.Problem, f lia.Formula) string {
+	lenName := map[lia.Var]string{}
+	for x, lv := range prob.LenVars() {
+		lenName[lv] = fmt.Sprintf("(str.len %s)", symbol(prob.StrName(x)))
+	}
+	var walk func(f lia.Formula) string
+	walk = func(f lia.Formula) string {
+		switch t := f.(type) {
+		case lia.Bool:
+			if bool(t) {
+				return "true"
+			}
+			return "false"
+		case *lia.Not:
+			return "(not " + walk(t.F) + ")"
+		case *lia.NAry:
+			op := "and"
+			if t.Op == lia.OpOr {
+				op = "or"
+			}
+			parts := make([]string, len(t.Args))
+			for i, a := range t.Args {
+				parts[i] = walk(a)
+			}
+			return "(" + op + " " + strings.Join(parts, " ") + ")"
+		case *lia.Atom:
+			lhs := writeExpr(prob, t.E, lenName)
+			switch t.Op {
+			case lia.LE:
+				return fmt.Sprintf("(<= %s 0)", lhs)
+			case lia.LT:
+				return fmt.Sprintf("(< %s 0)", lhs)
+			case lia.GE:
+				return fmt.Sprintf("(>= %s 0)", lhs)
+			case lia.GT:
+				return fmt.Sprintf("(> %s 0)", lhs)
+			case lia.EQ:
+				return fmt.Sprintf("(= %s 0)", lhs)
+			default:
+				return fmt.Sprintf("(not (= %s 0))", lhs)
+			}
+		}
+		return "false"
+	}
+	return walk(f)
+}
+
+func writeExpr(prob *strcon.Problem, e *lia.LinExpr, lenName map[lia.Var]string) string {
+	var parts []string
+	vars := e.Vars()
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	for _, v := range vars {
+		name, isLen := lenName[v]
+		if !isLen {
+			name = symbol(prob.Lia.Name(v))
+		}
+		co := e.Coeff(v)
+		switch {
+		case co.Cmp(big.NewInt(1)) == 0:
+			parts = append(parts, name)
+		case co.Sign() < 0:
+			parts = append(parts, fmt.Sprintf("(* (- %s) %s)", new(big.Int).Neg(co), name))
+		default:
+			parts = append(parts, fmt.Sprintf("(* %s %s)", co, name))
+		}
+	}
+	if k := e.ConstPart(); k.Sign() != 0 {
+		if k.Sign() < 0 {
+			parts = append(parts, fmt.Sprintf("(- %s)", new(big.Int).Neg(k)))
+		} else {
+			parts = append(parts, k.String())
+		}
+	}
+	switch len(parts) {
+	case 0:
+		return "0"
+	case 1:
+		return parts[0]
+	}
+	return "(+ " + strings.Join(parts, " ") + ")"
+}
+
+// patternToRe converts a pattern in the dialect of internal/regex to
+// the SMT-LIB re.* algebra. The grammar mirrors regex.Compile.
+func patternToRe(pat string) (string, error) {
+	p := &reWriter{src: pat}
+	out, err := p.alternation()
+	if err != nil {
+		return "", err
+	}
+	if p.pos != len(p.src) {
+		return "", fmt.Errorf("smtlib: cannot convert pattern %q", pat)
+	}
+	return out, nil
+}
+
+type reWriter struct {
+	src string
+	pos int
+}
+
+func (p *reWriter) peek() (byte, bool) {
+	if p.pos < len(p.src) {
+		return p.src[p.pos], true
+	}
+	return 0, false
+}
+
+func (p *reWriter) alternation() (string, error) {
+	out, err := p.sequence()
+	if err != nil {
+		return "", err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok || c != '|' {
+			return out, nil
+		}
+		p.pos++
+		next, err := p.sequence()
+		if err != nil {
+			return "", err
+		}
+		out = fmt.Sprintf("(re.union %s %s)", out, next)
+	}
+}
+
+func (p *reWriter) sequence() (string, error) {
+	out := `(str.to_re "")`
+	first := true
+	for {
+		c, ok := p.peek()
+		if !ok || c == '|' || c == ')' {
+			return out, nil
+		}
+		next, err := p.quantified()
+		if err != nil {
+			return "", err
+		}
+		if first {
+			out = next
+			first = false
+		} else {
+			out = fmt.Sprintf("(re.++ %s %s)", out, next)
+		}
+	}
+}
+
+func (p *reWriter) quantified() (string, error) {
+	out, err := p.atom()
+	if err != nil {
+		return "", err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return out, nil
+		}
+		switch c {
+		case '*':
+			p.pos++
+			out = fmt.Sprintf("(re.* %s)", out)
+		case '+':
+			p.pos++
+			out = fmt.Sprintf("(re.+ %s)", out)
+		case '?':
+			p.pos++
+			out = fmt.Sprintf("(re.opt %s)", out)
+		case '{':
+			return "", fmt.Errorf("smtlib: bounded repetition not supported in writer")
+		default:
+			return out, nil
+		}
+	}
+}
+
+func (p *reWriter) atom() (string, error) {
+	c, ok := p.peek()
+	if !ok {
+		return "", fmt.Errorf("smtlib: unexpected end of pattern")
+	}
+	switch c {
+	case '(':
+		p.pos++
+		out, err := p.alternation()
+		if err != nil {
+			return "", err
+		}
+		if b, ok := p.peek(); !ok || b != ')' {
+			return "", fmt.Errorf("smtlib: missing ')'")
+		}
+		p.pos++
+		return out, nil
+	case '[':
+		return p.class()
+	case '.':
+		p.pos++
+		return "re.allchar", nil
+	case '\\':
+		p.pos++
+		e, ok := p.peek()
+		if !ok {
+			return "", fmt.Errorf("smtlib: dangling backslash")
+		}
+		p.pos++
+		if e == 'd' {
+			return `(re.range "0" "9")`, nil
+		}
+		return fmt.Sprintf("(str.to_re %s)", quote(string(e))), nil
+	default:
+		p.pos++
+		return fmt.Sprintf("(str.to_re %s)", quote(string(c))), nil
+	}
+}
+
+func (p *reWriter) class() (string, error) {
+	p.pos++ // '['
+	if c, ok := p.peek(); ok && c == '^' {
+		return "", fmt.Errorf("smtlib: negated classes not supported in writer")
+	}
+	var parts []string
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return "", fmt.Errorf("smtlib: unterminated class")
+		}
+		if c == ']' {
+			p.pos++
+			break
+		}
+		p.pos++
+		if d, ok := p.peek(); ok && d == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			hi := p.src[p.pos+1]
+			p.pos += 2
+			parts = append(parts, fmt.Sprintf("(re.range %s %s)", quote(string(c)), quote(string(hi))))
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("(str.to_re %s)", quote(string(c))))
+	}
+	switch len(parts) {
+	case 0:
+		return "re.none", nil
+	case 1:
+		return parts[0], nil
+	}
+	return "(re.union " + strings.Join(parts, " ") + ")", nil
+}

@@ -1,0 +1,91 @@
+package strcon
+
+import (
+	"math/big"
+
+	"repro/internal/alphabet"
+	"repro/internal/lia"
+)
+
+// EvalTerm concatenates the term's value under the assignment.
+func EvalTerm(t Term, a *Assignment) string {
+	out := ""
+	for _, it := range t {
+		if it.IsVar {
+			out += a.Str[it.V]
+		} else {
+			out += it.Const
+		}
+	}
+	return out
+}
+
+// Eval reports whether the assignment satisfies every constraint of the
+// problem; it is the validator of §9. String variables missing from the
+// assignment are treated as "".
+func (p *Problem) Eval(a *Assignment) bool {
+	m := p.extend(a)
+	for _, c := range p.Constraints {
+		if !p.evalCon(c, a, m) {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalConstraint evaluates one constraint under the assignment.
+func (p *Problem) EvalConstraint(c Constraint, a *Assignment) bool {
+	return p.evalCon(c, a, p.extend(a))
+}
+
+// extend completes the integer model with the length variables implied
+// by the string assignment.
+func (p *Problem) extend(a *Assignment) lia.Model {
+	m := lia.Model{}
+	for v, x := range a.Int {
+		m[v] = x
+	}
+	for x, lv := range p.lenVars {
+		m[lv] = big.NewInt(int64(len(a.Str[x])))
+	}
+	return m
+}
+
+func (p *Problem) evalCon(c Constraint, a *Assignment, m lia.Model) bool {
+	switch t := c.(type) {
+	case *WordEq:
+		return EvalTerm(t.L, a) == EvalTerm(t.R, a)
+	case *WordNeq:
+		return EvalTerm(t.L, a) != EvalTerm(t.R, a)
+	case *Membership:
+		in := t.A.Accepts(alphabet.Encode(a.Str[t.X]))
+		return in != t.Neg
+	case *Arith:
+		return lia.Eval(t.F, m)
+	case *ToNum:
+		return m.Value(t.N).Cmp(ToNumValue(a.Str[t.X])) == 0
+	case *ToStr:
+		return a.Str[t.X] == ToStrValue(m.Value(t.N))
+	case *Ord:
+		s := a.Str[t.X]
+		if len(s) != 1 {
+			return false
+		}
+		return m.Value(t.N).Cmp(big.NewInt(int64(alphabet.Code(s[0])))) == 0
+	case *AndCon:
+		for _, arg := range t.Args {
+			if !p.evalCon(arg, a, m) {
+				return false
+			}
+		}
+		return true
+	case *OrCon:
+		for _, arg := range t.Args {
+			if p.evalCon(arg, a, m) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("strcon: unknown constraint type")
+}
