@@ -1,0 +1,29 @@
+#!/bin/sh
+# ci.sh — the repository's check pipeline: formatting, vet, build, the
+# traulint static-analysis suite, and the test suite under the race
+# detector. Run from the module root; any failure aborts.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> traulint"
+go run ./cmd/traulint ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "ci: all checks passed"

@@ -1,0 +1,64 @@
+// Command traulint runs the repository's static-analysis suite
+// (package repro/internal/lint) over the module. Usage:
+//
+//	traulint [-checks bigalias,maporder,errdrop,recbudget] [packages]
+//
+// The only package patterns understood are "./..." (the whole module,
+// the default) and plain directories. Findings are printed one per
+// line as "file:line: [check] message"; the exit status is 1 when
+// findings exist, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("traulint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checks := fs.String("checks", "", "comma-separated checks to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := lint.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	root, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "traulint:", err)
+		return 2
+	}
+	var dirs []string
+	for _, pat := range fs.Args() {
+		if pat == "./..." || pat == "..." {
+			dirs = nil // whole module
+			break
+		}
+		dirs = append(dirs, pat)
+	}
+
+	findings, err := lint.Run(root, dirs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "traulint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "traulint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

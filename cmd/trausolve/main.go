@@ -21,38 +21,48 @@ import (
 )
 
 func main() {
-	timeout := flag.Duration("timeout", 10*time.Second, "solver budget")
-	model := flag.Bool("model", true, "print the model on sat")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: trausolve [-timeout d] [-model] file.smt2 | -")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: exit 0 on sat/unsat, 1 on
+// I/O or parse errors, 2 on usage errors, 3 on unknown.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("trausolve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	timeout := fs.Duration("timeout", 10*time.Second, "solver budget")
+	model := fs.Bool("model", true, "print the model on sat")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: trausolve [-timeout d] [-model] file.smt2 | -")
+		return 2
 	}
 
 	var src []byte
 	var err error
-	if flag.Arg(0) == "-" {
-		src, err = io.ReadAll(os.Stdin)
+	if fs.Arg(0) == "-" {
+		src, err = io.ReadAll(stdin)
 	} else {
-		src, err = os.ReadFile(flag.Arg(0))
+		src, err = os.ReadFile(fs.Arg(0))
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "trausolve:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "trausolve:", err)
+		return 1
 	}
 
 	script, err := smtlib.Parse(string(src))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "trausolve:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "trausolve:", err)
+		return 1
 	}
 
 	if !script.CheckSat {
-		fmt.Fprintln(os.Stderr, "trausolve: script has no (check-sat)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "trausolve: script has no (check-sat)")
+		return 2
 	}
 	res := core.Solve(script.Problem, core.Options{Timeout: *timeout})
-	fmt.Println(res.Status)
+	fmt.Fprintln(stdout, res.Status)
 	if res.Status == core.StatusSat && *model {
 		names := make([]string, 0, len(script.StrVars))
 		for name := range script.StrVars {
@@ -60,7 +70,7 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			fmt.Printf("  %s = %q\n", name, res.Model.Str[script.StrVars[name]])
+			fmt.Fprintf(stdout, "  %s = %q\n", name, res.Model.Str[script.StrVars[name]])
 		}
 		inames := make([]string, 0, len(script.IntVars))
 		for name := range script.IntVars {
@@ -68,10 +78,11 @@ func main() {
 		}
 		sort.Strings(inames)
 		for _, name := range inames {
-			fmt.Printf("  %s = %s\n", name, res.Model.Int.Value(script.IntVars[name]))
+			fmt.Fprintf(stdout, "  %s = %s\n", name, res.Model.Int.Value(script.IntVars[name]))
 		}
 	}
 	if res.Status == core.StatusUnknown {
-		os.Exit(3)
+		return 3
 	}
+	return 0
 }

@@ -173,6 +173,7 @@ func (n *NFA) epsClosure(set map[int]bool) {
 	for s := range set {
 		stack = append(stack, s)
 	}
+	sort.Ints(stack)
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -361,8 +362,13 @@ func (n *NFA) RemoveEpsilon() *NFA {
 	for s := 0; s < n.NumStates; s++ {
 		cl := map[int]bool{s: true}
 		n.epsClosure(cl)
-		isFinal := false
+		cls := make([]int, 0, len(cl))
 		for q := range cl {
+			cls = append(cls, q)
+		}
+		sort.Ints(cls)
+		isFinal := false
+		for _, q := range cls {
 			if finals[q] {
 				isFinal = true
 			}
@@ -457,6 +463,7 @@ func (n *NFA) Determinize() *NFA {
 			for s := range nextSet {
 				ns = append(ns, s)
 			}
+			sort.Ints(ns)
 			to := get(ns) // empty set becomes the sink
 			out.Trans = append(out.Trans, Transition{From: qi, R: p, To: to})
 		}

@@ -150,8 +150,14 @@ func checkCandidate(prob *strcon.Problem, a *strcon.Assignment) bool {
 		}
 		return lia.False
 	}
-	for x, lv := range prob.LenVars() {
-		arith = append(arith, lia.EqConst(lv, int64(len(a.Str[x]))))
+	lenVars := prob.LenVars()
+	lenKeys := make([]strcon.Var, 0, len(lenVars))
+	for x := range lenVars {
+		lenKeys = append(lenKeys, x)
+	}
+	sort.Slice(lenKeys, func(i, j int) bool { return lenKeys[i] < lenKeys[j] })
+	for _, x := range lenKeys {
+		arith = append(arith, lia.EqConst(lenVars[x], int64(len(a.Str[x]))))
 	}
 	for _, c := range prob.Constraints {
 		arith = append(arith, walk(c))

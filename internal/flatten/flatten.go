@@ -9,6 +9,7 @@ package flatten
 import (
 	"fmt"
 	"math/big"
+	"sort"
 
 	"repro/internal/alphabet"
 	"repro/internal/lia"
@@ -133,8 +134,14 @@ func flattenWith(prob *strcon.Problem, params Params, cuts *pfa.CutRegistry) *Re
 		x := strcon.Var(v)
 		conj = append(conj, res.R[x].Base())
 	}
-	for x, lv := range prob.LenVars() {
-		conj = append(conj, lengthFormula(pool, res.R[x], lv))
+	lenVars := prob.LenVars()
+	lenKeys := make([]strcon.Var, 0, len(lenVars))
+	for x := range lenVars {
+		lenKeys = append(lenKeys, x)
+	}
+	sort.Slice(lenKeys, func(i, j int) bool { return lenKeys[i] < lenKeys[j] })
+	for _, x := range lenKeys {
+		conj = append(conj, lengthFormula(pool, res.R[x], lenVars[x]))
 	}
 
 	for _, c := range prob.Constraints {

@@ -240,24 +240,29 @@ func (m Model) Int64(v Var) int64 {
 
 // Eval evaluates the formula under the model.
 func Eval(f Formula, m Model) bool {
+	return evalAt(f, m, 0)
+}
+
+func evalAt(f Formula, m Model, depth int) bool {
+	checkFormulaDepth(depth)
 	switch t := f.(type) {
 	case Bool:
 		return bool(t)
 	case *Atom:
 		return evalRel(t.E.Eval(m), t.Op)
 	case *Not:
-		return !Eval(t.F, m)
+		return !evalAt(t.F, m, depth+1)
 	case *NAry:
 		if t.Op == OpAnd {
 			for _, a := range t.Args {
-				if !Eval(a, m) {
+				if !evalAt(a, m, depth+1) {
 					return false
 				}
 			}
 			return true
 		}
 		for _, a := range t.Args {
-			if Eval(a, m) {
+			if evalAt(a, m, depth+1) {
 				return true
 			}
 		}
@@ -270,11 +275,12 @@ func Eval(f Formula, m Model) bool {
 // and debugging.
 func String(f Formula, p *Pool) string {
 	var b strings.Builder
-	write(&b, f, p)
+	write(&b, f, p, 0)
 	return b.String()
 }
 
-func write(b *strings.Builder, f Formula, p *Pool) {
+func write(b *strings.Builder, f Formula, p *Pool, depth int) {
+	checkFormulaDepth(depth)
 	switch t := f.(type) {
 	case Bool:
 		if t {
@@ -289,7 +295,7 @@ func write(b *strings.Builder, f Formula, p *Pool) {
 		b.WriteString(" 0")
 	case *Not:
 		b.WriteString("(not ")
-		write(b, t.F, p)
+		write(b, t.F, p, depth+1)
 		b.WriteByte(')')
 	case *NAry:
 		if t.Op == OpAnd {
@@ -299,7 +305,7 @@ func write(b *strings.Builder, f Formula, p *Pool) {
 		}
 		for _, a := range t.Args {
 			b.WriteByte(' ')
-			write(b, a, p)
+			write(b, a, p, depth+1)
 		}
 		b.WriteByte(')')
 	}

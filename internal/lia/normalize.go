@@ -2,20 +2,38 @@ package lia
 
 import "math/big"
 
+// maxFormulaDepth bounds recursion over formula trees. Formulas this
+// deep do not arise from the flattening pipeline (which builds shallow,
+// wide conjunctions); hitting the budget indicates adversarial input or
+// a construction bug, so the traversals panic rather than overflow the
+// goroutine stack.
+const maxFormulaDepth = 1 << 14
+
+func checkFormulaDepth(depth int) {
+	if depth > maxFormulaDepth {
+		panic("lia: formula nesting exceeds depth budget")
+	}
+}
+
 // nnf converts f to negation normal form in which every atom has the
 // form e <= 0 (integers make strict and negated comparisons expressible
 // as non-strict ones) and boolean constants are folded. The neg flag
 // asks for the normal form of the negation of f.
 func nnf(f Formula, neg bool) Formula {
+	return nnfAt(f, neg, 0)
+}
+
+func nnfAt(f Formula, neg bool, depth int) Formula {
+	checkFormulaDepth(depth)
 	switch t := f.(type) {
 	case Bool:
 		return Bool(bool(t) != neg)
 	case *Not:
-		return nnf(t.F, !neg)
+		return nnfAt(t.F, !neg, depth+1)
 	case *NAry:
 		args := make([]Formula, len(t.Args))
 		for i, a := range t.Args {
-			args[i] = nnf(a, neg)
+			args[i] = nnfAt(a, neg, depth+1)
 		}
 		if (t.Op == OpAnd) != neg {
 			return And(args...)

@@ -55,10 +55,11 @@ func (ps *presolver) run(f Formula) Formula {
 		if len(pins) == 0 && len(aliases) == 0 {
 			return f
 		}
-		for v, c := range pins {
-			ps.undo = append(ps.undo, undoEntry{v: v, delta: c})
+		for _, v := range sortedPinVars(pins) {
+			ps.undo = append(ps.undo, undoEntry{v: v, delta: pins[v]})
 		}
-		for v, a := range aliases {
+		for _, v := range sortedAliasVars(aliases) {
+			a := aliases[v]
 			ps.undo = append(ps.undo, undoEntry{v: v, alias: a.w, delta: a.d, has: true})
 		}
 		ps.rounds = append(ps.rounds, substRound{pins: pins, aliases: aliases})
@@ -152,6 +153,7 @@ func harvest(f Formula, pins map[Var]*big.Int, aliases map[Var]aliasTo) (contrad
 			}
 		case 2:
 			vs := make([]Var, 0, 2)
+			//lint:ordered two-element collect, ordered by the swap below
 			for v := range r.def {
 				vs = append(vs, v)
 			}
@@ -180,31 +182,63 @@ func harvest(f Formula, pins map[Var]*big.Int, aliases map[Var]aliasTo) (contrad
 	}
 	// Drop aliases whose target is itself rewritten this round (keeps
 	// the round's substitution well-founded); they will be picked up in
-	// a later round.
+	// a later round. Deletions are decided against the pre-drop map:
+	// deciding and deleting in one pass would make the surviving set
+	// depend on map iteration order for alias chains.
+	var drop []Var
+	//lint:ordered collects a delete set; deletion order is irrelevant
 	for v, al := range aliases {
 		if _, pinned := pins[al.w]; pinned {
-			delete(aliases, v)
+			drop = append(drop, v)
 			continue
 		}
 		if _, aliased := aliases[al.w]; aliased {
-			delete(aliases, v)
+			drop = append(drop, v)
 		}
 	}
+	for _, v := range drop {
+		delete(aliases, v)
+	}
 	return false
+}
+
+// sortedPinVars returns the pin map's keys in increasing order.
+func sortedPinVars(pins map[Var]*big.Int) []Var {
+	out := make([]Var, 0, len(pins))
+	for v := range pins {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedAliasVars returns the alias map's keys in increasing order.
+func sortedAliasVars(aliases map[Var]aliasTo) []Var {
+	out := make([]Var, 0, len(aliases))
+	for v := range aliases {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // substitute rewrites f under the pin and alias maps, folding constant
 // atoms and boolean structure.
 func substitute(f Formula, pins map[Var]*big.Int, aliases map[Var]aliasTo) Formula {
+	return substituteAt(f, pins, aliases, 0)
+}
+
+func substituteAt(f Formula, pins map[Var]*big.Int, aliases map[Var]aliasTo, depth int) Formula {
+	checkFormulaDepth(depth)
 	switch t := f.(type) {
 	case Bool:
 		return t
 	case *Not:
-		return Negate(substitute(t.F, pins, aliases))
+		return Negate(substituteAt(t.F, pins, aliases, depth+1))
 	case *NAry:
 		args := make([]Formula, len(t.Args))
 		for i, a := range t.Args {
-			args[i] = substitute(a, pins, aliases)
+			args[i] = substituteAt(a, pins, aliases, depth+1)
 		}
 		if t.Op == OpAnd {
 			return And(args...)

@@ -2,6 +2,7 @@ package lia
 
 import (
 	"math/big"
+	"sort"
 	"time"
 
 	"repro/internal/sat"
@@ -157,7 +158,7 @@ func Solve(f Formula, opts *Options) (Result, Model) {
 		vars:  make(map[Var]bool),
 		ps:    ps,
 	}
-	root := d.encode(g)
+	root := d.encode(g, 0)
 	d.sat.AddClause(root)
 	d.sat.Budget = d.opts.SatConflictBudget
 	d.sat.Deadline = d.opts.Deadline
@@ -365,7 +366,7 @@ func (d *dpllt) registerIntVar(sv int) {
 // the theory frames) to decision level zero.
 func (d *dpllt) addLemma(lemma Formula) {
 	g := nnf(lemma, false)
-	root := d.encode(g)
+	root := d.encode(g, 0)
 	d.sat.AddClause(root)
 	d.defineExprs()
 	for len(d.assertedPol) < len(d.atoms) {
@@ -376,16 +377,29 @@ func (d *dpllt) addLemma(lemma Formula) {
 			d.atomOfVar[a.satVar] = i
 		}
 	}
-	for v := range d.vars {
+	for _, v := range sortedVars(d.vars) {
 		if int(v) < d.identityLimit {
 			d.registerIntVar(int(v))
 		}
 	}
 }
 
+// sortedVars returns the keys of a variable set in increasing order, so
+// that iteration order (and everything downstream of it: simplex ids,
+// branch-and-bound order, model values) is deterministic.
+func sortedVars(set map[Var]bool) []Var {
+	out := make([]Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // encode performs polarity-aware (positive-only; the input is in NNF)
 // Tseitin conversion and returns the literal representing f.
-func (d *dpllt) encode(f Formula) sat.Lit {
+func (d *dpllt) encode(f Formula, depth int) sat.Lit {
+	checkFormulaDepth(depth)
 	switch t := f.(type) {
 	case Bool:
 		v := d.sat.NewVar()
@@ -398,13 +412,13 @@ func (d *dpllt) encode(f Formula) sat.Lit {
 		xl := sat.MkLit(x, false)
 		if t.Op == OpAnd {
 			for _, a := range t.Args {
-				d.sat.AddClause(xl.Flip(), d.encode(a))
+				d.sat.AddClause(xl.Flip(), d.encode(a, depth+1))
 			}
 		} else {
 			clause := make([]sat.Lit, 0, len(t.Args)+1)
 			clause = append(clause, xl.Flip())
 			for _, a := range t.Args {
-				clause = append(clause, d.encode(a))
+				clause = append(clause, d.encode(a, depth+1))
 			}
 			d.sat.AddClause(clause...)
 		}
@@ -431,6 +445,7 @@ func (d *dpllt) atomVar(e *LinExpr) int {
 			vars = append(vars, v)
 			d.vars[v] = true
 		}
+		sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
 		d.exprs[key] = &exprRec{def: def, vars: vars, sv: -1}
 	}
 	v := d.sat.NewVar()
@@ -453,7 +468,7 @@ func (d *dpllt) initSimplex() {
 	d.sx = simplex.New(maxVar + 1)
 	d.sx.PivotBudget = d.opts.PivotBudget
 	d.sx.Deadline = d.opts.Deadline
-	for v := range d.vars {
+	for _, v := range sortedVars(d.vars) {
 		d.registerIntVar(int(v))
 	}
 	d.defineExprs()
@@ -463,7 +478,13 @@ func (d *dpllt) initSimplex() {
 // variable (the variable itself for single unit terms, a slack
 // otherwise). Called at init and again after lemma encoding.
 func (d *dpllt) defineExprs() {
-	for _, er := range d.exprs {
+	keys := make([]string, 0, len(d.exprs))
+	for k := range d.exprs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		er := d.exprs[k]
 		if er.sv >= 0 {
 			continue
 		}
@@ -627,6 +648,7 @@ func (d *dpllt) subsetCheck(subset []int) (infeasible bool, subcore []int) {
 	for v := range intVarsSet {
 		intVars = append(intVars, v)
 	}
+	sort.Ints(intVars)
 	bb := &simplex.IntSolver{S: scratch, IntVars: intVars, NodeBudget: d.opts.BBNodeBudget / 8}
 	res, _, c := bb.Solve()
 	if res != simplex.IntUnsat {

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// bigAlias guards against the two classic math/big aliasing bugs: the
+// mutating methods (Add, Mul, Set, ...) update their receiver in
+// place, so
+//
+//  1. mutating a *big.Int/*big.Rat after it was stored into a struct,
+//     map, or slice silently corrupts the stored value, and
+//  2. storing the result of an in-place call whose receiver is an
+//     existing value stores an alias of that receiver, not a copy.
+//
+// Both are fixed by copying: new(big.Int).Set(x).
+var bigAlias = &Analyzer{
+	Name: "bigalias",
+	Doc:  "big.Int/big.Rat mutated after escaping, or aliased result stored",
+	Run:  runBigAlias,
+}
+
+// bigMutators are the math/big methods that write to their receiver.
+var bigMutators = map[string]bool{
+	"Abs": true, "Add": true, "And": true, "AndNot": true, "Div": true,
+	"DivMod": true, "Exp": true, "GCD": true, "Inv": true, "Lsh": true,
+	"Mod": true, "ModInverse": true, "ModSqrt": true, "Mul": true,
+	"MulRange": true, "Neg": true, "Not": true, "Or": true, "Quo": true,
+	"QuoRem": true, "Rem": true, "Rsh": true, "Scan": true, "Set": true,
+	"SetBit": true, "SetBits": true, "SetBytes": true, "SetFloat64": true,
+	"SetFrac": true, "SetFrac64": true, "SetInt": true, "SetInt64": true,
+	"SetRat": true, "SetString": true, "SetUint64": true, "Sqrt": true,
+	"Sub": true, "Xor": true,
+}
+
+// isBigPtr reports whether t is *big.Int or *big.Rat.
+func isBigPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "math/big" {
+		return false
+	}
+	return obj.Name() == "Int" || obj.Name() == "Rat"
+}
+
+func runBigAlias(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBigAliasFunc(p, fn)
+		}
+	}
+}
+
+func checkBigAliasFunc(p *Pass, fn *ast.FuncDecl) {
+	// Phase 1: where does each big-valued identifier escape into a
+	// container (struct field, map/slice element, append, composite
+	// literal)?
+	escapes := map[types.Object]token.Pos{}
+	recordEscape := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok || !isBigPtr(p.TypeOf(id)) {
+			return
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return
+		}
+		if prev, seen := escapes[obj]; !seen || id.Pos() < prev {
+			escapes[obj] = id.Pos()
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			if len(t.Lhs) != len(t.Rhs) {
+				return true
+			}
+			for i, lhs := range t.Lhs {
+				switch lhs.(type) {
+				case *ast.IndexExpr, *ast.SelectorExpr:
+					recordEscape(t.Rhs[i])
+				}
+			}
+		case *ast.CallExpr:
+			if appendTarget(p, t) != nil {
+				for _, arg := range t.Args[1:] {
+					recordEscape(arg)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range t.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					recordEscape(kv.Value)
+				} else {
+					recordEscape(el)
+				}
+			}
+		}
+		return true
+	})
+
+	// Phase 2a: mutating calls on an identifier after it escaped.
+	var muts []*ast.CallExpr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if ok && mutatedBigReceiver(p, call) != nil {
+			muts = append(muts, call)
+		}
+		return true
+	})
+	sort.Slice(muts, func(i, j int) bool { return muts[i].Pos() < muts[j].Pos() })
+	for _, call := range muts {
+		id := mutatedBigReceiver(p, call)
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			continue
+		}
+		if escPos, escaped := escapes[obj]; escaped && escPos < call.Pos() {
+			sel := call.Fun.(*ast.SelectorExpr)
+			p.Report(call.Pos(), "bigalias",
+				fmt.Sprintf("%s.%s mutates a big value after it escaped into a container at line %d; "+
+					"store a copy (new(big.%s).Set(%s)) instead",
+					id.Name, sel.Sel.Name, p.Fset.Position(escPos).Line, bigKind(p.TypeOf(id)), id.Name))
+		}
+	}
+
+	// Phase 2b: storing the direct result of an in-place call whose
+	// receiver is an existing identifier (aliasing the stored value).
+	reportStore := func(e ast.Expr, where string) {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		id := mutatedBigReceiver(p, call)
+		if id == nil {
+			return
+		}
+		sel := call.Fun.(*ast.SelectorExpr)
+		p.Report(e.Pos(), "bigalias",
+			fmt.Sprintf("stores the result of in-place %s.%s into %s; the stored value aliases %q — "+
+				"use new(big.%s).%s(...) or copy first",
+				id.Name, sel.Sel.Name, where, id.Name, bigKind(p.TypeOf(id)), sel.Sel.Name))
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			if len(t.Lhs) != len(t.Rhs) {
+				return true
+			}
+			for i, lhs := range t.Lhs {
+				switch lhs.(type) {
+				case *ast.IndexExpr:
+					reportStore(t.Rhs[i], "a map/slice element")
+				case *ast.SelectorExpr:
+					reportStore(t.Rhs[i], "a struct field")
+				}
+			}
+		case *ast.CallExpr:
+			if appendTarget(p, t) != nil {
+				for _, arg := range t.Args[1:] {
+					reportStore(arg, "a slice")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range t.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					reportStore(kv.Value, "a composite literal")
+				} else {
+					reportStore(el, "a composite literal")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mutatedBigReceiver returns the receiver identifier when call is an
+// in-place math/big mutation on an existing identifier (x.Add(...),
+// not new(big.Int).Add(...)).
+func mutatedBigReceiver(p *Pass, call *ast.CallExpr) *ast.Ident {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !bigMutators[sel.Sel.Name] {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || !isBigPtr(p.TypeOf(id)) {
+		return nil
+	}
+	return id
+}
+
+func bigKind(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			return named.Obj().Name()
+		}
+	}
+	return "Int"
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errDrop flags expression statements that discard an error return
+// inside internal/. fmt printing functions and the never-failing
+// strings.Builder / bytes.Buffer writers are exempt; an explicit
+// `_ = f()` assignment documents intent and is also accepted.
+var errDrop = &Analyzer{
+	Name:  "errdrop",
+	Doc:   "discarded error returns inside internal/",
+	Scope: inInternal,
+	Run:   runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(p, call) || errDropExempt(p, call) {
+				return true
+			}
+			p.Report(call.Pos(), "errdrop",
+				fmt.Sprintf("result of %s discards an error; handle it or assign to _ explicitly", callName(call)))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's result contains an error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if isErrorType(t) {
+		return true
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// errDropExempt exempts fmt print calls and writers that are
+// documented never to fail.
+func errDropExempt(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if x, isIdent := sel.X.(*ast.Ident); isIdent {
+		if pkg, isPkg := p.Info.Uses[x].(*types.PkgName); isPkg {
+			if pkg.Imported().Path() == "fmt" {
+				return true
+			}
+			return false
+		}
+	}
+	// Methods on strings.Builder / bytes.Buffer return nil errors by
+	// contract.
+	recv := p.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	s := recv.String()
+	return strings.HasSuffix(s, "strings.Builder") || strings.HasSuffix(s, "bytes.Buffer")
+}
+
+func callName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

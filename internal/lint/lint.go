@@ -1,0 +1,201 @@
+// Package lint is a stdlib-only static-analysis suite for this
+// repository. It type-checks packages with go/parser + go/types and
+// runs repo-specific analyzers guarding solver correctness:
+//
+//   - bigalias:  big.Int/big.Rat values mutated after escaping into a
+//     container, and in-place results stored under an alias,
+//   - maporder:  map iteration feeding ordered output (appends,
+//     writes) without a subsequent sort,
+//   - errdrop:   discarded error returns inside internal/,
+//   - recbudget: recursive functions in the parser/normalizer
+//     packages without a depth or iteration budget.
+//
+// Findings are reported as "file:line: [check] message". A
+// "//lint:ordered <justification>" comment on the line of (or the line
+// before) a range statement suppresses maporder for that loop.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic.
+type Finding struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Msg)
+}
+
+// Analyzer is one check. Scope, when non-nil, restricts the packages
+// the check runs on (by import path).
+type Analyzer struct {
+	Name  string
+	Doc   string
+	Scope func(pkgPath string) bool
+	Run   func(*Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	Path    string
+	report  func(Finding)
+	ordered map[int]string // file-line -> justification, per current file set
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, check, msg string) {
+	p.report(Finding{Pos: p.Fset.Position(pos), Check: check, Msg: msg})
+}
+
+// TypeOf returns the type of an expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// All returns the analyzers in their canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{bigAlias, mapOrder, errDrop, recBudget}
+}
+
+// ByName resolves a comma-separated check list ("bigalias,errdrop");
+// an empty string selects all checks.
+func ByName(list string) ([]*Analyzer, error) {
+	if strings.TrimSpace(list) == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run type-checks every package under modRoot and runs the analyzers,
+// returning the findings sorted by position. Dirs, when non-empty,
+// restricts analysis to those package directories (they must be inside
+// the module); dependencies are still loaded as needed.
+func Run(modRoot string, dirs []string, analyzers []*Analyzer) ([]Finding, error) {
+	l, err := newLoader(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		dirs, err = walkDirs(l.modRoot)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var findings []Finding
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, analyze(pkg, analyzers)...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// analyze runs the analyzers over one loaded package.
+func analyze(pkg *Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, a := range analyzers {
+		if a.Scope != nil && !a.Scope(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Fset:    pkg.Fset,
+			Files:   pkg.Files,
+			Pkg:     pkg.Types,
+			Info:    pkg.Info,
+			Path:    pkg.Path,
+			ordered: orderedDirectives(pkg.Fset, pkg.Files),
+			report:  func(f Finding) { findings = append(findings, f) },
+		}
+		a.Run(pass)
+	}
+	sortFindings(findings)
+	return findings
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	})
+}
+
+// orderedDirective is the comment that suppresses maporder.
+const orderedDirective = "lint:ordered"
+
+// orderedDirectives collects //lint:ordered comments, keyed by the
+// line they annotate (the comment's own line; a directive on line N
+// suppresses a loop starting on line N or N+1). The value is the
+// justification text after the directive.
+func orderedDirectives(fset *token.FileSet, files []*ast.File) map[int]string {
+	out := map[int]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				if rest, ok := strings.CutPrefix(text, orderedDirective); ok {
+					line := fset.Position(c.Pos()).Line
+					out[line] = strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a statement starting at pos is covered by
+// a //lint:ordered directive with a non-empty justification, on either
+// its own line or the line above.
+func (p *Pass) suppressed(pos token.Pos) (bool, bool) {
+	line := p.Fset.Position(pos).Line
+	if just, ok := p.ordered[line]; ok {
+		return true, just != ""
+	}
+	if just, ok := p.ordered[line-1]; ok {
+		return true, just != ""
+	}
+	return false, false
+}
+
+// inInternal reports whether the import path is inside internal/ (the
+// repo's own code) or a lint fixture package.
+func inInternal(pkgPath string) bool {
+	return strings.Contains(pkgPath, "internal/") || strings.HasSuffix(pkgPath, "internal") ||
+		strings.Contains(pkgPath, "/testdata/")
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// mapOrder flags `for range` over a map whose body appends to a slice
+// declared outside the loop or writes output: Go randomizes map
+// iteration order, so such loops make emitted clauses, variable
+// numbering, and printed results differ between runs. A subsequent
+// sort of the appended slice (in the same function, after the loop)
+// discharges the finding, as does a //lint:ordered comment with a
+// justification.
+var mapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration feeding ordered output without a subsequent sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMapOrderFunc(p, fn)
+		}
+	}
+}
+
+func checkMapOrderFunc(p *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if has, justified := p.suppressed(rs.For); has {
+			if !justified {
+				p.Report(rs.For, "maporder", "//lint:ordered needs a justification")
+			}
+			return true
+		}
+		checkMapRange(p, fn, rs)
+		return true
+	})
+}
+
+func checkMapRange(p *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) {
+	appended := map[types.Object]bool{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := appendTarget(p, call); obj != nil {
+			// Only appends to slices that outlive the loop matter.
+			if obj.Pos() < rs.Pos() || obj.Pos() > rs.End() {
+				appended[obj] = true
+			}
+			return true
+		}
+		if name, isOut := outputCall(p, call); isOut {
+			p.Report(rs.For, "maporder",
+				fmt.Sprintf("%s writes output in map iteration order; iterate sorted keys instead", name))
+		}
+		return true
+	})
+	objs := make([]types.Object, 0, len(appended))
+	for obj := range appended {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		if !sortedAfter(p, fn, rs.End(), obj) {
+			p.Report(rs.For, "maporder",
+				fmt.Sprintf("appends to %q in map iteration order without a subsequent sort; "+
+					"sort the result or iterate sorted keys (//lint:ordered <why> suppresses)", obj.Name()))
+		}
+	}
+}
+
+// appendTarget returns the object being appended to when call is
+// `append(x, ...)` with an identifier first argument.
+func appendTarget(p *Pass, call *ast.CallExpr) types.Object {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return nil
+	}
+	if b, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin || b.Name() != "append" {
+		return nil
+	}
+	target, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return p.Info.Uses[target]
+}
+
+// outputCall reports whether the call emits output: an fmt print
+// function or a Write*/Print* method on any receiver (including
+// strings.Builder — building a string in map order is as
+// nondeterministic as printing in map order).
+func outputCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if x, isIdent := sel.X.(*ast.Ident); isIdent {
+		if pkg, isPkg := p.Info.Uses[x].(*types.PkgName); isPkg {
+			if pkg.Imported().Path() == "fmt" &&
+				(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+				return "fmt." + name, true
+			}
+			return "", false
+		}
+	}
+	if strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Print") {
+		return "." + name, true
+	}
+	return "", false
+}
+
+// sortedAfter reports whether a sort.* or slices.Sort* call mentioning
+// obj appears after pos inside the function body.
+func sortedAfter(p *Pass, fn *ast.FuncDecl, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		x, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg, ok := p.Info.Uses[x].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if path := pkg.Imported().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentions := false
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, isIdent := a.(*ast.Ident); isIdent && p.Info.Uses[id] == obj {
+					mentions = true
+					return false
+				}
+				return true
+			})
+			if mentions {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// recBudget flags recursive functions (direct or mutual) in the
+// parser/normalizer packages that have no depth or iteration budget:
+// without one, adversarial input (deeply nested .smt2 terms, deep
+// formula trees) drives the recursion until the goroutine stack blows.
+// A function passes if it has a parameter — or its receiver type a
+// field — whose name suggests a budget (depth, budget, fuel, limit,
+// steps, gas, guard). String methods are exempt: the Stringer contract
+// fixes their signature.
+var recBudget = &Analyzer{
+	Name: "recbudget",
+	Doc:  "recursive functions without a depth/iteration budget",
+	Scope: func(path string) bool {
+		for _, p := range []string{"internal/lia", "internal/automata", "internal/smtlib"} {
+			if strings.HasSuffix(path, p) {
+				return true
+			}
+		}
+		return strings.Contains(path, "/testdata/")
+	},
+	Run: runRecBudget,
+}
+
+var budgetName = regexp.MustCompile(`(?i)depth|budget|fuel|limit|steps|gas|guard`)
+
+// fnode is one call-graph node: a package-level function declaration
+// and the set of same-package functions it references.
+type fnode struct {
+	decl  *ast.FuncDecl
+	calls map[*types.Func]bool
+}
+
+func runRecBudget(p *Pass) {
+	// Package-level functions and methods, and the call edges between
+	// them (a reference to a function counts as a potential call).
+	nodes := map[*types.Func]*fnode{}
+	var order []*types.Func
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			nodes[obj] = &fnode{decl: fn, calls: map[*types.Func]bool{}}
+			order = append(order, obj)
+		}
+	}
+	for obj, node := range nodes {
+		_ = obj
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if callee, ok := p.Info.Uses[id].(*types.Func); ok {
+				if _, local := nodes[callee]; local {
+					node.calls[callee] = true
+				}
+			}
+			return true
+		})
+	}
+
+	recursive := findRecursive(nodes, order)
+	for _, obj := range order {
+		if !recursive[obj] {
+			continue
+		}
+		decl := nodes[obj].decl
+		if decl.Name.Name == "String" && decl.Recv != nil {
+			continue // Stringer contract: cannot take a budget parameter
+		}
+		if hasBudgetParam(decl) || hasBudgetReceiverField(p, decl) {
+			continue
+		}
+		p.Report(decl.Pos(), "recbudget",
+			fmt.Sprintf("recursive function %q has no depth/iteration budget parameter "+
+				"(stack overflow on adversarial input)", obj.Name()))
+	}
+}
+
+// findRecursive returns the functions on a call-graph cycle (including
+// self-loops), via DFS-based strongly connected components.
+func findRecursive(nodes map[*types.Func]*fnode, order []*types.Func) map[*types.Func]bool {
+	index := map[*types.Func]int{}
+	low := map[*types.Func]int{}
+	onStack := map[*types.Func]bool{}
+	var stack []*types.Func
+	next := 0
+	recursive := map[*types.Func]bool{}
+
+	var strongconnect func(v *types.Func)
+	strongconnect = func(v *types.Func) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		callees := make([]*types.Func, 0, len(nodes[v].calls))
+		for w := range nodes[v].calls {
+			callees = append(callees, w)
+		}
+		sort.Slice(callees, func(i, j int) bool { return callees[i].Pos() < callees[j].Pos() })
+		for _, w := range callees {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			var scc []*types.Func
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				for _, w := range scc {
+					recursive[w] = true
+				}
+			} else if nodes[v].calls[v] {
+				recursive[v] = true // direct self-recursion
+			}
+		}
+	}
+	for _, v := range order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return recursive
+}
+
+func hasBudgetParam(decl *ast.FuncDecl) bool {
+	if decl.Type.Params == nil {
+		return false
+	}
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			if budgetName.MatchString(name.Name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasBudgetReceiverField reports whether the method's receiver is a
+// struct (possibly behind a pointer) with a budget-named field: the
+// budget travels on the receiver instead of the parameter list.
+func hasBudgetReceiverField(p *Pass, decl *ast.FuncDecl) bool {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return false
+	}
+	t := p.TypeOf(decl.Recv.List[0].Type)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if budgetName.MatchString(st.Field(i).Name()) {
+			return true
+		}
+	}
+	return false
+}

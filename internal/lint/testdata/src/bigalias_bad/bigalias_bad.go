@@ -1,0 +1,45 @@
+// Package bigalias_bad holds failing fixtures for the bigalias check.
+package bigalias_bad
+
+import "math/big"
+
+type row struct {
+	val *big.Int
+}
+
+// MutateAfterEscape stores x in a map and then keeps mutating it: the
+// stored entry silently changes underfoot.
+func MutateAfterEscape(m map[string]*big.Int, x *big.Int) {
+	m["total"] = x
+	x.Add(x, big.NewInt(1)) // want bigalias
+}
+
+// StoreInPlaceResult stores the result of an in-place Add whose
+// receiver is an existing value: the map entry aliases acc.
+func StoreInPlaceResult(m map[string]*big.Int, acc, delta *big.Int) {
+	m["sum"] = acc.Add(acc, delta) // want bigalias
+}
+
+// AppendAlias appends the result of an in-place Mul: every element of
+// the slice ends up aliasing the same accumulator.
+func AppendAlias(out []*big.Int, acc *big.Int) []*big.Int {
+	out = append(out, acc.Mul(acc, acc)) // want bigalias
+	return out
+}
+
+// FieldAlias stores an in-place Sub result into a struct field.
+func FieldAlias(r *row, a, b *big.Int) {
+	r.val = a.Sub(a, b) // want bigalias
+}
+
+// CompositeAlias builds a struct literal around an in-place Neg result.
+func CompositeAlias(a *big.Int) row {
+	return row{val: a.Neg(a)} // want bigalias
+}
+
+// MutateAfterAppend mutates after the value escaped into a slice.
+func MutateAfterAppend(xs []*big.Int, x *big.Int) []*big.Int {
+	xs = append(xs, x)
+	x.SetInt64(0) // want bigalias
+	return xs
+}

@@ -1,0 +1,41 @@
+// Package bigalias_good holds passing fixtures for the bigalias check.
+package bigalias_good
+
+import "math/big"
+
+type row struct {
+	val *big.Int
+}
+
+// StoreCopy stores a defensive copy before continuing to mutate the
+// accumulator: the canonical safe idiom.
+func StoreCopy(m map[string]*big.Int, x *big.Int) {
+	m["total"] = new(big.Int).Set(x)
+	x.Add(x, big.NewInt(1))
+}
+
+// FreshReceiver stores the result of an Add whose receiver is a fresh
+// value, so nothing is aliased.
+func FreshReceiver(m map[string]*big.Int, a, b *big.Int) {
+	m["sum"] = new(big.Int).Add(a, b)
+}
+
+// AppendCopies appends copies, mutating the accumulator afterwards.
+func AppendCopies(out []*big.Int, acc *big.Int) []*big.Int {
+	out = append(out, new(big.Int).Set(acc))
+	acc.Mul(acc, acc)
+	return out
+}
+
+// MutateBeforeEscape mutates first and stores afterwards; the stored
+// value is never changed again inside this function.
+func MutateBeforeEscape(r *row, a, b *big.Int) {
+	a.Sub(a, b)
+	r.val = a
+}
+
+// ReadOnly only reads escaped values.
+func ReadOnly(m map[string]*big.Int, x *big.Int) *big.Int {
+	m["seen"] = x
+	return new(big.Int).Add(x, m["seen"])
+}

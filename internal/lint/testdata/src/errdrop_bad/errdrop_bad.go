@@ -1,0 +1,32 @@
+// Package errdrop_bad holds failing fixtures for the errdrop check.
+package errdrop_bad
+
+import (
+	"io"
+	"os"
+	"strconv"
+)
+
+func step() error { return nil }
+
+func parse(s string) (int, error) { return strconv.Atoi(s) }
+
+// DropPlain discards a bare error return.
+func DropPlain() {
+	step() // want errdrop
+}
+
+// DropTuple discards the error half of a (value, error) return.
+func DropTuple(s string) {
+	parse(s) // want errdrop
+}
+
+// DropMethod discards an error from a method call.
+func DropMethod(f *os.File, p []byte) {
+	f.Write(p) // want errdrop
+}
+
+// DropInterface discards an error from an interface method.
+func DropInterface(c io.Closer) {
+	c.Close() // want errdrop
+}

@@ -1,0 +1,53 @@
+// Package errdrop_good holds passing fixtures for the errdrop check.
+package errdrop_good
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+func step() error { return nil }
+
+// Handled checks the error.
+func Handled() error {
+	if err := step(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ExplicitDiscard documents intent with a blank assignment.
+func ExplicitDiscard() {
+	_ = step()
+}
+
+// HandledTuple consumes both results.
+func HandledTuple(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// FmtExempt: fmt printing error returns are conventionally ignored.
+func FmtExempt(v int) {
+	fmt.Println(v)
+}
+
+// BuilderExempt: strings.Builder writes never fail.
+func BuilderExempt(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// NoError calls a function without an error result.
+func NoError(xs []int) {
+	count(xs)
+}
+
+func count(xs []int) int { return len(xs) }

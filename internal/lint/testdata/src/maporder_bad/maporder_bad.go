@@ -1,0 +1,53 @@
+// Package maporder_bad holds failing fixtures for the maporder check.
+package maporder_bad
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CollectUnsorted appends map keys without ever sorting the result:
+// callers observe a different order every run.
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want maporder
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// PrintEntries prints in map iteration order.
+func PrintEntries(m map[string]int) {
+	for k, v := range m { // want maporder
+		fmt.Println(k, v)
+	}
+}
+
+// WriteEntries writes clauses to an output stream in map order.
+func WriteEntries(w io.Writer, m map[string]int) {
+	for k, v := range m { // want maporder
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// BuildString builds a string in map iteration order; as
+// nondeterministic as printing.
+func BuildString(m map[string]bool) string {
+	var b strings.Builder
+	for k := range m { // want maporder
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// BareDirective has a //lint:ordered with no justification, which is
+// itself a finding.
+func BareDirective(m map[string]int) []string {
+	var keys []string
+	//lint:ordered
+	for k := range m { // want maporder
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,58 @@
+// Package maporder_good holds passing fixtures for the maporder check.
+package maporder_good
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CollectSorted appends map keys and sorts them before returning: the
+// subsequent sort discharges the finding.
+func CollectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PrintSortedKeys iterates an already-sorted key slice, not the map.
+func PrintSortedKeys(m map[string]int) {
+	keys := CollectSorted(m)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// SumValues ranges over a map but the body neither appends to an
+// outer slice nor writes output: order cannot be observed.
+func SumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Justified carries a //lint:ordered directive with a justification.
+func Justified(m map[string]int) []string {
+	var keys []string
+	//lint:ordered order is re-established by the caller's sort
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// LocalAppend appends to a slice declared inside the loop body; it
+// cannot outlive an iteration, so order is unobservable.
+func LocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

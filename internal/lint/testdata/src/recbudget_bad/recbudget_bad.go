@@ -1,0 +1,45 @@
+// Package recbudget_bad holds failing fixtures for the recbudget check.
+package recbudget_bad
+
+type tree struct {
+	kids []*tree
+}
+
+// Size is directly recursive with no depth budget: a deep input blows
+// the stack.
+func Size(t *tree) int { // want recbudget
+	n := 1
+	for _, k := range t.kids {
+		n += Size(k)
+	}
+	return n
+}
+
+// evenNodes and oddNodes are mutually recursive without a budget.
+func evenNodes(t *tree) int { // want recbudget
+	n := 0
+	for _, k := range t.kids {
+		n += oddNodes(k)
+	}
+	return n
+}
+
+func oddNodes(t *tree) int { // want recbudget
+	n := 1
+	for _, k := range t.kids {
+		n += evenNodes(k)
+	}
+	return n
+}
+
+type walker struct {
+	seen int
+}
+
+// Walk is a recursive method on a receiver without a budget field.
+func (w *walker) Walk(t *tree) { // want recbudget
+	w.seen++
+	for _, k := range t.kids {
+		w.Walk(k)
+	}
+}

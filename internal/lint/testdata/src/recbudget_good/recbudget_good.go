@@ -1,0 +1,64 @@
+// Package recbudget_good holds passing fixtures for the recbudget check.
+package recbudget_good
+
+import "fmt"
+
+type tree struct {
+	kids []*tree
+}
+
+// SizeAt carries an explicit depth parameter.
+func SizeAt(t *tree, depth int) int {
+	if depth > 1024 {
+		panic("recbudget_good: tree too deep")
+	}
+	n := 1
+	for _, k := range t.kids {
+		n += SizeAt(k, depth+1)
+	}
+	return n
+}
+
+// countDown carries its budget under another accepted name.
+func countDown(t *tree, fuel int) int {
+	if fuel == 0 {
+		return 0
+	}
+	n := 1
+	for _, k := range t.kids {
+		n += countDown(k, fuel-1)
+	}
+	return n
+}
+
+type walker struct {
+	depthLimit int
+}
+
+// Walk recurses but the receiver carries a budget field.
+func (w *walker) Walk(t *tree) int {
+	if w.depthLimit == 0 {
+		return 0
+	}
+	inner := walker{depthLimit: w.depthLimit - 1}
+	n := 1
+	for _, k := range t.kids {
+		n += inner.Walk(k)
+	}
+	return n
+}
+
+// String is recursive but exempt: the Stringer contract fixes its
+// signature, so it cannot take a budget parameter.
+func (t *tree) String() string {
+	out := "("
+	for _, k := range t.kids {
+		out += k.String()
+	}
+	return out + ")"
+}
+
+// Flat is iterative: never flagged.
+func Flat(t *tree) string {
+	return fmt.Sprintf("%d kids", len(t.kids))
+}

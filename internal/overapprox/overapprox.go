@@ -26,6 +26,7 @@ package overapprox
 import (
 	"fmt"
 	"math/big"
+	"sort"
 
 	"repro/internal/automata"
 	"repro/internal/lia"
@@ -78,8 +79,13 @@ func Abstract(prob *strcon.Problem) *Result {
 		conj = append(conj, lia.False)
 	}
 	// Intersection emptiness per variable (bounded product size).
-	for _, nfas := range a.memberships {
-		if emptyIntersection(nfas) {
+	memberVars := make([]strcon.Var, 0, len(a.memberships))
+	for x := range a.memberships {
+		memberVars = append(memberVars, x)
+	}
+	sort.Slice(memberVars, func(i, j int) bool { return memberVars[i] < memberVars[j] })
+	for _, x := range memberVars {
+		if emptyIntersection(a.memberships[x]) {
 			conj = append(conj, lia.False)
 			break
 		}

@@ -2,6 +2,7 @@ package pfa
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/alphabet"
@@ -120,10 +121,21 @@ func (f *Flat) build() {
 	pa.NumStates = next
 	pa.Init = spine[0]
 	pa.Final = spine[len(spine)-1]
-	for v, code := range f.pins {
-		pa.Local = append(pa.Local, lia.EqConst(v, int64(code)))
+	for _, v := range sortedPinVars(f.pins) {
+		pa.Local = append(pa.Local, lia.EqConst(v, int64(f.pins[v])))
 	}
 	f.pa = pa
+}
+
+// sortedPinVars returns the pin map's keys in increasing order so pin
+// constraints are emitted deterministically.
+func sortedPinVars(pins map[lia.Var]int) []lia.Var {
+	out := make([]lia.Var, 0, len(pins))
+	for v := range pins {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // PA returns the parametric automaton of the restriction.
@@ -149,8 +161,8 @@ func (f *Flat) Base() lia.Formula {
 		conj = append(conj, domain(b)...)
 		conj = append(conj, lia.EqConst(f.counts[b], 1))
 	}
-	for v, code := range f.pins {
-		conj = append(conj, lia.EqConst(v, int64(code)))
+	for _, v := range sortedPinVars(f.pins) {
+		conj = append(conj, lia.EqConst(v, int64(f.pins[v])))
 	}
 	return lia.And(conj...)
 }

@@ -1,0 +1,59 @@
+package smtlib_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/smtlib"
+)
+
+// FuzzParseSMTLIB throws arbitrary bytes at the SMT-LIB front end. The
+// parser must either return a script or an error — never panic and
+// never recurse past its depth budget — for any input. Seeds combine
+// real scripts rendered from the generated benchmark suites with
+// hand-picked tricky fragments (deep nesting, escapes, huge literals,
+// malformed arities).
+func FuzzParseSMTLIB(f *testing.F) {
+	for _, suite := range append(bench.Table1Suites(1), bench.Table2Suites(1)...) {
+		for _, inst := range suite.Instances {
+			src, err := smtlib.Write(inst.Build())
+			if err != nil {
+				continue // unwritable instances are not parser seeds
+			}
+			f.Add(src)
+		}
+	}
+	for _, s := range []string{
+		"",
+		"(",
+		")",
+		"(check-sat)",
+		"(assert",
+		"(assert (= x \"\\u{1F600}\"))",
+		"(declare-fun x () String)(assert (= x \"a\\\"b\"))(check-sat)",
+		"(assert (not))",
+		"(assert (not (not (not true))))",
+		"(assert (= (str.++) \"\"))",
+		"(assert (str.in_re x (re.loop (str.to_re \"a\") 2 100000000)))",
+		"(assert (str.in_re x (re.* (re.* (re.* re.allchar)))))",
+		"(assert (= (str.substr x 0) x))",
+		"(assert (> (str.to_int x)))",
+		"(assert (= (str.from_int) x))",
+		"(assert (and (= x y) (or (= y z))))",
+		"(set-logic QF_SLIA)(declare-fun |weird name| () String)(check-sat)",
+		"(assert (= x \"" + strings.Repeat("a", 4096) + "\"))",
+		strings.Repeat("(assert (and ", 600) + "true" + strings.Repeat("))", 600),
+		strings.Repeat("(", 10000),
+		"(assert (str.in_re x " + strings.Repeat("(re.union ", 500) +
+			"(str.to_re \"a\")" + strings.Repeat(" (re.none))", 500) + "))",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		script, err := smtlib.Parse(src)
+		if err == nil && script == nil {
+			t.Fatal("Parse returned nil script and nil error")
+		}
+	})
+}

@@ -55,10 +55,17 @@ func parseSExprs(src string) ([]*node, error) {
 	}
 }
 
+// maxParseDepth bounds S-expression nesting. The recursive-descent
+// parser would otherwise overflow the goroutine stack on adversarial
+// inputs like a long run of '('; real benchmark files stay far below
+// this.
+const maxParseDepth = 4096
+
 type sparser struct {
-	src  string
-	pos  int
-	line int
+	src   string
+	pos   int
+	line  int
+	depth int // current sexpr recursion depth (bounded by maxParseDepth)
 }
 
 func (p *sparser) skipSpace() {
@@ -84,6 +91,11 @@ func (p *sparser) sexpr() (*node, error) {
 	p.skipSpace()
 	if p.pos >= len(p.src) {
 		return nil, fmt.Errorf("line %d: unexpected end of input", p.line)
+	}
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxParseDepth {
+		return nil, fmt.Errorf("line %d: expression nesting exceeds depth budget (%d)", p.line, maxParseDepth)
 	}
 	line := p.line
 	switch c := p.src[p.pos]; {

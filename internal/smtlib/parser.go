@@ -52,7 +52,21 @@ type translator struct {
 	sorts  map[string]string // name -> "String" | "Int" | "Bool"
 	aux    []strcon.Constraint
 	fresh  int
+	depth  int // term recursion depth (bounded by maxParseDepth)
 }
+
+// enter bounds the recursion of the mutually recursive term
+// translators. The lexer already bounds node nesting, so this is
+// defense in depth against translator-internal expansion.
+func (t *translator) enter(n *node) error {
+	t.depth++
+	if t.depth > maxParseDepth {
+		return t.errf(n, "term nesting exceeds depth budget (%d)", maxParseDepth)
+	}
+	return nil
+}
+
+func (t *translator) leave() { t.depth-- }
 
 func (t *translator) errf(n *node, format string, args ...interface{}) error {
 	return fmt.Errorf("line %d: %s (in %s)", n.line, fmt.Sprintf(format, args...), truncate(n.String()))
@@ -165,10 +179,17 @@ func (t *translator) boolTerm(n *node, pos bool) (strcon.Constraint, error) {
 	if len(n.list) == 0 {
 		return nil, t.errf(n, "empty term")
 	}
+	if err := t.enter(n); err != nil {
+		return nil, err
+	}
+	defer t.leave()
 	op := n.list[0].atom
 	args := n.list[1:]
 	switch op {
 	case "not":
+		if len(args) != 1 {
+			return nil, t.errf(n, "not takes one argument")
+		}
 		return t.boolTerm(args[0], !pos)
 	case "and", "or":
 		isAnd := (op == "and") == pos
@@ -232,6 +253,9 @@ func (t *translator) boolTerm(n *node, pos bool) (strcon.Constraint, error) {
 		}
 		return &strcon.Arith{F: lia.Ne(l, r)}, nil
 	case "<", "<=", ">", ">=":
+		if len(args) != 2 {
+			return nil, t.errf(n, "%s takes two arguments", op)
+		}
 		l, err := t.intExpr(args[0])
 		if err != nil {
 			return nil, err
@@ -256,6 +280,9 @@ func (t *translator) boolTerm(n *node, pos bool) (strcon.Constraint, error) {
 		}
 		return &strcon.Arith{F: f}, nil
 	case "str.in_re", "str.in.re":
+		if len(args) != 2 {
+			return nil, t.errf(n, "%s takes two arguments", op)
+		}
 		x, err := t.strVarOf(args[0])
 		if err != nil {
 			return nil, err
@@ -398,6 +425,13 @@ func (t *translator) strTerm(n *node) (strcon.Term, error) {
 		}
 		return nil, t.errf(n, "unknown string symbol %q", n.atom)
 	}
+	if len(n.list) == 0 {
+		return nil, t.errf(n, "empty term")
+	}
+	if err := t.enter(n); err != nil {
+		return nil, err
+	}
+	defer t.leave()
 	op := n.list[0].atom
 	args := n.list[1:]
 	prob := t.script.Problem
@@ -413,6 +447,9 @@ func (t *translator) strTerm(n *node) (strcon.Term, error) {
 		}
 		return out, nil
 	case "str.at":
+		if len(args) != 2 {
+			return nil, t.errf(n, "str.at takes two arguments")
+		}
 		x, err := t.strVarOf(args[0])
 		if err != nil {
 			return nil, err
@@ -425,6 +462,9 @@ func (t *translator) strTerm(n *node) (strcon.Term, error) {
 		t.aux = append(t.aux, prob.CharAt(y, x, i))
 		return strcon.T(strcon.TV(y)), nil
 	case "str.substr":
+		if len(args) != 3 {
+			return nil, t.errf(n, "str.substr takes three arguments")
+		}
 		x, err := t.strVarOf(args[0])
 		if err != nil {
 			return nil, err
@@ -441,6 +481,9 @@ func (t *translator) strTerm(n *node) (strcon.Term, error) {
 		t.aux = append(t.aux, prob.Substr(y, x, i, l))
 		return strcon.T(strcon.TV(y)), nil
 	case "str.from_int", "str.from.int":
+		if len(args) != 1 {
+			return nil, t.errf(n, "%s takes one argument", op)
+		}
 		e, err := t.intExpr(args[0])
 		if err != nil {
 			return nil, err
@@ -465,6 +508,13 @@ func (t *translator) intExpr(n *node) (*lia.LinExpr, error) {
 		}
 		return nil, t.errf(n, "unknown integer symbol %q", n.atom)
 	}
+	if len(n.list) == 0 {
+		return nil, t.errf(n, "empty term")
+	}
+	if err := t.enter(n); err != nil {
+		return nil, err
+	}
+	defer t.leave()
 	op := n.list[0].atom
 	args := n.list[1:]
 	switch op {
@@ -479,6 +529,9 @@ func (t *translator) intExpr(n *node) (*lia.LinExpr, error) {
 		}
 		return out, nil
 	case "-":
+		if len(args) == 0 {
+			return nil, t.errf(n, "- takes at least one argument")
+		}
 		if len(args) == 1 {
 			e, err := t.intExpr(args[0])
 			if err != nil {
@@ -519,12 +572,18 @@ func (t *translator) intExpr(n *node) (*lia.LinExpr, error) {
 		}
 		return nil, t.errf(n, "nonlinear multiplication is not supported")
 	case "str.len":
+		if len(args) != 1 {
+			return nil, t.errf(n, "str.len takes one argument")
+		}
 		x, err := t.strVarOf(args[0])
 		if err != nil {
 			return nil, err
 		}
 		return lia.V(t.script.Problem.LenVar(x)), nil
 	case "str.to_int", "str.to.int":
+		if len(args) != 1 {
+			return nil, t.errf(n, "%s takes one argument", op)
+		}
 		x, err := t.strVarOf(args[0])
 		if err != nil {
 			return nil, err
@@ -575,6 +634,13 @@ func (t *translator) reTerm(n *node) (*automata.NFA, error) {
 		}
 		return nil, t.errf(n, "unsupported regex atom %q", n.atom)
 	}
+	if len(n.list) == 0 {
+		return nil, t.errf(n, "empty term")
+	}
+	if err := t.enter(n); err != nil {
+		return nil, err
+	}
+	defer t.leave()
 	op := n.list[0].atom
 	args := n.list[1:]
 	unary := func() (*automata.NFA, error) {
@@ -672,6 +738,12 @@ func (t *translator) reTerm(n *node) (*automata.NFA, error) {
 			hi, err2 := strconv.Atoi(args[2].atom)
 			if err1 != nil || err2 != nil {
 				return nil, t.errf(n, "re.loop bounds must be integers")
+			}
+			// Repeat unrolls the automaton hi times; cap the bounds so
+			// adversarial inputs cannot demand gigantic unrollings.
+			const maxLoopBound = 512
+			if lo < 0 || hi < lo || hi > maxLoopBound {
+				return nil, t.errf(n, "re.loop bounds out of range (0 <= lo <= hi <= %d)", maxLoopBound)
 			}
 			return automata.Repeat(r, lo, hi), nil
 		}

@@ -24,7 +24,7 @@ func Write(prob *strcon.Problem) (string, error) {
 		fmt.Fprintf(&b, "(declare-fun %s () Int)\n", symbol(prob.Lia.Name(iv)))
 	}
 	for _, c := range prob.Constraints {
-		s, err := writeCon(prob, c)
+		s, err := writeCon(prob, c, 0)
 		if err != nil {
 			return "", err
 		}
@@ -45,7 +45,10 @@ func symbol(name string) string {
 	return name
 }
 
-func writeCon(prob *strcon.Problem, c strcon.Constraint) (string, error) {
+func writeCon(prob *strcon.Problem, c strcon.Constraint, depth int) (string, error) {
+	if depth > maxParseDepth {
+		return "", fmt.Errorf("smtlib: constraint nesting exceeds depth budget (%d)", maxParseDepth)
+	}
 	switch t := c.(type) {
 	case *strcon.WordEq:
 		return fmt.Sprintf("(= %s %s)", writeTerm(prob, t.L), writeTerm(prob, t.R)), nil
@@ -78,14 +81,14 @@ func writeCon(prob *strcon.Problem, c strcon.Constraint) (string, error) {
 		return fmt.Sprintf("(and (= (str.len %s) 1) (= %s (str.to_int %s)))",
 			symbol(prob.StrName(t.X)), symbol(prob.Lia.Name(t.N)), symbol(prob.StrName(t.X))), nil
 	case *strcon.AndCon:
-		return writeJunction(prob, "and", t.Args)
+		return writeJunction(prob, "and", t.Args, depth+1)
 	case *strcon.OrCon:
-		return writeJunction(prob, "or", t.Args)
+		return writeJunction(prob, "or", t.Args, depth+1)
 	}
 	return "", fmt.Errorf("smtlib: unsupported constraint %T", c)
 }
 
-func writeJunction(prob *strcon.Problem, op string, args []strcon.Constraint) (string, error) {
+func writeJunction(prob *strcon.Problem, op string, args []strcon.Constraint, depth int) (string, error) {
 	if len(args) == 0 {
 		if op == "and" {
 			return "true", nil
@@ -94,7 +97,7 @@ func writeJunction(prob *strcon.Problem, op string, args []strcon.Constraint) (s
 	}
 	parts := make([]string, len(args))
 	for i, a := range args {
-		s, err := writeCon(prob, a)
+		s, err := writeCon(prob, a, depth+1)
 		if err != nil {
 			return "", err
 		}
@@ -224,8 +227,9 @@ func patternToRe(pat string) (string, error) {
 }
 
 type reWriter struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	depth int // group nesting depth (bounded by maxParseDepth)
 }
 
 func (p *reWriter) peek() (byte, bool) {
@@ -311,7 +315,12 @@ func (p *reWriter) atom() (string, error) {
 	switch c {
 	case '(':
 		p.pos++
+		p.depth++
+		if p.depth > maxParseDepth {
+			return "", fmt.Errorf("smtlib: pattern nesting exceeds depth budget (%d)", maxParseDepth)
+		}
 		out, err := p.alternation()
+		p.depth--
 		if err != nil {
 			return "", err
 		}

@@ -1,0 +1,107 @@
+package trau
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/strcon"
+)
+
+// solveToNumFor pins x to lit, asserts n = toNum(x), and returns the
+// solver's value for n.
+func solveToNumFor(t *testing.T, lit string) int64 {
+	t.Helper()
+	s := NewSolver()
+	x := s.StrVar("x")
+	n := s.IntVar("n")
+	s.Require(Eq(T(V(x)), T(C(lit))))
+	s.Require(ToNum(n, x))
+	res := s.Solve()
+	if res.Status != StatusSat {
+		t.Fatalf("toNum(%q): got %v, want sat", lit, res.Status)
+	}
+	if got := res.StrValue(x); got != lit {
+		t.Fatalf("toNum(%q): model x = %q", lit, got)
+	}
+	return res.IntValue(n)
+}
+
+// TestToNumEdgeCases drives the paper's Ψ_NaN edge cases through the
+// public API and cross-checks each solver answer against the reference
+// evaluator strcon.ToNumValue: toNum("") = -1, leading zeros are
+// preserved value-wise (toNum("007") = 7), and any non-digit character
+// yields -1.
+func TestToNumEdgeCases(t *testing.T) {
+	cases := []struct {
+		lit  string
+		want int64
+	}{
+		{"", -1},   // empty string is not a numeral
+		{"007", 7}, // leading zeros: same value as "7"
+		{"0", 0},
+		{"42", 42},
+		{"4a2", -1}, // non-digit in the middle
+		{"-7", -1},  // sign characters are not digits
+		{" 7", -1},  // whitespace is not trimmed
+		{"7 ", -1},
+		{"１２３", -1}, // fullwidth digits are multi-byte, not ASCII digits
+	}
+	for _, c := range cases {
+		got := solveToNumFor(t, c.lit)
+		if got != c.want {
+			t.Errorf("toNum(%q) = %d, want %d", c.lit, got, c.want)
+		}
+		ref := strcon.ToNumValue(c.lit)
+		if ref.Cmp(big.NewInt(c.want)) != 0 {
+			t.Errorf("reference evaluator disagrees: ToNumValue(%q) = %s, want %d", c.lit, ref, c.want)
+		}
+	}
+}
+
+// TestToNumNaNIsNegativeOne checks the Ψ_NaN encoding from the other
+// direction: requiring n = -1 forces x into the NaN language (empty or
+// containing a non-digit), and requiring n = -1 for a nonempty
+// digits-only x is unsatisfiable.
+func TestToNumNaNIsNegativeOne(t *testing.T) {
+	s := NewSolver()
+	x := s.StrVar("x")
+	n := s.IntVar("n")
+	s.Require(ToNum(n, x))
+	s.Require(IntEq(IntVal(n), IntConst(-1)))
+	res := s.Solve()
+	if res.Status != StatusSat {
+		t.Fatalf("n = -1: got %v, want sat", res.Status)
+	}
+	if v := res.StrValue(x); strcon.ToNumValue(v).Sign() >= 0 {
+		t.Fatalf("n = -1 but model x = %q is a numeral", v)
+	}
+
+	s2 := NewSolver()
+	x2 := s2.StrVar("x")
+	n2 := s2.IntVar("n")
+	s2.Require(ToNum(n2, x2))
+	s2.Require(MustInRegex(x2, "[0-9][0-9]*"))
+	s2.Require(IntEq(IntVal(n2), IntConst(-1)))
+	if res := s2.Solve(); res.Status != StatusUnsat {
+		t.Fatalf("digit-only x with n = -1: got %v, want unsat", res.Status)
+	}
+}
+
+// TestToNumModelAgreement solves an underconstrained toNum instance and
+// checks the model against the reference evaluator.
+func TestToNumModelAgreement(t *testing.T) {
+	s := NewSolver()
+	x := s.StrVar("x")
+	n := s.IntVar("n")
+	s.Require(ToNum(n, x))
+	s.Require(IntGe(IntVal(n), IntConst(10)))
+	s.Require(IntLe(IntVal(n), IntConst(99)))
+	res := s.Solve()
+	if res.Status != StatusSat {
+		t.Fatalf("got %v, want sat", res.Status)
+	}
+	xv, nv := res.StrValue(x), res.IntValue(n)
+	if strcon.ToNumValue(xv).Cmp(big.NewInt(nv)) != 0 {
+		t.Fatalf("model disagrees with evaluator: toNum(%q) != %d", xv, nv)
+	}
+}
