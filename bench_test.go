@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/flatten"
 	"repro/internal/lia"
 	"repro/internal/regex"
@@ -115,7 +116,7 @@ func BenchmarkAblationConnectivity(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			prob := build()
 			prob.Prepare()
-			fl := flatten.Flatten(prob, flatten.DefaultParams)
+			fl := flatten.Flatten(prob, prob.Constraints, flatten.DefaultParams, nil)
 			res, _ := lia.Solve(fl.Formula, &lia.Options{OnModel: fl.OnModel})
 			if res != lia.ResSat {
 				b.Fatal(res)
@@ -128,7 +129,7 @@ func BenchmarkAblationConnectivity(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			prob := build()
 			prob.Prepare()
-			fl := flatten.FlattenEager(prob, flatten.DefaultParams)
+			fl := flatten.FlattenEager(prob, prob.Constraints, flatten.DefaultParams, nil)
 			res, _ := lia.Solve(fl.Formula, &lia.Options{})
 			if res != lia.ResSat {
 				b.Fatal(res)
@@ -175,7 +176,7 @@ func BenchmarkAblationNumericPFA(b *testing.B) {
 		b.Run(s.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				for _, inst := range insts {
-					s.Run(inst.Build(), benchTimeout)
+					s.Run(inst.Build(), engine.WithTimeout(benchTimeout))
 				}
 			}
 		})
@@ -243,7 +244,7 @@ func BenchmarkFlattenLuhn8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		prob := inst.Build()
 		prob.Prepare()
-		fl := flatten.Flatten(prob, flatten.DefaultParams)
+		fl := flatten.Flatten(prob, prob.Constraints, flatten.DefaultParams, nil)
 		_ = fl.Formula
 	}
 }

@@ -23,6 +23,15 @@ go build ./...
 echo "==> traulint"
 go run ./cmd/traulint ./...
 
+echo "==> cancellation tests (-race)"
+# The cooperative-cancellation paths are the raciest code in the tree:
+# every layer must abort promptly when its engine.Ctx is cancelled from
+# another goroutine, and the parallel portfolio must stay deterministic.
+# Run them first and explicitly so a hang here is attributed correctly.
+go test -race -run 'Cancel|Deadline|Timeout|Parallel' \
+    ./internal/sat ./internal/simplex ./internal/lia \
+    ./internal/core ./internal/baseline ./internal/bench
+
 echo "==> go test -race"
 go test -race ./...
 

@@ -7,7 +7,10 @@
 //	benchtab -table 1 -per 40 -timeout 5s
 //	benchtab -table 2 -per 30 -timeout 5s
 //	benchtab -table 3 -loops 12 -timeout 10s
-//	benchtab -table all
+//	benchtab -table all -j 4
+//
+// -j runs the instances of each suite on N worker goroutines; the
+// emitted tables are byte-identical for every worker count.
 package main
 
 import (
@@ -24,17 +27,18 @@ func main() {
 	per := flag.Int("per", 30, "instances per suite (tables 1 and 2)")
 	loops := flag.Int("loops", 12, "maximum checkLuhn loop count (table 3)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-instance timeout")
+	workers := flag.Int("j", 1, "instance-level worker goroutines per suite")
 	flag.Parse()
 
 	solvers := bench.Solvers()
 	run1 := func() {
 		fmt.Println("Table 1: basic string constraints")
-		bench.Table(os.Stdout, bench.Table1Suites(*per), solvers, *timeout)
+		bench.Table(os.Stdout, bench.Table1Suites(*per), solvers, *timeout, *workers)
 		fmt.Println()
 	}
 	run2 := func() {
 		fmt.Println("Table 2: string-number conversion")
-		bench.Table(os.Stdout, bench.Table2Suites(*per), solvers, *timeout)
+		bench.Table(os.Stdout, bench.Table2Suites(*per), solvers, *timeout, *workers)
 		fmt.Println()
 	}
 	run3 := func() {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	trausolve [-timeout 10s] [-model] file.smt2
+//	trausolve [-timeout 10s] [-model] [-stats] [-parallel N] file.smt2
 //	trausolve -            # read from stdin
 package main
 
@@ -31,11 +31,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	timeout := fs.Duration("timeout", 10*time.Second, "solver budget")
 	model := fs.Bool("model", true, "print the model on sat")
+	stats := fs.Bool("stats", false, "print the solve statistics tree")
+	parallel := fs.Int("parallel", 1, "case-split branch workers per round")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: trausolve [-timeout d] [-model] file.smt2 | -")
+		fmt.Fprintln(stderr, "usage: trausolve [-timeout d] [-model] [-stats] [-parallel n] file.smt2 | -")
 		return 2
 	}
 
@@ -61,7 +63,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "trausolve: script has no (check-sat)")
 		return 2
 	}
-	res := core.Solve(script.Problem, core.Options{Timeout: *timeout})
+	res := core.Solve(script.Problem, core.Options{Timeout: *timeout, Parallel: *parallel})
 	fmt.Fprintln(stdout, res.Status)
 	if res.Status == core.StatusSat && *model {
 		names := make([]string, 0, len(script.StrVars))
@@ -80,6 +82,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		for _, name := range inames {
 			fmt.Fprintf(stdout, "  %s = %s\n", name, res.Model.Int.Value(script.IntVars[name]))
 		}
+	}
+	if *stats {
+		res.Stats.Write(stdout, "solve")
 	}
 	if res.Status == core.StatusUnknown {
 		return 3

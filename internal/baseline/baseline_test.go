@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lia"
 	"repro/internal/regex"
 	"repro/internal/strcon"
@@ -25,7 +26,7 @@ func simpleConcat() *strcon.Problem {
 }
 
 func TestEnumSolvesSimpleConcat(t *testing.T) {
-	res := SolveEnum(simpleConcat(), EnumOptions{Timeout: secs(20)})
+	res := SolveEnum(simpleConcat(), EnumOptions{}, engine.WithTimeout(secs(20)))
 	if res.Status != core.StatusSat {
 		t.Fatalf("got %v, want sat", res.Status)
 	}
@@ -35,7 +36,7 @@ func TestEnumSolvesSimpleConcat(t *testing.T) {
 }
 
 func TestSplitSolvesSimpleConcat(t *testing.T) {
-	res := SolveSplit(simpleConcat(), SplitOptions{Timeout: secs(20)})
+	res := SolveSplit(simpleConcat(), SplitOptions{}, engine.WithTimeout(secs(20)))
 	if res.Status != core.StatusSat {
 		t.Fatalf("got %v, want sat", res.Status)
 	}
@@ -53,7 +54,7 @@ func TestSplitProvesEquationUnsat(t *testing.T) {
 		L: strcon.T(strcon.TC("a"), strcon.TV(x)),
 		R: strcon.T(strcon.TC("b"), strcon.TV(y)),
 	})
-	res := SolveSplit(prob, SplitOptions{Timeout: secs(20)})
+	res := SolveSplit(prob, SplitOptions{}, engine.WithTimeout(secs(20)))
 	if res.Status != core.StatusUnsat {
 		t.Fatalf("got %v, want unsat", res.Status)
 	}
@@ -65,7 +66,7 @@ func TestEnumHandlesSmallToNum(t *testing.T) {
 	n := prob.NewIntVar("n")
 	prob.Add(&strcon.ToNum{N: n, X: x})
 	prob.Add(&strcon.Arith{F: lia.EqConst(n, 7)})
-	res := SolveEnum(prob, EnumOptions{Timeout: secs(20)})
+	res := SolveEnum(prob, EnumOptions{}, engine.WithTimeout(secs(20)))
 	if res.Status != core.StatusSat {
 		t.Fatalf("got %v, want sat", res.Status)
 	}
@@ -81,7 +82,7 @@ func TestBaselinesGiveUpGracefully(t *testing.T) {
 	n := prob.NewIntVar("n")
 	prob.Add(&strcon.ToNum{N: n, X: x})
 	prob.Add(&strcon.Arith{F: lia.EqConst(n, 123456)})
-	res := SolveEnum(prob, EnumOptions{Timeout: secs(2), MaxLen: 3})
+	res := SolveEnum(prob, EnumOptions{MaxLen: 3}, engine.WithTimeout(secs(2)))
 	if res.Status == core.StatusUnsat {
 		t.Fatalf("enum must not claim unsat")
 	}
@@ -89,7 +90,7 @@ func TestBaselinesGiveUpGracefully(t *testing.T) {
 	x2 := prob2.NewStrVar("x")
 	prob2.Add(&strcon.Membership{X: x2, A: regex.MustCompile("(ab)+")})
 	prob2.Add(&strcon.WordEq{L: strcon.T(strcon.TV(x2)), R: strcon.T(strcon.TV(x2))})
-	res2 := SolveSplit(prob2, SplitOptions{Timeout: secs(2)})
+	res2 := SolveSplit(prob2, SplitOptions{}, engine.WithTimeout(secs(2)))
 	if res2.Status == core.StatusUnsat {
 		t.Fatalf("split must not claim unsat with non-equation constraints present")
 	}
@@ -105,7 +106,7 @@ func TestSplitRespectsBudget(t *testing.T) {
 		R: strcon.T(strcon.TC("a"), strcon.TV(x)),
 	})
 	start := time.Now()
-	res := SolveSplit(prob, SplitOptions{Timeout: secs(5)})
+	res := SolveSplit(prob, SplitOptions{}, engine.WithTimeout(secs(5)))
 	if time.Since(start) > secs(30) {
 		t.Fatalf("split ignored its budget")
 	}

@@ -1,0 +1,82 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/lia"
+	"repro/internal/strcon"
+)
+
+func TestEnumCancellation(t *testing.T) {
+	// A digit-heavy instance gives the enumeration an 11k-word alphabet
+	// closure per variable; without cancellation the candidate budget
+	// alone would keep it busy far longer than the cancel delay.
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	y := prob.NewStrVar("y")
+	n := prob.NewIntVar("n")
+	m := prob.NewIntVar("m")
+	prob.Add(
+		&strcon.ToNum{N: n, X: x},
+		&strcon.ToNum{N: m, X: y},
+		&strcon.Arith{F: lia.Eq(lia.V(n), lia.V(m).ScaleInt(3))},
+		&strcon.Arith{F: lia.Ge(lia.V(n), lia.Const(100000))},
+	)
+	ec := engine.Background()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		ec.Cancel()
+	}()
+	start := time.Now()
+	res := SolveEnum(prob, EnumOptions{MaxLen: 4}, ec)
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled enumeration took %v", d)
+	}
+	if res.Status != core.StatusUnknown {
+		t.Fatalf("got %v, want unknown from a cancelled search", res.Status)
+	}
+}
+
+func TestSplitCancellation(t *testing.T) {
+	// "a"x = x"b" makes pure Nielsen splitting diverge; with the node
+	// and depth budgets lifted, only cancellation can stop the search.
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	prob.Add(&strcon.WordEq{
+		L: strcon.T(strcon.TC("a"), strcon.TV(x)),
+		R: strcon.T(strcon.TV(x), strcon.TC("b")),
+	})
+	ec := engine.Background()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		ec.Cancel()
+	}()
+	start := time.Now()
+	res := SolveSplit(prob, SplitOptions{MaxNodes: 1 << 30, MaxDepth: 1 << 20}, ec)
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled splitting took %v", d)
+	}
+	if res.Status != core.StatusUnknown {
+		t.Fatalf("got %v, want unknown from a cancelled search", res.Status)
+	}
+}
+
+func TestBaselineDeadlineClassifiesAsTimeout(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	prob.Add(&strcon.WordEq{
+		L: strcon.T(strcon.TC("a"), strcon.TV(x)),
+		R: strcon.T(strcon.TV(x), strcon.TC("b")),
+	})
+	ec := engine.WithTimeout(100 * time.Millisecond)
+	res := SolveSplit(prob, SplitOptions{MaxNodes: 1 << 30, MaxDepth: 1 << 20}, ec)
+	if res.Status != core.StatusUnknown {
+		t.Fatalf("got %v, want unknown", res.Status)
+	}
+	if !ec.TimedOut() {
+		t.Fatalf("cause = %v, want deadline", ec.Cause())
+	}
+}

@@ -20,10 +20,10 @@ package baseline
 
 import (
 	"sort"
-	"time"
 
 	"repro/internal/alphabet"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lia"
 	"repro/internal/strcon"
 )
@@ -36,23 +36,19 @@ type Result struct {
 
 // EnumOptions tune the bounded search.
 type EnumOptions struct {
-	Timeout    time.Duration
 	MaxLen     int   // per-variable length bound (default 4)
 	Candidates int64 // total assignment budget (default 300000)
 }
 
-// SolveEnum runs the bounded-length enumeration baseline.
-func SolveEnum(prob *strcon.Problem, opts EnumOptions) Result {
+// SolveEnum runs the bounded-length enumeration baseline under the
+// given context's deadline and cancellation.
+func SolveEnum(prob *strcon.Problem, opts EnumOptions, ec *engine.Ctx) Result {
 	prob.Prepare()
 	if opts.MaxLen == 0 {
 		opts.MaxLen = 4
 	}
 	if opts.Candidates == 0 {
 		opts.Candidates = 300000
-	}
-	deadline := time.Time{}
-	if opts.Timeout > 0 {
-		deadline = time.Now().Add(opts.Timeout)
 	}
 
 	sigma := alphabetOf(prob)
@@ -67,12 +63,12 @@ func SolveEnum(prob *strcon.Problem, opts EnumOptions) Result {
 		if budget <= 0 {
 			return core.StatusUnknown
 		}
-		if !deadline.IsZero() && budget%512 == 0 && time.Now().After(deadline) {
+		if ec.Poll() {
 			return core.StatusUnknown
 		}
 		if v == nvars {
 			budget--
-			if checkCandidate(prob, assign) {
+			if checkCandidate(prob, assign, ec) {
 				return core.StatusSat
 			}
 			return core.StatusUnsat // this candidate only
@@ -102,7 +98,7 @@ func SolveEnum(prob *strcon.Problem, opts EnumOptions) Result {
 
 // checkCandidate derives the integer variables forced by the string
 // assignment, solves the remaining arithmetic, and validates.
-func checkCandidate(prob *strcon.Problem, a *strcon.Assignment) bool {
+func checkCandidate(prob *strcon.Problem, a *strcon.Assignment, ec *engine.Ctx) bool {
 	// Derive integers from string-number constraints; collect the
 	// arithmetic residue.
 	var arith []lia.Formula
@@ -162,7 +158,7 @@ func checkCandidate(prob *strcon.Problem, a *strcon.Assignment) bool {
 	for _, c := range prob.Constraints {
 		arith = append(arith, walk(c))
 	}
-	res, m := lia.Solve(lia.And(arith...), &lia.Options{})
+	res, m := lia.Solve(lia.And(arith...), &lia.Options{Ctx: ec})
 	if res != lia.ResSat {
 		return false
 	}

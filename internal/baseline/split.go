@@ -1,16 +1,14 @@
 package baseline
 
 import (
-	"time"
-
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lia"
 	"repro/internal/strcon"
 )
 
 // SplitOptions tune the word-equation splitting baseline.
 type SplitOptions struct {
-	Timeout  time.Duration
 	MaxNodes int // search-tree budget (default 20000)
 	MaxDepth int // recursion bound (default 160)
 }
@@ -29,15 +27,16 @@ type equation struct {
 type splitState struct {
 	prob       *strcon.Problem
 	opts       SplitOptions
-	deadline   time.Time
+	ec         *engine.Ctx
 	nodes      int
 	others     []strcon.Constraint // non-equation constraints, checked at leaves
 	sound      bool                // exhaustion implies unsat
 	sawUnknown bool
 }
 
-// SolveSplit runs the Nielsen/Levi word-equation splitting baseline.
-func SolveSplit(prob *strcon.Problem, opts SplitOptions) Result {
+// SolveSplit runs the Nielsen/Levi word-equation splitting baseline
+// under the given context's deadline and cancellation.
+func SolveSplit(prob *strcon.Problem, opts SplitOptions, ec *engine.Ctx) Result {
 	prob.Prepare()
 	if opts.MaxNodes == 0 {
 		opts.MaxNodes = 20000
@@ -45,10 +44,7 @@ func SolveSplit(prob *strcon.Problem, opts SplitOptions) Result {
 	if opts.MaxDepth == 0 {
 		opts.MaxDepth = 160
 	}
-	s := &splitState{prob: prob, opts: opts}
-	if opts.Timeout > 0 {
-		s.deadline = time.Now().Add(opts.Timeout)
-	}
+	s := &splitState{prob: prob, opts: opts, ec: ec}
 
 	var eqs []equation
 	s.sound = true
@@ -98,7 +94,7 @@ func (s *splitState) search(eqs []equation, sub map[strcon.Var][]sym, depth int)
 		s.sawUnknown = true
 		return core.StatusUnknown
 	}
-	if !s.deadline.IsZero() && s.nodes%256 == 0 && time.Now().After(s.deadline) {
+	if s.ec.Poll() {
 		s.sawUnknown = true
 		return core.StatusUnknown
 	}
@@ -279,7 +275,7 @@ func (s *splitState) groundAssignment(sub map[strcon.Var][]sym) *strcon.Assignme
 	for v := 0; v < s.prob.NumStrVars(); v++ {
 		a.Str[strcon.Var(v)] = resolve(strcon.Var(v), 0)
 	}
-	if !checkCandidate(s.prob, a) {
+	if !checkCandidate(s.prob, a, s.ec) {
 		return nil
 	}
 	return a

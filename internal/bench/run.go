@@ -3,17 +3,22 @@ package bench
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/strcon"
 )
 
-// Solver is one engine under comparison.
+// Solver is one engine under comparison. Run solves the problem under
+// the context's deadline and cancellation and is expected to record its
+// statistics on the context's stats tree.
 type Solver struct {
 	Name string
-	Run  func(prob *strcon.Problem, timeout time.Duration) core.Status
+	Run  func(prob *strcon.Problem, ec *engine.Ctx) core.Status
 }
 
 // Solvers returns the engines of the evaluation: the paper's solver
@@ -21,14 +26,14 @@ type Solver struct {
 // the closed competitor tools (see package doc of internal/baseline).
 func Solvers() []Solver {
 	return []Solver{
-		{Name: "trau-go", Run: func(p *strcon.Problem, to time.Duration) core.Status {
-			return core.Solve(p, core.Options{Timeout: to}).Status
+		{Name: "trau-go", Run: func(p *strcon.Problem, ec *engine.Ctx) core.Status {
+			return core.SolveCtx(p, core.Options{}, ec).Status
 		}},
-		{Name: "enum", Run: func(p *strcon.Problem, to time.Duration) core.Status {
-			return baseline.SolveEnum(p, baseline.EnumOptions{Timeout: to}).Status
+		{Name: "enum", Run: func(p *strcon.Problem, ec *engine.Ctx) core.Status {
+			return baseline.SolveEnum(p, baseline.EnumOptions{}, ec).Status
 		}},
-		{Name: "split", Run: func(p *strcon.Problem, to time.Duration) core.Status {
-			return baseline.SolveSplit(p, baseline.SplitOptions{Timeout: to}).Status
+		{Name: "split", Run: func(p *strcon.Problem, ec *engine.Ctx) core.Status {
+			return baseline.SolveSplit(p, baseline.SplitOptions{}, ec).Status
 		}},
 	}
 }
@@ -52,14 +57,97 @@ func (c *Counts) Add(other Counts) {
 	c.Incorrect += other.Incorrect
 }
 
-// RunSuite runs every instance of a suite through one solver.
-func RunSuite(insts []*Instance, solver Solver, timeout time.Duration) Counts {
+// Agg aggregates solver statistics over the instances of a suite,
+// summed from each run's stats tree.
+type Agg struct {
+	Instances int64
+	Rounds    int64
+	Conflicts int64
+	Pivots    int64
+}
+
+// Add accumulates other into a.
+func (a *Agg) Add(other Agg) {
+	a.Instances += other.Instances
+	a.Rounds += other.Rounds
+	a.Conflicts += other.Conflicts
+	a.Pivots += other.Pivots
+}
+
+// mean renders n/a.Instances with one decimal.
+func (a Agg) mean(n int64) string {
+	if a.Instances == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", float64(n)/float64(a.Instances))
+}
+
+// Cell renders the aggregate as mean rounds/conflicts/pivots per
+// instance.
+func (a Agg) Cell() string {
+	return fmt.Sprintf("%s/%s/%s", a.mean(a.Rounds), a.mean(a.Conflicts), a.mean(a.Pivots))
+}
+
+// instResult is one instance's outcome plus the statistics totals the
+// suite aggregates.
+type instResult struct {
+	status    core.Status
+	timedOut  bool
+	rounds    int64
+	conflicts int64
+	pivots    int64
+}
+
+// RunSuite runs every instance of a suite through one solver, on up to
+// workers goroutines (values <= 1 run sequentially; the counts are
+// identical either way). An instance counts as TIMEOUT only when its
+// context actually expired — an early "unknown" (budget exhaustion,
+// incomplete fragment) stays an UNKNOWN even if it took a while.
+func RunSuite(insts []*Instance, solver Solver, timeout time.Duration, workers int) (Counts, Agg) {
+	results := make([]instResult, len(insts))
+	run1 := func(i int) {
+		ec := engine.WithTimeout(timeout)
+		status := solver.Run(insts[i].Build(), ec)
+		st := ec.Stats()
+		results[i] = instResult{
+			status:    status,
+			timedOut:  ec.TimedOut(),
+			rounds:    st.Total("rounds"),
+			conflicts: st.Total("conflicts"),
+			pivots:    st.Total("pivots"),
+		}
+	}
+	if workers > len(insts) {
+		workers = len(insts)
+	}
+	if workers <= 1 {
+		for i := range insts {
+			run1(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(insts) {
+						return
+					}
+					run1(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
 	var c Counts
-	for _, inst := range insts {
-		start := time.Now()
-		status := solver.Run(inst.Build(), timeout)
-		elapsed := time.Since(start)
-		switch status {
+	agg := Agg{Instances: int64(len(insts))}
+	for i, inst := range insts {
+		r := results[i]
+		switch r.status {
 		case core.StatusSat:
 			if inst.Expected == ExpectUnsat {
 				c.Incorrect++
@@ -73,19 +161,24 @@ func RunSuite(insts []*Instance, solver Solver, timeout time.Duration) Counts {
 				c.Unsat++
 			}
 		default:
-			if elapsed >= timeout-50*time.Millisecond {
+			if r.timedOut {
 				c.Timeout++
 			} else {
 				c.Unknown++
 			}
 		}
+		agg.Rounds += r.rounds
+		agg.Conflicts += r.conflicts
+		agg.Pivots += r.pivots
 	}
-	return c
+	return c, agg
 }
 
 // Table runs all suites against all solvers and renders the result in
-// the layout of the paper's Tables 1 and 2.
-func Table(w io.Writer, suites []Suite, solvers []Solver, timeout time.Duration) {
+// the layout of the paper's Tables 1 and 2, followed by per-suite
+// aggregate solver statistics. workers bounds the per-suite instance
+// parallelism; the output is byte-identical for every worker count.
+func Table(w io.Writer, suites []Suite, solvers []Solver, timeout time.Duration, workers int) {
 	rows := []string{"SAT", "UNSAT", "UNKNOWN", "TIMEOUT", "INCORRECT"}
 	pick := func(c Counts, row string) int {
 		switch row {
@@ -107,10 +200,12 @@ func Table(w io.Writer, suites []Suite, solvers []Solver, timeout time.Duration)
 	}
 	fmt.Fprintln(w)
 	totals := make([]Counts, len(solvers))
-	for _, suite := range suites {
+	aggs := make([][]Agg, len(suites))
+	for si, suite := range suites {
 		counts := make([]Counts, len(solvers))
+		aggs[si] = make([]Agg, len(solvers))
 		for i, s := range solvers {
-			counts[i] = RunSuite(suite.Instances, s, timeout)
+			counts[i], aggs[si][i] = RunSuite(suite.Instances, s, timeout, workers)
 			totals[i].Add(counts[i])
 		}
 		for ri, row := range rows {
@@ -136,36 +231,68 @@ func Table(w io.Writer, suites []Suite, solvers []Solver, timeout time.Duration)
 		}
 		fmt.Fprintln(w)
 	}
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Mean statistics per instance (rounds/conflicts/pivots)")
+	fmt.Fprintf(w, "%-12s", "Suite")
+	for _, s := range solvers {
+		fmt.Fprintf(w, " %22s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for si, suite := range suites {
+		fmt.Fprintf(w, "%-12s", suite.Name)
+		for i := range solvers {
+			fmt.Fprintf(w, " %22s", aggs[si][i].Cell())
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // Table3 runs the checkLuhn family (the paper's Table 3) and renders
-// status and time per solver and loop count.
+// status and time per solver and loop count, followed by aggregate
+// solver statistics over the family.
 func Table3(w io.Writer, maxLoops int, solvers []Solver, timeout time.Duration) {
 	fmt.Fprintf(w, "%-8s", "# Loops")
 	for _, s := range solvers {
 		fmt.Fprintf(w, " %20s", s.Name)
 	}
 	fmt.Fprintln(w)
+	aggs := make([]Agg, len(solvers))
 	for k := 2; k <= maxLoops; k++ {
 		inst := Luhn(k)
 		fmt.Fprintf(w, "%-8d", k)
-		for _, s := range solvers {
+		for i, s := range solvers {
+			ec := engine.WithTimeout(timeout)
 			start := time.Now()
-			status := s.Run(inst.Build(), timeout)
+			status := s.Run(inst.Build(), ec)
 			elapsed := time.Since(start).Round(10 * time.Millisecond)
-			cell := "TIMEOUT"
+			st := ec.Stats()
+			aggs[i].Add(Agg{
+				Instances: 1,
+				Rounds:    st.Total("rounds"),
+				Conflicts: st.Total("conflicts"),
+				Pivots:    st.Total("pivots"),
+			})
+			cell := "UNKNOWN"
 			switch status {
 			case core.StatusSat:
 				cell = fmt.Sprintf("SAT(%v)", elapsed)
 			case core.StatusUnsat:
 				cell = "INCORRECT"
 			default:
-				if elapsed < timeout-50*time.Millisecond {
-					cell = "UNKNOWN"
+				if ec.TimedOut() {
+					cell = "TIMEOUT"
 				}
 			}
 			fmt.Fprintf(w, " %20s", cell)
 		}
 		fmt.Fprintln(w)
 	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Mean statistics per instance (rounds/conflicts/pivots)")
+	fmt.Fprintf(w, "%-8s", "")
+	for i, s := range solvers {
+		fmt.Fprintf(w, " %20s", s.Name+" "+aggs[i].Cell())
+	}
+	fmt.Fprintln(w)
 }

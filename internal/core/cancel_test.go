@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/lia"
+	"repro/internal/strcon"
+)
+
+// hardProblem builds an instance the refinement loop cannot settle
+// quickly (an overlapping-equation system whose flattenings keep
+// growing), so a cancelled solve demonstrably aborts mid-search.
+func hardProblem() *strcon.Problem {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	y := prob.NewStrVar("y")
+	z := prob.NewStrVar("z")
+	prob.Add(
+		&strcon.WordEq{L: strcon.T(strcon.TV(x), strcon.TV(y)), R: strcon.T(strcon.TV(y), strcon.TV(z))},
+		&strcon.WordNeq{L: strcon.T(strcon.TV(x), strcon.TV(z)), R: strcon.T(strcon.TV(z), strcon.TV(x))},
+		&strcon.Arith{F: lia.Ge(lia.V(prob.LenVar(x)), lia.Const(4))},
+	)
+	return prob
+}
+
+func TestCancellationStopsSolve(t *testing.T) {
+	ec := engine.Background()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		ec.Cancel()
+	}()
+	start := time.Now()
+	res := SolveCtx(hardProblem(), Options{MaxRounds: 50}, ec)
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled solve took %v, want prompt return", elapsed)
+	}
+	if res.Status == StatusSat {
+		t.Fatalf("cancelled solve claims sat")
+	}
+	if res.Stats == nil {
+		t.Fatalf("Result.Stats must never be nil")
+	}
+	if ec.TimedOut() {
+		t.Fatalf("cancellation misclassified as a deadline expiry")
+	}
+}
+
+func TestCancellationStopsParallelSolve(t *testing.T) {
+	ec := engine.Background()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		ec.Cancel()
+	}()
+	start := time.Now()
+	res := SolveCtx(hardProblem(), Options{MaxRounds: 50, Parallel: 4}, ec)
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled parallel solve took %v", d)
+	}
+	if res.Status == StatusSat {
+		t.Fatalf("cancelled solve claims sat")
+	}
+}
+
+// orProblem builds a disjunctive instance with several case-split
+// branches where a middle branch is the satisfiable one.
+func orProblem() *strcon.Problem {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	n := prob.NewIntVar("n")
+	var alts []strcon.Constraint
+	for _, k := range []int64{7, 21, 52, 90} {
+		alts = append(alts, &strcon.Arith{F: lia.EqConst(n, k)})
+	}
+	prob.Add(
+		&strcon.ToNum{N: n, X: x},
+		&strcon.Arith{F: lia.EqConst(prob.LenVar(x), 2)},
+		// Only n = 52 survives the extra parity-free pin below.
+		&strcon.OrCon{Args: alts},
+		&strcon.Arith{F: lia.Ge(lia.V(n), lia.Const(30))},
+		&strcon.Arith{F: lia.Le(lia.V(n), lia.Const(60))},
+	)
+	return prob
+}
+
+// render flattens a result to a canonical comparable string.
+func render(res Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "status=%v rounds=%d oa=%v vf=%v\n",
+		res.Status, res.Rounds, res.OverApproxDecided, res.ValidationFailed)
+	if res.Model != nil {
+		keys := make([]int, 0, len(res.Model.Str))
+		for k := range res.Model.Str {
+			keys = append(keys, int(k))
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "s%d=%q\n", k, res.Model.Str[strcon.Var(k)])
+		}
+	}
+	return b.String()
+}
+
+// wordOrProblem is a second decidable disjunctive instance: the
+// satisfiable disjunct is a word equation rather than an arithmetic
+// pin, so branch racing crosses the flattening path too.
+func wordOrProblem() *strcon.Problem {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	y := prob.NewStrVar("y")
+	var alts []strcon.Constraint
+	for _, w := range []string{"aa", "cd", "zz"} {
+		alts = append(alts, &strcon.WordEq{L: strcon.T(strcon.TV(x)), R: strcon.T(strcon.TC(w))})
+	}
+	prob.Add(
+		&strcon.OrCon{Args: alts},
+		&strcon.WordEq{
+			L: strcon.T(strcon.TV(y)),
+			R: strcon.T(strcon.TC("c"), strcon.TV(x), strcon.TC("d")),
+		},
+		&strcon.Arith{F: lia.EqConst(prob.LenVar(y), 4)},
+		&strcon.WordNeq{L: strcon.T(strcon.TV(x)), R: strcon.T(strcon.TC("aa"))},
+	)
+	return prob
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	builders := []func() *strcon.Problem{orProblem, wordOrProblem}
+	for bi, build := range builders {
+		seq := Solve(build(), Options{Timeout: 30 * time.Second})
+		for _, workers := range []int{2, 4} {
+			par := Solve(build(), Options{Timeout: 30 * time.Second, Parallel: workers})
+			if got, want := render(par), render(seq); got != want {
+				t.Errorf("problem %d: parallel(%d) result differs from sequential:\n%s\nvs\n%s",
+					bi, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestParallelIsRunToRunDeterministic(t *testing.T) {
+	first := render(Solve(orProblem(), Options{Timeout: 30 * time.Second, Parallel: 4}))
+	for i := 0; i < 3; i++ {
+		again := render(Solve(orProblem(), Options{Timeout: 30 * time.Second, Parallel: 4}))
+		if again != first {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i, again, first)
+		}
+	}
+}
+
+func TestStatsTreePopulated(t *testing.T) {
+	prob := strcon.NewProblem()
+	x := prob.NewStrVar("x")
+	n := prob.NewIntVar("n")
+	prob.Add(
+		&strcon.ToNum{N: n, X: x},
+		&strcon.Arith{F: lia.EqConst(n, 1234567)},
+	)
+	res := Solve(prob, Options{Timeout: 30 * time.Second})
+	if res.Status != StatusSat {
+		t.Fatalf("got %v, want sat", res.Status)
+	}
+	st := res.Stats
+	if st == nil {
+		t.Fatal("nil stats")
+	}
+	if got := st.Counter("rounds"); got != int64(res.Rounds) {
+		t.Fatalf("rounds counter = %d, Result.Rounds = %d", got, res.Rounds)
+	}
+	if st.Total("pivots") == 0 {
+		t.Fatalf("no simplex pivots recorded anywhere in the tree")
+	}
+	if st.Total("decisions") == 0 {
+		t.Fatalf("no SAT decisions recorded anywhere in the tree")
+	}
+	var b strings.Builder
+	st.Write(&b, "solve")
+	out := b.String()
+	for _, want := range []string{"rounds", "round0", "flatten", "overapprox", "time.total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats render missing %q:\n%s", want, out)
+		}
+	}
+}

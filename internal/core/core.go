@@ -3,11 +3,22 @@
 // refinement loop of PFA-based under-approximations that can prove SAT.
 // Every SAT answer is validated against the concrete evaluator before
 // being reported (the validator of §9).
+//
+// The refinement loop can race the case-split branches of a round on
+// worker goroutines (Options.Parallel). The portfolio is deterministic:
+// the winner is the lowest-indexed branch whose flattening is
+// satisfiable, exactly the branch the sequential scan would have
+// stopped at, so verdicts and models are identical run to run and
+// identical between the sequential and parallel modes.
 package core
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/flatten"
 	"repro/internal/lia"
 	"repro/internal/overapprox"
@@ -40,7 +51,8 @@ func (s Status) String() string {
 // defaults: over-approximation on, three refinement rounds starting
 // from the paper's (m, p) = (5, 2) with q from a static scan.
 type Options struct {
-	// Timeout bounds the whole solve; zero means none.
+	// Timeout bounds the whole solve when calling Solve; zero means
+	// none. SolveCtx ignores it (the context carries the deadline).
 	Timeout time.Duration
 	// MaxRounds bounds under-approximation refinement rounds.
 	MaxRounds int
@@ -48,6 +60,10 @@ type Options struct {
 	InitialParams flatten.Params
 	// SkipOverApprox disables the UNSAT gate (for ablation studies).
 	SkipOverApprox bool
+	// Parallel races the case-split branches of each refinement round
+	// on up to this many worker goroutines. Values <= 1 solve
+	// sequentially. The verdict and model are identical either way.
+	Parallel int
 	// Lia tunes the arithmetic backend (budgets, not deadline).
 	Lia lia.Options
 }
@@ -66,36 +82,41 @@ type Result struct {
 	// model did not pass the validator (the answer degrades to
 	// unknown).
 	ValidationFailed bool
+	// Stats is the statistics tree of the solve (never nil).
+	Stats *engine.Stats
 }
 
-// Solve decides the problem. The problem is Prepared in place.
+// Solve decides the problem under opts.Timeout. The problem is
+// Prepared in place.
 func Solve(prob *strcon.Problem, opts Options) Result {
-	prob.Prepare()
+	return SolveCtx(prob, opts, engine.WithTimeout(opts.Timeout))
+}
 
-	var deadline time.Time
-	if opts.Timeout > 0 {
-		deadline = time.Now().Add(opts.Timeout)
+// SolveCtx decides the problem under the given context's deadline and
+// cancellation. The problem is Prepared in place.
+func SolveCtx(prob *strcon.Problem, opts Options, ec *engine.Ctx) Result {
+	if ec == nil {
+		ec = engine.Background()
 	}
-	liaOpts := func() *lia.Options {
-		o := opts.Lia
-		o.Deadline = deadline
-		return &o
-	}
+	st := ec.Stats()
+	stopTotal := st.Time("time.total")
+	defer stopTotal()
+
+	prob.Prepare()
 	original := prob.Constraints
 
 	// abstractUnsat checks a constraint set with the over-approximation.
 	abstractUnsat := func(cons []strcon.Constraint) bool {
-		prob.Constraints = cons
-		oa := overapprox.Abstract(prob)
-		prob.Constraints = original
-		o := liaOpts()
+		oa := overapprox.Abstract(prob, cons, ec)
+		o := opts.Lia
+		o.Ctx = ec
 		o.OnModel = oa.OnModel
-		res, _ := lia.Solve(oa.Formula, o)
+		res, _ := lia.Solve(oa.Formula, &o)
 		return res == lia.ResUnsat
 	}
 
 	if !opts.SkipOverApprox && abstractUnsat(original) {
-		return Result{Status: StatusUnsat, OverApproxDecided: true}
+		return Result{Status: StatusUnsat, OverApproxDecided: true, Stats: st}
 	}
 
 	// Case splitting: enumerate the top-level disjunction structure
@@ -103,13 +124,14 @@ func Solve(prob *strcon.Problem, opts Options) Result {
 	// (this plays the role of the DPLL core "trying another solution
 	// branch" in §9). Each surviving branch is then attacked by the
 	// PFA refinement loop, round-robin over rounds.
-	branches, truncated := splitBranches(prob, original, opts, abstractUnsat, deadline)
+	branches, truncated := splitBranches(original, opts, abstractUnsat, ec)
+	st.Add("branches", int64(len(branches)))
 	if len(branches) == 0 {
 		if truncated || opts.SkipOverApprox {
-			return Result{Status: StatusUnknown}
+			return Result{Status: StatusUnknown, Stats: st}
 		}
 		// Every branch refuted by a sound over-approximation.
-		return Result{Status: StatusUnsat, OverApproxDecided: true}
+		return Result{Status: StatusUnsat, OverApproxDecided: true, Stats: st}
 	}
 
 	params := opts.InitialParams
@@ -121,31 +143,24 @@ func Solve(prob *strcon.Problem, opts Options) Result {
 		maxRounds = 3
 	}
 
-	out := Result{Status: StatusUnknown}
+	out := Result{Status: StatusUnknown, Stats: st}
 	for round := 0; round < maxRounds; round++ {
-		if !deadline.IsZero() && !time.Now().Before(deadline) {
+		if ec.Expired() {
 			break
 		}
 		out.Rounds = round + 1
-		for _, branch := range branches {
-			if !deadline.IsZero() && !time.Now().Before(deadline) {
-				break
-			}
-			prob.Constraints = branch
-			fl := flatten.Flatten(prob, params)
-			o := liaOpts()
-			o.OnModel = fl.OnModel
-			res, m := lia.Solve(fl.Formula, o)
-			prob.Constraints = original
-			if res != lia.ResSat {
-				// "No solution within the current PFA domains" or
-				// unknown; other branches and larger parameters remain.
-				continue
-			}
-			a := fl.Decode(m)
-			if prob.Eval(a) {
+		st.Add("rounds", 1)
+		roundCtx := ec.Child(fmt.Sprintf("round%d", round))
+		var win *branchOutcome
+		if opts.Parallel > 1 && len(branches) > 1 {
+			win = raceBranches(prob, branches, params, opts, roundCtx)
+		} else {
+			win = runBranchesSeq(prob, branches, params, opts, roundCtx)
+		}
+		if win != nil {
+			if win.validated {
 				out.Status = StatusSat
-				out.Model = a
+				out.Model = win.model
 				return out
 			}
 			out.ValidationFailed = true
@@ -156,6 +171,117 @@ func Solve(prob *strcon.Problem, opts Options) Result {
 	return out
 }
 
+// branchOutcome is the result of flattening and solving one case-split
+// branch at one parameter level. hit reports that the flattening was
+// satisfiable (the sequential scan stops there, validated or not).
+type branchOutcome struct {
+	hit       bool
+	validated bool
+	model     *strcon.Assignment
+}
+
+// solveBranch flattens one branch on a private clone of the problem
+// (its own lia pool, so concurrent branches allocate identically
+// numbered variables) and validates any model against the full original
+// problem.
+func solveBranch(prob *strcon.Problem, branch []strcon.Constraint,
+	params flatten.Params, opts Options, ec *engine.Ctx) branchOutcome {
+	bp := prob.WithConstraints(branch)
+	fl := flatten.Flatten(bp, branch, params, ec)
+	o := opts.Lia
+	o.Ctx = ec
+	o.OnModel = fl.OnModel
+	res, m := lia.Solve(fl.Formula, &o)
+	if res != lia.ResSat {
+		// "No solution within the current PFA domains" or unknown;
+		// other branches and larger parameters remain.
+		return branchOutcome{}
+	}
+	a := fl.Decode(m)
+	if prob.Eval(a) {
+		return branchOutcome{hit: true, validated: true, model: a}
+	}
+	return branchOutcome{hit: true}
+}
+
+// runBranchesSeq scans the branches in order and returns the first hit,
+// or nil when the whole round comes up dry.
+func runBranchesSeq(prob *strcon.Problem, branches [][]strcon.Constraint,
+	params flatten.Params, opts Options, ec *engine.Ctx) *branchOutcome {
+	for i, branch := range branches {
+		if ec.Expired() {
+			return nil
+		}
+		out := solveBranch(prob, branch, params, opts, ec.Child(fmt.Sprintf("branch%d", i)))
+		if out.hit {
+			return &out
+		}
+	}
+	return nil
+}
+
+// raceBranches solves the branches of one round concurrently on up to
+// opts.Parallel workers. Each branch gets a child context; when branch
+// i hits, every sibling with a higher index is cancelled (their results
+// can no longer matter), while lower-indexed branches run to completion
+// so the final winner — the lowest-indexed hit — is exactly the branch
+// the sequential scan would have returned.
+func raceBranches(prob *strcon.Problem, branches [][]strcon.Constraint,
+	params flatten.Params, opts Options, ec *engine.Ctx) *branchOutcome {
+	n := len(branches)
+	workers := opts.Parallel
+	if workers > n {
+		workers = n
+	}
+	attempts := make([]*engine.Ctx, n)
+	for i := range attempts {
+		attempts[i] = ec.Child(fmt.Sprintf("branch%d", i))
+	}
+	results := make([]branchOutcome, n)
+	var next atomic.Int64
+	var mu sync.Mutex
+	winner := n
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				mu.Lock()
+				dead := i > winner
+				mu.Unlock()
+				if dead {
+					continue
+				}
+				out := solveBranch(prob, branches[i], params, opts, attempts[i])
+				results[i] = out
+				if !out.hit {
+					continue
+				}
+				mu.Lock()
+				if i < winner {
+					winner = i
+					for j := i + 1; j < n; j++ {
+						attempts[j].Cancel()
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range results {
+		if results[i].hit {
+			return &results[i]
+		}
+	}
+	return nil
+}
+
 // maxBranches bounds the case-split enumeration.
 const maxBranches = 64
 
@@ -163,8 +289,8 @@ const maxBranches = 64
 // branches, pruning refuted prefixes with the over-approximation.
 // truncated reports that the bound was hit (so an all-branches-refuted
 // outcome must not be read as UNSAT).
-func splitBranches(prob *strcon.Problem, cons []strcon.Constraint, opts Options,
-	abstractUnsat func([]strcon.Constraint) bool, deadline time.Time) ([][]strcon.Constraint, bool) {
+func splitBranches(cons []strcon.Constraint, opts Options,
+	abstractUnsat func([]strcon.Constraint) bool, ec *engine.Ctx) ([][]strcon.Constraint, bool) {
 	var base []strcon.Constraint
 	var ors []*strcon.OrCon
 	for _, c := range cons {
@@ -177,6 +303,7 @@ func splitBranches(prob *strcon.Problem, cons []strcon.Constraint, opts Options,
 	if len(ors) == 0 {
 		return [][]strcon.Constraint{cons}, false
 	}
+	st := ec.Stats()
 	var out [][]strcon.Constraint
 	truncated := false
 	var rec func(d int, chosen []strcon.Constraint)
@@ -196,7 +323,7 @@ func splitBranches(prob *strcon.Problem, cons []strcon.Constraint, opts Options,
 			return
 		}
 		for _, disjunct := range ors[d].Args {
-			if !deadline.IsZero() && !time.Now().Before(deadline) {
+			if ec.Expired() {
 				truncated = true
 				return
 			}
@@ -210,6 +337,7 @@ func splitBranches(prob *strcon.Problem, cons []strcon.Constraint, opts Options,
 					candidate = append(candidate, o)
 				}
 				if abstractUnsat(candidate) {
+					st.Add("branches.pruned", 1)
 					continue
 				}
 			}

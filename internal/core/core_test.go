@@ -213,7 +213,7 @@ func TestTimeoutReturnsUnknown(t *testing.T) {
 	)
 	start := time.Now()
 	res := Solve(prob, Options{Timeout: 300 * time.Millisecond})
-	if d := time.Since(start); d > 10*time.Second {
+	if d := time.Since(start); d > 5*time.Second {
 		t.Fatalf("solve took %v despite 300ms timeout", d)
 	}
 	_ = res // any status is acceptable; the point is bounded time

@@ -1,0 +1,245 @@
+// Package engine provides the shared solve context threaded through
+// every layer of the solver: a wall-clock deadline, a cooperative
+// cancellation flag cheap enough to poll from the CDCL propagate loop
+// and the simplex pivot loop, and a hierarchical statistics tree of
+// counters and phase timers.
+//
+// A Ctx forms a tree: Child contexts observe the parent's cancellation
+// and deadline, while cancelling a child leaves the parent (and the
+// child's siblings) running. That asymmetry is what lets the parallel
+// portfolio core race independent case-split branches and cancel the
+// losers. All Ctx and Stats methods are safe on a nil receiver (a nil
+// Ctx never expires, a nil Stats records nothing) and safe for
+// concurrent use.
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cause reports why a context stopped.
+type Cause int32
+
+// Stop causes.
+const (
+	// CauseNone: the context has not stopped.
+	CauseNone Cause = iota
+	// CauseCancelled: Cancel was called (directly or via an ancestor).
+	CauseCancelled
+	// CauseDeadline: the wall-clock deadline passed.
+	CauseDeadline
+)
+
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseCancelled:
+		return "cancelled"
+	case CauseDeadline:
+		return "deadline"
+	}
+	return "?"
+}
+
+// pollStride is how many Poll calls share one wall-clock read: the
+// cancellation flags are atomic loads checked on every call, but
+// time.Now is only consulted once per stride.
+const pollStride = 32
+
+// Ctx is the cancellable solve context.
+type Ctx struct {
+	parent   *Ctx
+	deadline time.Time // zero = none
+
+	stopped atomic.Bool
+	cause   atomic.Int32
+	ticks   atomic.Uint64
+
+	stats *Stats
+}
+
+// Background returns a root context with no deadline.
+func Background() *Ctx {
+	return &Ctx{stats: NewStats()}
+}
+
+// WithTimeout returns a root context that expires d from now; d <= 0
+// means no deadline.
+func WithTimeout(d time.Duration) *Ctx {
+	c := Background()
+	if d > 0 {
+		c.deadline = time.Now().Add(d)
+	}
+	return c
+}
+
+// WithDeadline returns a root context that expires at t (zero t means
+// no deadline).
+func WithDeadline(t time.Time) *Ctx {
+	c := Background()
+	c.deadline = t
+	return c
+}
+
+// FromContext bridges a context.Context into an engine context: the
+// returned Ctx inherits ctx's deadline, tightened by timeout when
+// positive, and is cancelled when ctx's Done channel fires. The
+// returned stop function releases the watcher goroutine; call it once
+// the solve has returned.
+func FromContext(ctx context.Context, timeout time.Duration) (*Ctx, func()) {
+	var deadline time.Time
+	if t, ok := ctx.Deadline(); ok {
+		deadline = t
+	}
+	if timeout > 0 {
+		if t := time.Now().Add(timeout); deadline.IsZero() || t.Before(deadline) {
+			deadline = t
+		}
+	}
+	c := Background()
+	c.deadline = deadline
+	done := ctx.Done()
+	if done == nil {
+		return c, func() {}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-done:
+			c.Cancel()
+		case <-stop:
+		}
+	}()
+	return c, func() { close(stop); wg.Wait() }
+}
+
+// Child returns a sub-context: it shares the parent's deadline and
+// observes the parent's cancellation, while Cancel on the child leaves
+// the parent running. Its statistics node is the parent's child of the
+// given name.
+func (c *Ctx) Child(name string) *Ctx {
+	if c == nil {
+		return Background()
+	}
+	return &Ctx{parent: c, deadline: c.deadline, stats: c.stats.Child(name)}
+}
+
+// Cancel stops the context and, transitively, its children.
+func (c *Ctx) Cancel() {
+	if c == nil {
+		return
+	}
+	c.markStopped(CauseCancelled)
+}
+
+func (c *Ctx) markStopped(cause Cause) {
+	c.cause.CompareAndSwap(int32(CauseNone), int32(cause))
+	c.stopped.Store(true)
+}
+
+// cancelRequested reports whether this context or an ancestor has
+// stopped.
+func (c *Ctx) cancelRequested() bool {
+	for p := c; p != nil; p = p.parent {
+		if p.stopped.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// expireDeadline records a deadline expiry on this context and on every
+// ancestor whose (inherited, hence identical or earlier) deadline has
+// also passed, so the root's Cause classifies the run as timed out even
+// when only a descendant observed the clock.
+func (c *Ctx) expireDeadline(now time.Time) {
+	for p := c; p != nil; p = p.parent {
+		if !p.deadline.IsZero() && !now.Before(p.deadline) {
+			p.markStopped(CauseDeadline)
+		}
+	}
+}
+
+// Poll reports whether the context should stop, cheaply enough for hot
+// loops: the cancellation flags are checked on every call, the wall
+// clock only once per pollStride calls.
+func (c *Ctx) Poll() bool {
+	if c == nil {
+		return false
+	}
+	if c.cancelRequested() {
+		c.markStopped(CauseCancelled)
+		return true
+	}
+	if c.deadline.IsZero() {
+		return false
+	}
+	if c.ticks.Add(1)%pollStride != 0 {
+		return false
+	}
+	if now := time.Now(); !now.Before(c.deadline) {
+		c.expireDeadline(now)
+		return true
+	}
+	return false
+}
+
+// Expired is Poll without the stride: it always consults the wall
+// clock. Use it at phase boundaries; hot loops use Poll.
+func (c *Ctx) Expired() bool {
+	if c == nil {
+		return false
+	}
+	if c.cancelRequested() {
+		c.markStopped(CauseCancelled)
+		return true
+	}
+	if c.deadline.IsZero() {
+		return false
+	}
+	if now := time.Now(); !now.Before(c.deadline) {
+		c.expireDeadline(now)
+		return true
+	}
+	return false
+}
+
+// Cause reports why this context stopped (CauseNone if it has not).
+func (c *Ctx) Cause() Cause {
+	if c == nil {
+		return CauseNone
+	}
+	return Cause(c.cause.Load())
+}
+
+// TimedOut reports whether the context stopped because its deadline
+// passed, as opposed to explicit cancellation or not stopping at all.
+// Benchmark runners use it to count TIMEOUT only when the budget
+// actually fired.
+func (c *Ctx) TimedOut() bool {
+	return c.Cause() == CauseDeadline
+}
+
+// Deadline returns the context's deadline, if any.
+func (c *Ctx) Deadline() (time.Time, bool) {
+	if c == nil || c.deadline.IsZero() {
+		return time.Time{}, false
+	}
+	return c.deadline, true
+}
+
+// Stats returns the context's statistics node (nil for a nil context;
+// Stats methods are nil-safe, so callers need not check).
+func (c *Ctx) Stats() *Stats {
+	if c == nil {
+		return nil
+	}
+	return c.stats
+}

@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCtxIsInert(t *testing.T) {
+	var c *Ctx
+	if c.Poll() || c.Expired() {
+		t.Fatal("nil ctx must never stop")
+	}
+	c.Cancel()
+	if c.Cause() != CauseNone || c.TimedOut() {
+		t.Fatal("nil ctx has no cause")
+	}
+	if _, ok := c.Deadline(); ok {
+		t.Fatal("nil ctx has no deadline")
+	}
+	if c.Stats() != nil {
+		t.Fatal("nil ctx has nil stats")
+	}
+	child := c.Child("x")
+	if child == nil || child.Poll() {
+		t.Fatal("child of nil ctx must be a live background ctx")
+	}
+}
+
+func TestCancelStopsEveryPoll(t *testing.T) {
+	c := Background()
+	if c.Poll() {
+		t.Fatal("fresh ctx must not stop")
+	}
+	c.Cancel()
+	// The cancel flag must be observed on the very next Poll, not only
+	// on a stride boundary.
+	if !c.Poll() || !c.Expired() {
+		t.Fatal("cancelled ctx must stop immediately")
+	}
+	if c.Cause() != CauseCancelled || c.TimedOut() {
+		t.Fatalf("cause = %v, want cancelled", c.Cause())
+	}
+}
+
+func TestDeadlineExpiryPropagatesToRoot(t *testing.T) {
+	root := WithTimeout(time.Nanosecond)
+	child := root.Child("branch0")
+	time.Sleep(time.Millisecond)
+	// Only the child observes the clock; the root must still classify
+	// as timed out.
+	for i := 0; i < 2*pollStride && !child.Poll(); i++ {
+	}
+	if child.Cause() != CauseDeadline {
+		t.Fatalf("child cause = %v, want deadline", child.Cause())
+	}
+	if !root.TimedOut() {
+		t.Fatalf("root cause = %v, want deadline", root.Cause())
+	}
+}
+
+func TestChildCancelDoesNotStopParentOrSibling(t *testing.T) {
+	root := Background()
+	a := root.Child("a")
+	b := root.Child("b")
+	a.Cancel()
+	if !a.Expired() {
+		t.Fatal("cancelled child must stop")
+	}
+	if root.Expired() || b.Expired() {
+		t.Fatal("parent and sibling must keep running")
+	}
+	root.Cancel()
+	if !b.Poll() {
+		t.Fatal("child must observe parent cancellation")
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ec, stop := FromContext(ctx, 0)
+	defer stop()
+	if ec.Expired() {
+		t.Fatal("fresh bridged ctx must not stop")
+	}
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for !ec.Expired() {
+		if time.Now().After(deadline) {
+			t.Fatal("bridged ctx did not observe context cancellation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ec.Cause() != CauseCancelled {
+		t.Fatalf("cause = %v, want cancelled", ec.Cause())
+	}
+}
+
+func TestFromContextTightensDeadline(t *testing.T) {
+	far := time.Now().Add(time.Hour)
+	ctx, cancel := context.WithDeadline(context.Background(), far)
+	defer cancel()
+	ec, stop := FromContext(ctx, time.Minute)
+	defer stop()
+	d, ok := ec.Deadline()
+	if !ok || !d.Before(far) {
+		t.Fatalf("deadline %v not tightened below %v", d, far)
+	}
+}
+
+func TestStatsCountersTimersChildren(t *testing.T) {
+	st := NewStats()
+	st.Add("rounds", 2)
+	st.Add("rounds", 1)
+	st.AddDuration("search", time.Second)
+	c := st.Child("sat")
+	c.Add("conflicts", 7)
+	if st.Counter("rounds") != 3 {
+		t.Fatalf("rounds = %d, want 3", st.Counter("rounds"))
+	}
+	if st.Duration("search") != time.Second {
+		t.Fatalf("search = %v", st.Duration("search"))
+	}
+	if st.Total("conflicts") != 7 {
+		t.Fatalf("Total(conflicts) = %d, want 7", st.Total("conflicts"))
+	}
+	if st.Child("sat") != c {
+		t.Fatal("Child must be idempotent")
+	}
+}
+
+func TestStatsNilSafe(t *testing.T) {
+	var st *Stats
+	st.Add("x", 1)
+	st.AddDuration("t", time.Second)
+	st.Time("t")()
+	st.Merge(NewStats())
+	if st.Counter("x") != 0 || st.Total("x") != 0 || st.Duration("t") != 0 {
+		t.Fatal("nil stats must read as zero")
+	}
+	if st.Child("c") != nil {
+		t.Fatal("child of nil stats is nil")
+	}
+	var buf bytes.Buffer
+	st.Write(&buf, "root")
+	if buf.String() != "root:\n" {
+		t.Fatalf("nil Write = %q", buf.String())
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := NewStats()
+	a.Add("n", 1)
+	a.Child("x").Add("m", 2)
+	b := NewStats()
+	b.Add("n", 10)
+	b.Child("x").Add("m", 20)
+	b.Child("y").Add("k", 5)
+	a.Merge(b)
+	if a.Counter("n") != 11 || a.Child("x").Counter("m") != 22 || a.Child("y").Counter("k") != 5 {
+		t.Fatal("merge mismatch")
+	}
+}
+
+func TestStatsWriteDeterministic(t *testing.T) {
+	build := func() *Stats {
+		st := NewStats()
+		st.Add("zeta", 1)
+		st.Add("alpha", 2)
+		st.Child("second").Add("x", 1)
+		st.Child("first").Add("y", 2)
+		return st
+	}
+	var b1, b2 bytes.Buffer
+	build().Write(&b1, "solve")
+	build().Write(&b2, "solve")
+	if b1.String() != b2.String() {
+		t.Fatalf("nondeterministic render:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	out := b1.String()
+	// Counters sorted by name, children in creation order.
+	if strings.Index(out, "alpha") > strings.Index(out, "zeta") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+	if strings.Index(out, "second") > strings.Index(out, "first") {
+		t.Fatalf("children not in creation order:\n%s", out)
+	}
+}
+
+func TestStatsConcurrent(t *testing.T) {
+	st := NewStats()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				st.Add("n", 1)
+				st.Child("c").Add("m", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if st.Counter("n") != 8000 || st.Total("m") != 8000 {
+		t.Fatalf("lost updates: n=%d m=%d", st.Counter("n"), st.Total("m"))
+	}
+}

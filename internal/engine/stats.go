@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stats is one node of a hierarchical tree of named counters and phase
+// timers. Layers record into the node of the context they run under
+// (solver verdict diagnostics, §9-style evaluation tables); the tree is
+// rendered deterministically by Write. A nil *Stats ignores writes and
+// reads as zero, so instrumented code needs no nil checks. All methods
+// are safe for concurrent use.
+type Stats struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	timers   map[string]time.Duration
+	children map[string]*Stats
+	order    []string // child names in creation order
+}
+
+// NewStats returns an empty statistics node.
+func NewStats() *Stats {
+	return &Stats{}
+}
+
+// Add increments counter name by n.
+func (s *Stats) Add(name string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]int64)
+	}
+	s.counters[name] += n
+	s.mu.Unlock()
+}
+
+// AddDuration accumulates d under timer name.
+func (s *Stats) AddDuration(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.timers == nil {
+		s.timers = make(map[string]time.Duration)
+	}
+	s.timers[name] += d
+	s.mu.Unlock()
+}
+
+// Time starts a phase timer; the returned stop function accumulates the
+// elapsed time under name. Typical use: defer st.Time("presolve")().
+func (s *Stats) Time(name string) func() {
+	if s == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { s.AddDuration(name, time.Since(start)) }
+}
+
+// Counter reads counter name (0 when absent).
+func (s *Stats) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
+
+// Duration reads timer name (0 when absent).
+func (s *Stats) Duration(name string) time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.timers[name]
+}
+
+// Child returns the named child node, creating it on first use.
+// Children render in creation order.
+func (s *Stats) Child(name string) *Stats {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.children == nil {
+		s.children = make(map[string]*Stats)
+	}
+	c, ok := s.children[name]
+	if !ok {
+		c = NewStats()
+		s.children[name] = c
+		s.order = append(s.order, name)
+	}
+	return c
+}
+
+// Total sums counter name over this node and all descendants; the
+// benchmark aggregates (mean conflicts, pivots, rounds per instance)
+// are built from it.
+func (s *Stats) Total(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	total := s.counters[name]
+	kids := make([]*Stats, 0, len(s.order))
+	for _, n := range s.order {
+		kids = append(kids, s.children[n])
+	}
+	s.mu.Unlock()
+	for _, c := range kids {
+		total += c.Total(name)
+	}
+	return total
+}
+
+// TotalDuration sums timer name over this node and all descendants.
+func (s *Stats) TotalDuration(name string) time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	total := s.timers[name]
+	kids := make([]*Stats, 0, len(s.order))
+	for _, n := range s.order {
+		kids = append(kids, s.children[n])
+	}
+	s.mu.Unlock()
+	for _, c := range kids {
+		total += c.TotalDuration(name)
+	}
+	return total
+}
+
+// Merge adds every counter, timer, and (recursively) child of o into s.
+func (s *Stats) Merge(o *Stats) {
+	if s == nil || o == nil {
+		return
+	}
+	o.mu.Lock()
+	counters := make(map[string]int64, len(o.counters))
+	for k, v := range o.counters {
+		counters[k] = v
+	}
+	timers := make(map[string]time.Duration, len(o.timers))
+	for k, v := range o.timers {
+		timers[k] = v
+	}
+	names := append([]string(nil), o.order...)
+	kids := make([]*Stats, len(names))
+	for i, n := range names {
+		kids[i] = o.children[n]
+	}
+	o.mu.Unlock()
+	for k, v := range counters {
+		s.Add(k, v)
+	}
+	for k, v := range timers {
+		s.AddDuration(k, v)
+	}
+	for i, n := range names {
+		s.Child(n).Merge(kids[i])
+	}
+}
+
+// Write renders the subtree rooted at s under the given name:
+// counters first, then timers, each sorted by name, then children in
+// creation order, indented two spaces per level. The layout is
+// deterministic (timer values naturally vary run to run; ordering does
+// not).
+func (s *Stats) Write(w io.Writer, name string) {
+	s.write(w, name, 0)
+}
+
+func (s *Stats) write(w io.Writer, name string, depth int) {
+	indent := make([]byte, 2*depth)
+	for i := range indent {
+		indent[i] = ' '
+	}
+	fmt.Fprintf(w, "%s%s:\n", indent, name)
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	counterNames := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		counterNames = append(counterNames, k)
+	}
+	timerNames := make([]string, 0, len(s.timers))
+	for k := range s.timers {
+		timerNames = append(timerNames, k)
+	}
+	counters := make(map[string]int64, len(s.counters))
+	for k, v := range s.counters {
+		counters[k] = v
+	}
+	timers := make(map[string]time.Duration, len(s.timers))
+	for k, v := range s.timers {
+		timers[k] = v
+	}
+	childNames := append([]string(nil), s.order...)
+	kids := make([]*Stats, len(childNames))
+	for i, n := range childNames {
+		kids[i] = s.children[n]
+	}
+	s.mu.Unlock()
+
+	sort.Strings(counterNames)
+	sort.Strings(timerNames)
+	for _, k := range counterNames {
+		fmt.Fprintf(w, "%s  %-24s %d\n", indent, k, counters[k])
+	}
+	for _, k := range timerNames {
+		fmt.Fprintf(w, "%s  %-24s %v\n", indent, k, timers[k].Round(time.Microsecond))
+	}
+	for i, n := range childNames {
+		kids[i].write(w, n, depth+1)
+	}
+}

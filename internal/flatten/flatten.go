@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/alphabet"
+	"repro/internal/engine"
 	"repro/internal/lia"
 	"repro/internal/pfa"
 	"repro/internal/strcon"
@@ -61,21 +62,28 @@ func (res *Result) OnModel(m lia.Model) lia.Formula {
 }
 
 // Flatten builds the under-approximation formula flatten_R(ϕ_in) for
-// the (Prepared) problem under the given parameters. Variables
-// occurring in string-number constraints receive numeric PFAs; all
-// others standard loop-chain PFAs (§9 selection strategy).
-func Flatten(prob *strcon.Problem, params Params) *Result {
-	return flattenWith(prob, params, &pfa.CutRegistry{})
+// the given constraints of the (Prepared) problem under the given
+// parameters. Variables occurring in string-number constraints receive
+// numeric PFAs; all others standard loop-chain PFAs (§9 selection
+// strategy). The constraint slice is passed explicitly so case-split
+// branches can flatten their own conjunct sets without mutating the
+// shared problem; pass prob.Constraints for whole-problem flattening.
+// Formula sizes and flattening time are recorded on ec's stats tree.
+func Flatten(prob *strcon.Problem, cons []strcon.Constraint, params Params, ec *engine.Ctx) *Result {
+	return flattenWith(prob, cons, params, &pfa.CutRegistry{}, ec)
 }
 
 // FlattenEager is Flatten with the eager spanning-tree Parikh encoding
 // instead of lazy connectivity cuts (for ablation studies; the lazy
 // variant is dramatically faster on nontrivial products).
-func FlattenEager(prob *strcon.Problem, params Params) *Result {
-	return flattenWith(prob, params, nil)
+func FlattenEager(prob *strcon.Problem, cons []strcon.Constraint, params Params, ec *engine.Ctx) *Result {
+	return flattenWith(prob, cons, params, nil, ec)
 }
 
-func flattenWith(prob *strcon.Problem, params Params, cuts *pfa.CutRegistry) *Result {
+func flattenWith(prob *strcon.Problem, cons []strcon.Constraint, params Params, cuts *pfa.CutRegistry, ec *engine.Ctx) *Result {
+	st := ec.Stats().Child("flatten")
+	st.Add("calls", 1)
+	defer st.Time("time")()
 	res := &Result{R: make(map[strcon.Var]pfa.Restriction), Cuts: cuts, prob: prob}
 	pool := prob.Lia
 
@@ -99,11 +107,11 @@ func flattenWith(prob *strcon.Problem, params Params, cuts *pfa.CutRegistry) *Re
 			}
 		}
 	}
-	for _, c := range prob.Constraints {
+	for _, c := range cons {
 		scanNumeric(c)
 	}
 
-	exact := exactLengths(prob)
+	exact := exactLengths(prob, cons)
 	for v := 0; v < prob.NumStrVars(); v++ {
 		x := strcon.Var(v)
 		name := prob.StrName(x)
@@ -144,22 +152,23 @@ func flattenWith(prob *strcon.Problem, params Params, cuts *pfa.CutRegistry) *Re
 		conj = append(conj, lengthFormula(pool, res.R[x], lenVars[x]))
 	}
 
-	for _, c := range prob.Constraints {
+	for _, c := range cons {
 		conj = append(conj, res.flattenCon(c, params))
 	}
 	res.Formula = lia.And(conj...)
+	st.Add("formula.size", int64(lia.FormulaSize(res.Formula)))
 	return res
 }
 
 // exactLengths scans top-level integer constraints for exact length
 // pins |x| = k, which permit smaller complete restrictions.
-func exactLengths(prob *strcon.Problem) map[strcon.Var]int {
+func exactLengths(prob *strcon.Problem, cons []strcon.Constraint) map[strcon.Var]int {
 	lenOwner := make(map[lia.Var]strcon.Var, len(prob.LenVars()))
 	for x, lv := range prob.LenVars() {
 		lenOwner[lv] = x
 	}
 	out := make(map[strcon.Var]int)
-	for _, c := range prob.Constraints {
+	for _, c := range cons {
 		ar, ok := c.(*strcon.Arith)
 		if !ok {
 			continue

@@ -13,7 +13,7 @@ import (
 func solve(t *testing.T, prob *strcon.Problem, params Params) (*strcon.Assignment, lia.Result) {
 	t.Helper()
 	prob.Prepare()
-	res := Flatten(prob, params)
+	res := Flatten(prob, prob.Constraints, params, nil)
 	r, m := lia.Solve(res.Formula, &lia.Options{OnModel: res.OnModel})
 	if r != lia.ResSat {
 		return nil, r

@@ -310,3 +310,27 @@ func write(b *strings.Builder, f Formula, p *Pool, depth int) {
 		b.WriteByte(')')
 	}
 }
+
+// FormulaSize counts the nodes of a formula (constants, atoms, and
+// connectives) — the size measure the solve statistics record for each
+// flattening round. The traversal is iterative (an explicit stack) so
+// adversarially deep formulas cannot overflow the goroutine stack.
+func FormulaSize(f Formula) int {
+	if f == nil {
+		return 0
+	}
+	n := 0
+	stack := []Formula{f}
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n++
+		switch t := g.(type) {
+		case *Not:
+			stack = append(stack, t.F)
+		case *NAry:
+			stack = append(stack, t.Args...)
+		}
+	}
+	return n
+}

@@ -3,8 +3,8 @@ package lia
 import (
 	"math/big"
 	"sort"
-	"time"
 
+	"repro/internal/engine"
 	"repro/internal/sat"
 	"repro/internal/simplex"
 )
@@ -33,8 +33,11 @@ func (r Result) String() string {
 
 // Options tune the DPLL(T) search. The zero value selects defaults.
 type Options struct {
-	// Deadline aborts the search with ResUnknown when exceeded.
-	Deadline time.Time
+	// Ctx, when non-nil, carries the deadline and cancellation flag
+	// (polled inside the SAT and simplex hot loops) and the statistics
+	// tree the search records into. A stopped context aborts the search
+	// with ResUnknown.
+	Ctx *engine.Ctx
 	// MaxIterations is retained for compatibility; the online engine
 	// does not use it.
 	MaxIterations int
@@ -68,21 +71,6 @@ func (o *Options) defaults() Options {
 	}
 	return r
 }
-
-// Stats records search statistics of the most recent Solve call; it is
-// for diagnostics and benchmarking only and is not synchronized.
-type Stats struct {
-	Atoms           int
-	SatConflicts    int64
-	TheoryConflicts int
-	FinalChecks     int
-	FinalConflicts  int
-	Lemmas          int
-	Pivots          int64
-}
-
-// LastStats holds the statistics of the most recent Solve call.
-var LastStats Stats
 
 // atomRec is one canonical theory atom: comb <= Bound (upper) or comb
 // >= Bound (lower), where comb is identified by exprKey.
@@ -124,6 +112,7 @@ type dpllt struct {
 	thLevels    []int  // thTrail marks per theory level
 
 	ps         *presolver
+	stats      *engine.Stats // the "lia" stats node (nil-safe)
 	finalModel Model
 	abort      bool // pivot budget exhausted mid-search
 }
@@ -131,12 +120,18 @@ type dpllt struct {
 // Solve decides satisfiability of the quantifier-free LIA formula f
 // over integer-valued variables. On ResSat the model satisfies f.
 func Solve(f Formula, opts *Options) (Result, Model) {
+	o := opts.defaults()
+	st := o.Ctx.Stats()
+	liaStats := st.Child("lia")
+
+	stopPresolve := liaStats.Time("time.presolve")
 	ps := &presolver{}
 	g := ps.run(nnf(f, false))
 	// Presolve can expose new top-level structure after substitution;
 	// re-normalize.
 	g = nnf(g, false)
 	g = ps.run(g)
+	stopPresolve()
 
 	if b, ok := g.(Bool); ok {
 		if !bool(b) {
@@ -151,17 +146,19 @@ func Solve(f Formula, opts *Options) (Result, Model) {
 	}
 
 	d := &dpllt{
-		opts:  (opts).defaults(),
+		opts:  o,
 		sat:   sat.New(),
 		byKey: make(map[string]int),
 		exprs: make(map[string]*exprRec),
 		vars:  make(map[Var]bool),
 		ps:    ps,
+		stats: liaStats,
 	}
 	root := d.encode(g, 0)
 	d.sat.AddClause(root)
 	d.sat.Budget = d.opts.SatConflictBudget
-	d.sat.Deadline = d.opts.Deadline
+	d.sat.Ctx = d.opts.Ctx
+	d.sat.Stats = st.Child("sat")
 	d.initSimplex()
 	d.atomOfVar = make(map[int]int, len(d.atoms))
 	for i, a := range d.atoms {
@@ -170,10 +167,13 @@ func Solve(f Formula, opts *Options) (Result, Model) {
 	d.assertedPol = make([]int8, len(d.atoms))
 	d.sat.Theory = d
 
-	LastStats = Stats{Atoms: len(d.atoms)}
+	liaStats.Add("atoms", int64(len(d.atoms)))
+	stopSearch := liaStats.Time("time.search")
 	defer func() {
-		LastStats.SatConflicts = d.sat.Conflicts()
-		LastStats.Pivots = d.sx.Pivots
+		stopSearch()
+		sxStats := st.Child("simplex")
+		sxStats.Add("pivots", d.sx.Pivots)
+		sxStats.Add("refactors", d.sx.Refactors)
 	}()
 
 	switch d.sat.Solve() {
@@ -214,7 +214,7 @@ func (d *dpllt) TheoryAssert(l sat.Lit) []sat.Lit {
 			d.abort = true
 			return nil
 		}
-		LastStats.TheoryConflicts++
+		d.stats.Add("theory.conflicts", 1)
 		return d.coreLits(c.Tags)
 	}
 	return nil
@@ -230,7 +230,7 @@ func (d *dpllt) TheoryCheck() []sat.Lit {
 		d.abort = true
 		return nil
 	}
-	LastStats.TheoryConflicts++
+	d.stats.Add("theory.conflicts", 1)
 	return d.coreLits(c.Tags)
 }
 
@@ -256,11 +256,11 @@ func (d *dpllt) TheoryPop(n int) {
 // TheoryFinal runs integrality (branch and bound) and lazy lemma
 // generation on a complete assignment.
 func (d *dpllt) TheoryFinal() (sat.FinalResult, []sat.Lit) {
-	LastStats.FinalChecks++
+	d.stats.Add("final.checks", 1)
 	if d.abort {
 		return sat.FinalUnknown, nil
 	}
-	if !d.opts.Deadline.IsZero() && time.Now().After(d.opts.Deadline) {
+	if d.opts.Ctx.Expired() {
 		return sat.FinalUnknown, nil
 	}
 	bb := &simplex.IntSolver{S: d.sx, IntVars: d.intVars, NodeBudget: d.opts.BBNodeBudget}
@@ -284,7 +284,7 @@ func (d *dpllt) TheoryFinal() (sat.FinalResult, []sat.Lit) {
 		if d.opts.OnModel != nil {
 			if lemma := d.opts.OnModel(m); lemma != nil {
 				if b, isBool := lemma.(Bool); !isBool || !bool(b) {
-					LastStats.Lemmas++
+					d.stats.Add("lemmas", 1)
 					d.addLemma(d.ps.apply(lemma))
 					return sat.FinalRestart, nil
 				}
@@ -293,7 +293,7 @@ func (d *dpllt) TheoryFinal() (sat.FinalResult, []sat.Lit) {
 		d.finalModel = m
 		return sat.FinalOK, nil
 	}
-	LastStats.FinalConflicts++
+	d.stats.Add("final.conflicts", 1)
 	var core []int
 	if confl != nil && !confl.Tainted && len(confl.Tags) > 0 {
 		core = confl.Tags
@@ -467,7 +467,7 @@ func (d *dpllt) initSimplex() {
 	d.extraSv = make(map[Var]int)
 	d.sx = simplex.New(maxVar + 1)
 	d.sx.PivotBudget = d.opts.PivotBudget
-	d.sx.Deadline = d.opts.Deadline
+	d.sx.Ctx = d.opts.Ctx
 	for _, v := range sortedVars(d.vars) {
 		d.registerIntVar(int(v))
 	}
@@ -592,7 +592,7 @@ func (d *dpllt) subsetCheck(subset []int) (infeasible bool, subcore []int) {
 	maxSv := d.sx.NumVars()
 	scratch := simplex.New(maxSv)
 	scratch.PivotBudget = d.opts.PivotBudget / 4
-	scratch.Deadline = d.opts.Deadline
+	scratch.Ctx = d.opts.Ctx
 	slackOf := make(map[string]int)
 	intVarsSet := make(map[int]bool)
 	one := big.NewInt(1)

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ctxPoll flags unconditional for-loops in the solver's hot-loop
+// packages (internal/sat, internal/simplex) that never call an engine
+// context poll (Poll or Expired): such a loop cannot observe a deadline
+// or a portfolio cancellation, so a pathological instance would pin the
+// solve past its budget. A loop whose iteration count is structurally
+// bounded may instead carry a "//lint:nopoll <justification>" comment
+// arguing its bound; the search loop around it is then responsible for
+// polling.
+var ctxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "unbounded solver loops without an engine context poll",
+	Scope: func(path string) bool {
+		for _, p := range []string{"internal/sat", "internal/simplex"} {
+			if strings.HasSuffix(path, p) {
+				return true
+			}
+		}
+		return strings.Contains(path, "/testdata/")
+	},
+	Run: runCtxPoll,
+}
+
+// pollMethods are the engine.Ctx methods that count as observing
+// cancellation.
+var pollMethods = map[string]bool{"Poll": true, "Expired": true}
+
+func runCtxPoll(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Cond != nil {
+				return true
+			}
+			if has, justified := p.nopollAt(loop.For); has {
+				if !justified {
+					p.Report(loop.For, "ctxpoll", "//lint:nopoll needs a justification")
+				}
+				return true
+			}
+			if pollsCtx(loop.Body) {
+				return true
+			}
+			p.Report(loop.For, "ctxpoll",
+				"unbounded for-loop never polls the solve context; add a ctx.Poll() check or //lint:nopoll <why it is bounded>")
+			return true
+		})
+	}
+}
+
+// pollsCtx reports whether the loop body calls a poll method directly
+// (calls inside nested function literals do not count: they may never
+// run on the loop's path).
+func pollsCtx(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && pollMethods[sel.Sel.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

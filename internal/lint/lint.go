@@ -8,11 +8,16 @@
 //     writes) without a subsequent sort,
 //   - errdrop:   discarded error returns inside internal/,
 //   - recbudget: recursive functions in the parser/normalizer
-//     packages without a depth or iteration budget.
+//     packages without a depth or iteration budget,
+//   - ctxpoll:   unconditional for-loops in the hot solver packages
+//     (internal/sat, internal/simplex) that never poll the engine
+//     solve context, so cancellation could not reach them.
 //
 // Findings are reported as "file:line: [check] message". A
 // "//lint:ordered <justification>" comment on the line of (or the line
-// before) a range statement suppresses maporder for that loop.
+// before) a range statement suppresses maporder for that loop;
+// "//lint:nopoll <justification>" likewise suppresses ctxpoll for a
+// loop whose bound is argued in the justification.
 package lint
 
 import (
@@ -52,7 +57,8 @@ type Pass struct {
 	Info    *types.Info
 	Path    string
 	report  func(Finding)
-	ordered map[int]string // file-line -> justification, per current file set
+	ordered map[int]string // //lint:ordered line -> justification
+	nopoll  map[int]string // //lint:nopoll line -> justification
 }
 
 // Report records a finding at pos.
@@ -67,7 +73,7 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 
 // All returns the analyzers in their canonical order.
 func All() []*Analyzer {
-	return []*Analyzer{bigAlias, mapOrder, errDrop, recBudget}
+	return []*Analyzer{bigAlias, mapOrder, errDrop, recBudget, ctxPoll}
 }
 
 // ByName resolves a comma-separated check list ("bigalias,errdrop");
@@ -132,7 +138,8 @@ func analyze(pkg *Package, analyzers []*Analyzer) []Finding {
 			Pkg:     pkg.Types,
 			Info:    pkg.Info,
 			Path:    pkg.Path,
-			ordered: orderedDirectives(pkg.Fset, pkg.Files),
+			ordered: directives(pkg.Fset, pkg.Files, orderedDirective),
+			nopoll:  directives(pkg.Fset, pkg.Files, nopollDirective),
 			report:  func(f Finding) { findings = append(findings, f) },
 		}
 		a.Run(pass)
@@ -154,14 +161,19 @@ func sortFindings(fs []Finding) {
 	})
 }
 
-// orderedDirective is the comment that suppresses maporder.
-const orderedDirective = "lint:ordered"
+// Suppression directives.
+const (
+	// orderedDirective suppresses maporder.
+	orderedDirective = "lint:ordered"
+	// nopollDirective suppresses ctxpoll.
+	nopollDirective = "lint:nopoll"
+)
 
-// orderedDirectives collects //lint:ordered comments, keyed by the
-// line they annotate (the comment's own line; a directive on line N
-// suppresses a loop starting on line N or N+1). The value is the
-// justification text after the directive.
-func orderedDirectives(fset *token.FileSet, files []*ast.File) map[int]string {
+// directives collects //lint:<name> comments with the given prefix,
+// keyed by the line they annotate (the comment's own line; a directive
+// on line N suppresses a statement starting on line N or N+1). The
+// value is the justification text after the directive.
+func directives(fset *token.FileSet, files []*ast.File, prefix string) map[int]string {
 	out := map[int]string{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -169,7 +181,7 @@ func orderedDirectives(fset *token.FileSet, files []*ast.File) map[int]string {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimPrefix(text, "/*")
 				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
-				if rest, ok := strings.CutPrefix(text, orderedDirective); ok {
+				if rest, ok := strings.CutPrefix(text, prefix); ok {
 					line := fset.Position(c.Pos()).Line
 					out[line] = strings.TrimSpace(rest)
 				}
@@ -179,18 +191,31 @@ func orderedDirectives(fset *token.FileSet, files []*ast.File) map[int]string {
 	return out
 }
 
+// covers reports whether a statement starting at pos is covered by a
+// directive in m with a non-empty justification, on either its own line
+// or the line above.
+func (p *Pass) covers(m map[int]string, pos token.Pos) (bool, bool) {
+	line := p.Fset.Position(pos).Line
+	if just, ok := m[line]; ok {
+		return true, just != ""
+	}
+	if just, ok := m[line-1]; ok {
+		return true, just != ""
+	}
+	return false, false
+}
+
 // suppressed reports whether a statement starting at pos is covered by
 // a //lint:ordered directive with a non-empty justification, on either
 // its own line or the line above.
 func (p *Pass) suppressed(pos token.Pos) (bool, bool) {
-	line := p.Fset.Position(pos).Line
-	if just, ok := p.ordered[line]; ok {
-		return true, just != ""
-	}
-	if just, ok := p.ordered[line-1]; ok {
-		return true, just != ""
-	}
-	return false, false
+	return p.covers(p.ordered, pos)
+}
+
+// nopollAt reports whether a loop starting at pos carries a
+// //lint:nopoll directive, and whether it is justified.
+func (p *Pass) nopollAt(pos token.Pos) (bool, bool) {
+	return p.covers(p.nopoll, pos)
 }
 
 // inInternal reports whether the import path is inside internal/ (the

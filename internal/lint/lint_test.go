@@ -85,10 +85,15 @@ func TestRecBudgetFixtures(t *testing.T) {
 	checkFixture(t, "recbudget_good", recBudget)
 }
 
+func TestCtxPollFixtures(t *testing.T) {
+	checkFixture(t, "ctxpoll_bad", ctxPoll)
+	checkFixture(t, "ctxpoll_good", ctxPoll)
+}
+
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 4, nil", len(all), err)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
 	}
 	two, err := ByName("bigalias, errdrop")
 	if err != nil || len(two) != 2 {

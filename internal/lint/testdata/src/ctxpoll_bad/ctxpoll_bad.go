@@ -1,0 +1,47 @@
+// Package ctxpoll_bad holds failing fixtures for the ctxpoll check.
+package ctxpoll_bad
+
+// ctx mimics the engine context's polling surface.
+type ctx struct{ stop bool }
+
+func (c *ctx) Poll() bool    { return c.stop }
+func (c *ctx) Expired() bool { return c.stop }
+
+// spin never polls: cancellation cannot reach it.
+func spin(work []int) int {
+	n := 0
+	i := 0
+	for { // want ctxpoll
+		n += work[i%len(work)]
+		i++
+		if n > 1<<30 {
+			return n
+		}
+	}
+}
+
+// spinClosure polls only inside a deferred closure, which does not run
+// on the loop path.
+func spinClosure(c *ctx, work []int) int {
+	n := 0
+	for { // want ctxpoll
+		f := func() bool { return c.Poll() }
+		_ = f
+		n++
+		if n > len(work)*1000 {
+			return n
+		}
+	}
+}
+
+// spinBare carries a bare directive without a justification.
+func spinBare(work []int) int {
+	n := 0
+	//lint:nopoll
+	for { // want ctxpoll
+		n++
+		if n > len(work) {
+			return n
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package ctxpoll_good holds passing fixtures for the ctxpoll check.
+package ctxpoll_good
+
+// ctx mimics the engine context's polling surface.
+type ctx struct{ stop bool }
+
+func (c *ctx) Poll() bool    { return c.stop }
+func (c *ctx) Expired() bool { return c.stop }
+
+// polled checks the context every iteration.
+func polled(c *ctx, work []int) int {
+	n := 0
+	i := 0
+	for {
+		if c.Poll() {
+			return n
+		}
+		n += work[i%len(work)]
+		i++
+	}
+}
+
+// phased consults the wall clock at a phase boundary inside the loop.
+func phased(c *ctx) int {
+	n := 0
+	for {
+		if c.Expired() {
+			return n
+		}
+		n++
+	}
+}
+
+// justified is bounded and says why.
+func justified(work []int) int {
+	n, i := 0, 0
+	//lint:nopoll bounded by the work slice: i strictly increases toward len(work)
+	for {
+		if i >= len(work) {
+			return n
+		}
+		n += work[i]
+		i++
+	}
+}
+
+// conditional loops are out of scope: their bound is the condition.
+func conditional(work []int) int {
+	n := 0
+	for i := 0; i < len(work); i++ {
+		n += work[i]
+	}
+	return n
+}

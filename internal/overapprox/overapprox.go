@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"repro/internal/automata"
+	"repro/internal/engine"
 	"repro/internal/lia"
 	"repro/internal/parikh"
 	"repro/internal/pfa"
@@ -63,8 +64,15 @@ type abstractor struct {
 	memberships map[strcon.Var][]*automata.NFA
 }
 
-// Abstract builds the over-approximation of a prepared problem.
-func Abstract(prob *strcon.Problem) *Result {
+// Abstract builds the over-approximation of the given constraints of a
+// prepared problem. The slice is passed explicitly so case-split
+// branches can be abstracted without mutating the shared problem; pass
+// prob.Constraints for the whole problem. Abstraction size and time are
+// recorded on ec's stats tree.
+func Abstract(prob *strcon.Problem, cons []strcon.Constraint, ec *engine.Ctx) *Result {
+	st := ec.Stats().Child("overapprox")
+	st.Add("calls", 1)
+	defer st.Time("time")()
 	a := &abstractor{
 		prob:        prob,
 		cuts:        &pfa.CutRegistry{},
@@ -72,10 +80,10 @@ func Abstract(prob *strcon.Problem) *Result {
 		memberships: make(map[strcon.Var][]*automata.NFA),
 	}
 	var conj []lia.Formula
-	for _, c := range prob.Constraints {
+	for _, c := range cons {
 		conj = append(conj, a.abstractCon(c, true))
 	}
-	if prefixSuffixConflict(prob.Constraints) {
+	if prefixSuffixConflict(cons) {
 		conj = append(conj, lia.False)
 	}
 	// Intersection emptiness per variable (bounded product size).
@@ -91,7 +99,9 @@ func Abstract(prob *strcon.Problem) *Result {
 		}
 	}
 	conj = append(conj, a.base...)
-	return &Result{Formula: lia.And(conj...), Cuts: a.cuts}
+	res := &Result{Formula: lia.And(conj...), Cuts: a.cuts}
+	st.Add("formula.size", int64(lia.FormulaSize(res.Formula)))
+	return res
 }
 
 // counters returns (allocating on first use) the bucket counters of x,

@@ -12,7 +12,7 @@ import (
 func abstractStatus(t *testing.T, prob *strcon.Problem) lia.Result {
 	t.Helper()
 	prob.Prepare()
-	oa := Abstract(prob)
+	oa := Abstract(prob, prob.Constraints, nil)
 	res, _ := lia.Solve(oa.Formula, &lia.Options{OnModel: oa.OnModel})
 	return res
 }

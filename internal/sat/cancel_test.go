@@ -1,0 +1,74 @@
+package sat
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func TestPreCancelledCtxStopsSolveImmediately(t *testing.T) {
+	s := New()
+	pigeonhole(s, 11)
+	ec := engine.Background()
+	ec.Cancel()
+	s.Ctx = ec
+	start := time.Now()
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("Solve() = %v, want Unknown", got)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("cancelled solve took %v", d)
+	}
+}
+
+func TestCancelAbortsMidSearch(t *testing.T) {
+	// PHP(12, 11) keeps a CDCL solver busy far longer than the cancel
+	// delay; the solve must abort from inside the search loop.
+	s := New()
+	pigeonhole(s, 11)
+	ec := engine.Background()
+	s.Ctx = ec
+	s.Stats = engine.NewStats()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		ec.Cancel()
+	}()
+	start := time.Now()
+	got := s.Solve()
+	elapsed := time.Since(start)
+	if got != Unknown {
+		t.Fatalf("Solve() = %v, want Unknown after cancellation", got)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled solve took %v, want prompt return", elapsed)
+	}
+	if s.Stats.Counter("decisions") == 0 {
+		t.Fatalf("expected the search to have started before the cancel")
+	}
+	// The solver must remain usable: a later Solve without the stop
+	// condition runs afresh (tiny instance, trivially sat).
+	s2 := New()
+	a := s2.NewVar()
+	s2.AddClause(MkLit(a, false))
+	if got := s2.Solve(); got != Sat {
+		t.Fatalf("fresh solver = %v, want Sat", got)
+	}
+}
+
+func TestDeadlineAbortsMidSearch(t *testing.T) {
+	s := New()
+	pigeonhole(s, 11)
+	ec := engine.WithTimeout(50 * time.Millisecond)
+	s.Ctx = ec
+	start := time.Now()
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("Solve() = %v, want Unknown after deadline", got)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("deadline solve took %v", d)
+	}
+	if !ec.TimedOut() {
+		t.Fatalf("cause = %v, want deadline", ec.Cause())
+	}
+}

@@ -10,7 +10,8 @@ package sat
 
 import (
 	"sort"
-	"time"
+
+	"repro/internal/engine"
 )
 
 // Lit is a literal: variable index shifted left with the low bit as
@@ -109,13 +110,18 @@ type Solver struct {
 	conflicts int64
 	decisions int64
 	propags   int64
+	restarts  int64
+	stopped   bool // context observed stopped during propagate
 
 	// Budget limits the number of conflicts per Solve call; 0 means
 	// unlimited. When exhausted, Solve returns Unknown.
 	Budget int64
-	// Deadline, when non-zero, aborts Solve with Unknown once passed
-	// (checked at conflicts and final checks).
-	Deadline time.Time
+	// Ctx, when non-nil, aborts Solve with Unknown once the context
+	// stops; polled in the search loop and inside unit propagation.
+	Ctx *engine.Ctx
+	// Stats, when non-nil, receives per-Solve counter deltas
+	// (conflicts, decisions, propagations, restarts) on return.
+	Stats *engine.Stats
 	// Theory, when non-nil, receives assignments and level changes and
 	// vetoes complete assignments (DPLL(T)).
 	Theory TheoryClient
@@ -249,9 +255,15 @@ func (s *Solver) enqueue(l Lit, from *clause) bool {
 }
 
 // propagate performs unit propagation; it returns a conflicting clause
-// or nil.
+// or nil. When the context stops mid-propagation it sets s.stopped and
+// bails between watch-list scans (the trail stays consistent; the
+// unpropagated suffix is simply re-examined by the next propagate).
 func (s *Solver) propagate() *clause {
 	for s.qhead < len(s.trail) {
+		if s.propags%64 == 0 && s.Ctx.Poll() {
+			s.stopped = true
+			return nil
+		}
 		p := s.trail[s.qhead]
 		s.qhead++
 		s.propags++
@@ -357,6 +369,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	curLevel := len(s.lim)
 	var marked []int // vars with seen set, cleared at the end
 
+	//lint:nopoll bounded by the trail: each resolution step moves idx strictly down
 	for {
 		s.bumpClause(confl)
 		start := 0
@@ -448,6 +461,7 @@ func (s *Solver) redundant(l Lit, learnt []Lit) bool {
 }
 
 func (s *Solver) decide() bool {
+	//lint:nopoll bounded by the heap size; the search loop polls the context between decisions
 	for {
 		v, ok := s.heap.pop(s.activity)
 		if !ok {
@@ -467,6 +481,7 @@ func (s *Solver) decide() bool {
 
 // luby returns the i-th element of the Luby restart sequence.
 func luby(i int64) int64 {
+	//lint:nopoll terminates: k grows until the bracket containing i is found
 	for k := int64(1); ; k++ {
 		if i == (int64(1)<<uint(k))-1 {
 			return int64(1) << uint(k-1)
@@ -479,22 +494,40 @@ func luby(i int64) int64 {
 
 // Solve searches for a satisfying assignment consistent with the
 // theory (when one is attached). It returns Sat, Unsat, or Unknown
-// (budget or deadline exhausted, or the theory gave up).
+// (budget exhausted, context stopped, or the theory gave up).
 func (s *Solver) Solve() Result {
+	startConflicts := s.conflicts
+	startDecisions := s.decisions
+	startPropags := s.propags
+	startRestarts := s.restarts
+	defer func() {
+		s.Stats.Add("conflicts", s.conflicts-startConflicts)
+		s.Stats.Add("decisions", s.decisions-startDecisions)
+		s.Stats.Add("propagations", s.propags-startPropags)
+		s.Stats.Add("restarts", s.restarts-startRestarts)
+	}()
 	if !s.ok {
 		return Unsat
 	}
+	s.stopped = false
 	s.cancelUntil(0)
 	if s.propagate() != nil {
 		s.ok = false
 		return Unsat
 	}
-	startConflicts := s.conflicts
 	var restart int64 = 1
 	restartBudget := luby(restart) * 100
 
 	for {
+		if s.stopped || s.Ctx.Poll() {
+			s.cancelUntil(0)
+			return Unknown
+		}
 		confl := s.propagate()
+		if s.stopped {
+			s.cancelUntil(0)
+			return Unknown
+		}
 		if confl == nil && s.Theory != nil {
 			confl = s.theorySync()
 		}
@@ -557,12 +590,9 @@ func (s *Solver) Solve() Result {
 			s.cancelUntil(0)
 			return Unknown
 		}
-		if !s.Deadline.IsZero() && s.conflicts%64 == 0 && time.Now().After(s.Deadline) {
-			s.cancelUntil(0)
-			return Unknown
-		}
 		if s.conflicts-startConflicts >= restartBudget {
 			restart++
+			s.restarts++
 			restartBudget += luby(restart) * 100
 			s.cancelUntil(0)
 			s.reduceDB()
@@ -722,6 +752,7 @@ func (h *varHeap) up(i int, act []float64) {
 
 func (h *varHeap) down(i int, act []float64) {
 	v := h.heap[i]
+	//lint:nopoll bounded by the heap depth
 	for {
 		c := 2*i + 1
 		if c >= len(h.heap) {

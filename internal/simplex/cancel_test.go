@@ -1,0 +1,96 @@
+package simplex
+
+import (
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func TestCancelledCtxTurnsCheckIntoBudgetConflict(t *testing.T) {
+	s := New(2)
+	sum := s.DefineSlack(map[int]*big.Int{0: big.NewInt(1), 1: big.NewInt(1)})
+	if c := s.AssertLower(sum, rat(4, 1), 1); c != nil {
+		t.Fatal("unexpected conflict on assert")
+	}
+	ec := engine.Background()
+	ec.Cancel()
+	s.Ctx = ec
+	c := s.Check()
+	if c == nil || !c.Budget || !c.Tainted {
+		t.Fatalf("Check() = %+v, want a tainted budget conflict", c)
+	}
+}
+
+func TestCancelAbortsIntSolverSearch(t *testing.T) {
+	// A system whose LP relaxation is feasible but where branch-and-
+	// bound must split repeatedly: x + y even-sum style constraints over
+	// a wide box. The exact instance matters less than the bound: the
+	// cancelled run must return promptly with IntUnknown.
+	n := 12
+	s := New(n)
+	ec := engine.Background()
+	s.Ctx = ec
+	intVars := make([]int, n)
+	for i := range intVars {
+		intVars[i] = i
+		if c := s.AssertLower(i, rat(0, 1), i*2+1); c != nil {
+			t.Fatal("lower bound conflict")
+		}
+		if c := s.AssertUpper(i, rat(1000, 1), i*2+2); c != nil {
+			t.Fatal("upper bound conflict")
+		}
+	}
+	// sum of all vars = 2k+1/2-ish fractional optimum: force many splits
+	// with pairwise half-integral couplings.
+	tag := 1000
+	for i := 0; i+1 < n; i++ {
+		sl := s.DefineSlack(map[int]*big.Int{i: big.NewInt(2), i + 1: big.NewInt(2)})
+		if c := s.AssertLower(sl, rat(1, 1), tag); c != nil {
+			t.Fatal("slack lower conflict")
+		}
+		tag++
+		if c := s.AssertUpper(sl, rat(1, 1), tag); c != nil {
+			t.Fatal("slack upper conflict")
+		}
+		tag++
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		ec.Cancel()
+	}()
+	b := &IntSolver{S: s, IntVars: intVars, NodeBudget: 1 << 30}
+	start := time.Now()
+	res, _, _ := b.Solve()
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled branch-and-bound took %v", d)
+	}
+	// 2x_i + 2x_{i+1} = 1 has no integer solution, so any completed
+	// outcome is IntUnsat; a cancelled one is IntUnknown. Both are
+	// acceptable — the point is the bounded return.
+	if res == IntSat {
+		t.Fatalf("result = IntSat for an integrally infeasible system")
+	}
+}
+
+func TestPivotStatsRecorded(t *testing.T) {
+	s := New(3)
+	a := s.DefineSlack(map[int]*big.Int{0: big.NewInt(1), 1: big.NewInt(1)})
+	b := s.DefineSlack(map[int]*big.Int{1: big.NewInt(1), 2: big.NewInt(1)})
+	if c := s.AssertLower(a, rat(3, 1), 1); c != nil {
+		t.Fatal("conflict")
+	}
+	if c := s.AssertLower(b, rat(3, 1), 2); c != nil {
+		t.Fatal("conflict")
+	}
+	if c := s.AssertUpper(0, rat(1, 1), 3); c != nil {
+		t.Fatal("conflict")
+	}
+	if c := s.Check(); c != nil {
+		t.Fatal("unexpected conflict")
+	}
+	if s.Pivots == 0 {
+		t.Fatal("expected at least one pivot to be counted")
+	}
+}

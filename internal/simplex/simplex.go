@@ -10,7 +10,8 @@ package simplex
 import (
 	"math/big"
 	"sort"
-	"time"
+
+	"repro/internal/engine"
 )
 
 // NoTag marks bounds that do not correspond to an asserted atom (for
@@ -55,11 +56,13 @@ type Solver struct {
 
 	// Pivots counts pivot operations, for diagnostics and budgets.
 	Pivots int64
+	// Refactors counts tableau refactorizations, for diagnostics.
+	Refactors int64
 	// PivotBudget, when positive, bounds the pivots per Check call.
 	PivotBudget int64
-	// Deadline, when non-zero, aborts Check (with a budget conflict)
-	// once passed; checked periodically during pivoting.
-	Deadline time.Time
+	// Ctx, when non-nil, aborts Check (with a budget conflict) once the
+	// context stops; polled once per pivot iteration.
+	Ctx *engine.Ctx
 }
 
 type boundChange struct {
@@ -197,6 +200,7 @@ func (s *Solver) maybeRefactorize() {
 	}
 	if total > 6*s.baseTerms+1024 {
 		s.refactorize()
+		s.Refactors++
 		s.lastRefactor = s.Pivots
 	}
 }
@@ -434,7 +438,7 @@ func (s *Solver) Check() *Conflict {
 		if s.PivotBudget > 0 && s.Pivots-pivotsAtStart > s.PivotBudget {
 			return &Conflict{Tainted: true, Budget: true}
 		}
-		if !s.Deadline.IsZero() && s.Pivots%128 == 0 && time.Now().After(s.Deadline) {
+		if s.Ctx.Poll() {
 			return &Conflict{Tainted: true, Budget: true}
 		}
 		bland := s.Pivots >= blandAfter

@@ -33,6 +33,25 @@ func (p *Problem) Prepare() {
 		out[i] = p.prepCon(c, &aux)
 	}
 	p.Constraints = append(out, aux...)
+	resolveAutomata(p.Constraints)
+}
+
+// resolveAutomata forces every Membership constraint's effective
+// automaton (including complements) to be computed now. The cache
+// inside Membership is written lazily, so resolving it up front makes
+// the constraint values safe to share across concurrently solved
+// case-split branches.
+func resolveAutomata(cons []Constraint) {
+	for _, c := range cons {
+		switch t := c.(type) {
+		case *Membership:
+			t.Automaton()
+		case *AndCon:
+			resolveAutomata(t.Args)
+		case *OrCon:
+			resolveAutomata(t.Args)
+		}
+	}
 }
 
 func (p *Problem) prepCon(c Constraint, aux *[]Constraint) Constraint {

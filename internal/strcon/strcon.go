@@ -204,6 +204,27 @@ func (p *Problem) Add(cs ...Constraint) {
 	p.Constraints = append(p.Constraints, cs...)
 }
 
+// WithConstraints returns an independent copy of the problem carrying
+// the given constraint slice. The clone owns its own lia pool and
+// length-variable map, so flattening one clone never perturbs variable
+// numbering in another — the property the parallel portfolio core
+// relies on to keep concurrent case-split branches deterministic.
+// Constraint values themselves are shared (they are never mutated after
+// Prepare).
+func (p *Problem) WithConstraints(cons []Constraint) *Problem {
+	lenVars := make(map[Var]lia.Var, len(p.lenVars))
+	for k, v := range p.lenVars {
+		lenVars[k] = v
+	}
+	return &Problem{
+		Lia:         p.Lia.Clone(),
+		Constraints: cons,
+		strNames:    append([]string(nil), p.strNames...),
+		lenVars:     lenVars,
+		IntVars:     append([]lia.Var(nil), p.IntVars...),
+	}
+}
+
 // Assignment is a candidate model: values for string variables and an
 // integer model covering the problem's integer variables.
 type Assignment struct {

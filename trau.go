@@ -28,9 +28,11 @@
 package trau
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lia"
 	"repro/internal/regex"
 	"repro/internal/strcon"
@@ -83,6 +85,11 @@ func NewSolver() *Solver {
 // SetTimeout changes the per-Solve wall-clock budget (0 = none).
 func (s *Solver) SetTimeout(d time.Duration) { s.opts.Timeout = d }
 
+// SetParallel races the case-split branches of each refinement round on
+// up to n worker goroutines (n <= 1 solves sequentially). Verdicts and
+// models are identical either way.
+func (s *Solver) SetParallel(n int) { s.opts.Parallel = n }
+
 // SetOptions replaces the full decision-procedure options.
 func (s *Solver) SetOptions(o core.Options) { s.opts = o }
 
@@ -128,6 +135,16 @@ func (s *Solver) Solve() *Result {
 	return &Result{Status: r.Status, res: r}
 }
 
+// SolveContext runs the decision procedure under a context.Context: the
+// solve observes both ctx's deadline/cancellation and the solver's
+// timeout, whichever fires first.
+func (s *Solver) SolveContext(ctx context.Context) *Result {
+	ec, stop := engine.FromContext(ctx, s.opts.Timeout)
+	defer stop()
+	r := core.SolveCtx(s.prob, s.opts, ec)
+	return &Result{Status: r.Status, res: r}
+}
+
 // StrValue reads a string variable from a SAT model.
 func (r *Result) StrValue(x StrVar) string {
 	if r.res.Model == nil {
@@ -150,6 +167,11 @@ func (r *Result) Model() *strcon.Assignment { return r.res.Model }
 
 // Rounds reports how many under-approximation rounds ran.
 func (r *Result) Rounds() int { return r.res.Rounds }
+
+// Stats returns the hierarchical statistics tree of the solve (phase
+// timers, SAT/simplex counters, flattening sizes). Render it with its
+// Write method.
+func (r *Result) Stats() *engine.Stats { return r.res.Stats }
 
 // --- constraint builders --------------------------------------------
 
