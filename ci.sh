@@ -23,16 +23,48 @@ go build ./...
 echo "==> traulint"
 go run ./cmd/traulint ./...
 
-echo "==> cancellation tests (-race)"
+echo "==> cancellation and equivalence tests (-race)"
 # The cooperative-cancellation paths are the raciest code in the tree:
 # every layer must abort promptly when its engine.Ctx is cancelled from
 # another goroutine, and the parallel portfolio must stay deterministic.
-# Run them first and explicitly so a hang here is attributed correctly.
-go test -race -run 'Cancel|Deadline|Timeout|Parallel' \
+# The incremental-vs-fresh equivalence suite rides along: per-branch
+# solver sessions under Options.Parallel are the newest shared-state
+# hazard. Run them first and explicitly so a hang here is attributed
+# correctly.
+go test -race -run 'Cancel|Deadline|Timeout|Parallel|Incremental' \
     ./internal/sat ./internal/simplex ./internal/lia \
     ./internal/core ./internal/baseline ./internal/bench
 
 echo "==> go test -race"
 go test -race ./...
+
+echo "==> perf smoke (non-gating)"
+# Re-run the Table 3 workload and print the drift against the checked-in
+# baseline. Informational only: machine load makes wall-clock noisy, so
+# this step never fails the pipeline — it exists so perf regressions are
+# visible in the CI log the day they land.
+if go run ./cmd/benchtab -table 3 -loops 8 -timeout 5s -json \
+    >/tmp/bench_current.json 2>/dev/null; then
+    awk '
+        FNR == 1     { nfile++ }
+        /"solver":/  { solver = $2; gsub(/[",]/, "", solver) }
+        /"mean_ms":/ { ms = $2; sub(/,$/, "", ms)
+                       if (solver != "") {
+                           if (nfile == 1) { base[solver] = ms; order[++n] = solver }
+                           else            { cur[solver] = ms }
+                           solver = ""
+                       } }
+        END {
+            for (i = 1; i <= n; i++) {
+                s = order[i]
+                if (s in cur && base[s] + 0 > 0) {
+                    delta = (cur[s] - base[s]) / base[s] * 100
+                    printf "    %-10s baseline %8.1f ms   now %8.1f ms   %+.1f%%\n", s, base[s], cur[s], delta
+                }
+            }
+        }' BENCH_BASELINE.json /tmp/bench_current.json || true
+else
+    echo "    perf smoke skipped (benchtab run failed)" >&2
+fi
 
 echo "ci: all checks passed"

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -33,12 +35,43 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	model := fs.Bool("model", true, "print the model on sat")
 	stats := fs.Bool("stats", false, "print the solve statistics tree")
 	parallel := fs.Int("parallel", 1, "case-split branch workers per round")
+	incremental := fs.Bool("incremental", true, "reuse solver sessions across refinement rounds")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: trausolve [-timeout d] [-model] [-stats] [-parallel n] file.smt2 | -")
+		fmt.Fprintln(stderr, "usage: trausolve [-timeout d] [-model] [-stats] [-parallel n] [-incremental=false] file.smt2 | -")
 		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "trausolve:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "trausolve:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "trausolve:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "trausolve:", err)
+			}
+		}()
 	}
 
 	var src []byte
@@ -63,7 +96,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "trausolve: script has no (check-sat)")
 		return 2
 	}
-	res := core.Solve(script.Problem, core.Options{Timeout: *timeout, Parallel: *parallel})
+	mode := core.IncrementalOn
+	if !*incremental {
+		mode = core.IncrementalOff
+	}
+	res := core.Solve(script.Problem, core.Options{Timeout: *timeout, Parallel: *parallel, Incremental: mode})
 	fmt.Fprintln(stdout, res.Status)
 	if res.Status == core.StatusSat && *model {
 		names := make([]string, 0, len(script.StrVars))

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// JSONConfig records the benchmark configuration a report was produced
+// under, so deltas are only computed between comparable runs.
+type JSONConfig struct {
+	Tables    []string `json:"tables"`
+	PerSuite  int      `json:"per_suite,omitempty"`
+	MaxLoops  int      `json:"max_loops,omitempty"`
+	TimeoutMS int64    `json:"timeout_ms"`
+	Workers   int      `json:"workers"`
+}
+
+// JSONSuite is one (suite, solver) row of a machine-readable report.
+type JSONSuite struct {
+	Table  string `json:"table"`
+	Suite  string `json:"suite"`
+	Solver string `json:"solver"`
+
+	Instances int `json:"instances"`
+	Sat       int `json:"sat"`
+	Unsat     int `json:"unsat"`
+	Unknown   int `json:"unknown"`
+	Timeout   int `json:"timeout"`
+	Incorrect int `json:"incorrect"`
+
+	MeanMS   float64 `json:"mean_ms"`
+	MedianMS float64 `json:"median_ms"`
+
+	MeanRounds    float64 `json:"mean_rounds"`
+	MeanConflicts float64 `json:"mean_conflicts"`
+	MeanPivots    float64 `json:"mean_pivots"`
+}
+
+// JSONInstance is one instance of a per-instance family (Table 3).
+type JSONInstance struct {
+	Name   string  `json:"name"`
+	Status string  `json:"status"`
+	MS     float64 `json:"ms"`
+	Rounds int64   `json:"rounds"`
+}
+
+// JSONReport is the machine-readable benchmark report emitted by
+// benchtab -json and checked in as BENCH_BASELINE.json.
+type JSONReport struct {
+	Config    JSONConfig     `json:"config"`
+	Suites    []JSONSuite    `json:"suites"`
+	Instances []JSONInstance `json:"instances,omitempty"`
+}
+
+func ms(d time.Duration) float64 {
+	return math.Round(float64(d)/float64(time.Millisecond)*10) / 10
+}
+
+func meanMedianMS(times []time.Duration) (mean, median float64) {
+	if len(times) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, t := range sorted {
+		total += t
+	}
+	mean = ms(total / time.Duration(len(sorted)))
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		median = ms(sorted[mid])
+	} else {
+		median = ms((sorted[mid-1] + sorted[mid]) / 2)
+	}
+	return mean, median
+}
+
+func jsonSuite(table, suite, solver string, r SuiteResult) JSONSuite {
+	mean, median := meanMedianMS(r.Times)
+	// Statistics means are over the runs that finished on their own
+	// (Agg excludes timed-out runs, whose counters depend on machine
+	// load); the instance count stays the full suite size.
+	n := r.Agg.Instances
+	frac := func(v int64) float64 {
+		if n == 0 {
+			return 0
+		}
+		return math.Round(float64(v)/float64(n)*10) / 10
+	}
+	c := r.Counts
+	return JSONSuite{
+		Table:         table,
+		Suite:         suite,
+		Solver:        solver,
+		Instances:     c.Sat + c.Unsat + c.Unknown + c.Timeout + c.Incorrect,
+		Sat:           r.Counts.Sat,
+		Unsat:         r.Counts.Unsat,
+		Unknown:       r.Counts.Unknown,
+		Timeout:       r.Counts.Timeout,
+		Incorrect:     r.Counts.Incorrect,
+		MeanMS:        mean,
+		MedianMS:      median,
+		MeanRounds:    frac(r.Agg.Rounds),
+		MeanConflicts: frac(r.Agg.Conflicts),
+		MeanPivots:    frac(r.Agg.Pivots),
+	}
+}
+
+// TableJSON runs the given suites against all solvers and appends the
+// per-suite rows to the report.
+func TableJSON(rep *JSONReport, table string, suites []Suite, solvers []Solver, timeout time.Duration, workers int) {
+	for _, suite := range suites {
+		for _, s := range solvers {
+			r := RunSuite(suite.Instances, s, timeout, workers)
+			rep.Suites = append(rep.Suites, jsonSuite(table, suite.Name, s.Name, r))
+		}
+	}
+}
+
+// Table3JSON runs the checkLuhn family against all solvers and appends
+// one suite row per solver plus per-instance rows for the first solver
+// (the solver under measurement).
+func Table3JSON(rep *JSONReport, maxLoops int, solvers []Solver, timeout time.Duration) {
+	for i, s := range solvers {
+		results := RunLuhn(maxLoops, s, timeout)
+		var sr SuiteResult
+		for _, r := range results {
+			sr.Times = append(sr.Times, r.Elapsed)
+			if !r.TimedOut {
+				sr.Agg.Add(r.Agg)
+			}
+			switch r.Status {
+			case core.StatusSat:
+				sr.Counts.Sat++
+			case core.StatusUnsat:
+				sr.Counts.Unsat++
+			default:
+				if r.TimedOut {
+					sr.Counts.Timeout++
+				} else {
+					sr.Counts.Unknown++
+				}
+			}
+			if i == 0 {
+				status := r.Status.String()
+				if r.Status == core.StatusUnknown && r.TimedOut {
+					status = "timeout"
+				}
+				rep.Instances = append(rep.Instances, JSONInstance{
+					Name:   fmt.Sprintf("luhn-%02d", r.K),
+					Status: status,
+					MS:     ms(r.Elapsed),
+					Rounds: r.Agg.Rounds,
+				})
+			}
+		}
+		rep.Suites = append(rep.Suites, jsonSuite("3", "checkLuhn", s.Name, sr))
+	}
+}
+
+// WriteJSON renders the report as indented JSON.
+func WriteJSON(w io.Writer, rep *JSONReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

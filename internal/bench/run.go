@@ -21,13 +21,30 @@ type Solver struct {
 	Run  func(prob *strcon.Problem, ec *engine.Ctx) core.Status
 }
 
-// Solvers returns the engines of the evaluation: the paper's solver
+// Config selects how the solvers under comparison are configured.
+type Config struct {
+	// Incremental toggles the incremental refinement engine of the
+	// trau-go solver (the baselines are unaffected).
+	Incremental bool
+}
+
+// Solvers returns the engines of the evaluation with the default
+// configuration (incremental engine on).
+func Solvers() []Solver {
+	return SolversWith(Config{Incremental: true})
+}
+
+// SolversWith returns the engines of the evaluation: the paper's solver
 // (Z3-Trau reproduction) and the two baseline families standing in for
 // the closed competitor tools (see package doc of internal/baseline).
-func Solvers() []Solver {
+func SolversWith(cfg Config) []Solver {
+	mode := core.IncrementalOn
+	if !cfg.Incremental {
+		mode = core.IncrementalOff
+	}
 	return []Solver{
 		{Name: "trau-go", Run: func(p *strcon.Problem, ec *engine.Ctx) core.Status {
-			return core.SolveCtx(p, core.Options{}, ec).Status
+			return core.SolveCtx(p, core.Options{Incremental: mode}, ec).Status
 		}},
 		{Name: "enum", Run: func(p *strcon.Problem, ec *engine.Ctx) core.Status {
 			return baseline.SolveEnum(p, baseline.EnumOptions{}, ec).Status
@@ -93,9 +110,19 @@ func (a Agg) Cell() string {
 type instResult struct {
 	status    core.Status
 	timedOut  bool
+	elapsed   time.Duration
 	rounds    int64
 	conflicts int64
 	pivots    int64
+}
+
+// SuiteResult is the full outcome of running one suite through one
+// solver: the status counters, the aggregate solver statistics, and the
+// per-instance wall-clock times (index-aligned with the instances).
+type SuiteResult struct {
+	Counts Counts
+	Agg    Agg
+	Times  []time.Duration
 }
 
 // RunSuite runs every instance of a suite through one solver, on up to
@@ -103,15 +130,17 @@ type instResult struct {
 // identical either way). An instance counts as TIMEOUT only when its
 // context actually expired — an early "unknown" (budget exhaustion,
 // incomplete fragment) stays an UNKNOWN even if it took a while.
-func RunSuite(insts []*Instance, solver Solver, timeout time.Duration, workers int) (Counts, Agg) {
+func RunSuite(insts []*Instance, solver Solver, timeout time.Duration, workers int) SuiteResult {
 	results := make([]instResult, len(insts))
 	run1 := func(i int) {
 		ec := engine.WithTimeout(timeout)
+		start := time.Now()
 		status := solver.Run(insts[i].Build(), ec)
 		st := ec.Stats()
 		results[i] = instResult{
 			status:    status,
 			timedOut:  ec.TimedOut(),
+			elapsed:   time.Since(start),
 			rounds:    st.Total("rounds"),
 			conflicts: st.Total("conflicts"),
 			pivots:    st.Total("pivots"),
@@ -144,7 +173,8 @@ func RunSuite(insts []*Instance, solver Solver, timeout time.Duration, workers i
 	}
 
 	var c Counts
-	agg := Agg{Instances: int64(len(insts))}
+	var agg Agg
+	times := make([]time.Duration, len(insts))
 	for i, inst := range insts {
 		r := results[i]
 		switch r.status {
@@ -167,11 +197,20 @@ func RunSuite(insts []*Instance, solver Solver, timeout time.Duration, workers i
 				c.Unknown++
 			}
 		}
+		times[i] = r.elapsed
+		if r.timedOut {
+			// A timed-out run's counters reflect wherever the deadline
+			// happened to land, which would make the aggregate row vary
+			// with machine load. Completed runs (including deterministic
+			// budget-exhaustion UNKNOWNs) have reproducible counters.
+			continue
+		}
+		agg.Instances++
 		agg.Rounds += r.rounds
 		agg.Conflicts += r.conflicts
 		agg.Pivots += r.pivots
 	}
-	return c, agg
+	return SuiteResult{Counts: c, Agg: agg, Times: times}
 }
 
 // Table runs all suites against all solvers and renders the result in
@@ -205,7 +244,8 @@ func Table(w io.Writer, suites []Suite, solvers []Solver, timeout time.Duration,
 		counts := make([]Counts, len(solvers))
 		aggs[si] = make([]Agg, len(solvers))
 		for i, s := range solvers {
-			counts[i], aggs[si][i] = RunSuite(suite.Instances, s, timeout, workers)
+			r := RunSuite(suite.Instances, s, timeout, workers)
+			counts[i], aggs[si][i] = r.Counts, r.Agg
 			totals[i].Add(counts[i])
 		}
 		for ri, row := range rows {
@@ -248,6 +288,41 @@ func Table(w io.Writer, suites []Suite, solvers []Solver, timeout time.Duration,
 	}
 }
 
+// LuhnResult is the outcome of one solver on one checkLuhn instance.
+type LuhnResult struct {
+	K        int
+	Status   core.Status
+	TimedOut bool
+	Elapsed  time.Duration
+	Agg      Agg
+}
+
+// RunLuhn runs one solver over the checkLuhn family with 2..maxLoops
+// loops (the paper's Table 3 workload), sequentially.
+func RunLuhn(maxLoops int, solver Solver, timeout time.Duration) []LuhnResult {
+	var out []LuhnResult
+	for k := 2; k <= maxLoops; k++ {
+		inst := Luhn(k)
+		ec := engine.WithTimeout(timeout)
+		start := time.Now()
+		status := solver.Run(inst.Build(), ec)
+		st := ec.Stats()
+		out = append(out, LuhnResult{
+			K:        k,
+			Status:   status,
+			TimedOut: ec.TimedOut(),
+			Elapsed:  time.Since(start),
+			Agg: Agg{
+				Instances: 1,
+				Rounds:    st.Total("rounds"),
+				Conflicts: st.Total("conflicts"),
+				Pivots:    st.Total("pivots"),
+			},
+		})
+	}
+	return out
+}
+
 // Table3 runs the checkLuhn family (the paper's Table 3) and renders
 // status and time per solver and loop count, followed by aggregate
 // solver statistics over the family.
@@ -258,29 +333,26 @@ func Table3(w io.Writer, maxLoops int, solvers []Solver, timeout time.Duration) 
 	}
 	fmt.Fprintln(w)
 	aggs := make([]Agg, len(solvers))
-	for k := 2; k <= maxLoops; k++ {
-		inst := Luhn(k)
-		fmt.Fprintf(w, "%-8d", k)
-		for i, s := range solvers {
-			ec := engine.WithTimeout(timeout)
-			start := time.Now()
-			status := s.Run(inst.Build(), ec)
-			elapsed := time.Since(start).Round(10 * time.Millisecond)
-			st := ec.Stats()
-			aggs[i].Add(Agg{
-				Instances: 1,
-				Rounds:    st.Total("rounds"),
-				Conflicts: st.Total("conflicts"),
-				Pivots:    st.Total("pivots"),
-			})
+	results := make([][]LuhnResult, len(solvers))
+	for i, s := range solvers {
+		results[i] = RunLuhn(maxLoops, s, timeout)
+	}
+	for ki := 0; ki <= maxLoops-2; ki++ {
+		fmt.Fprintf(w, "%-8d", ki+2)
+		for i := range solvers {
+			r := results[i][ki]
+			if !r.TimedOut {
+				// See RunSuite: timed-out counters vary with load.
+				aggs[i].Add(r.Agg)
+			}
 			cell := "UNKNOWN"
-			switch status {
+			switch r.Status {
 			case core.StatusSat:
-				cell = fmt.Sprintf("SAT(%v)", elapsed)
+				cell = fmt.Sprintf("SAT(%v)", r.Elapsed.Round(10*time.Millisecond))
 			case core.StatusUnsat:
 				cell = "INCORRECT"
 			default:
-				if ec.TimedOut() {
+				if r.TimedOut {
 					cell = "TIMEOUT"
 				}
 			}

@@ -19,7 +19,7 @@ func TestTimeoutClassification(t *testing.T) {
 	giveUp := Solver{Name: "give-up", Run: func(_ *strcon.Problem, _ *engine.Ctx) core.Status {
 		return core.StatusUnknown
 	}}
-	c, _ := RunSuite(insts, giveUp, time.Minute, 1)
+	c := RunSuite(insts, giveUp, time.Minute, 1).Counts
 	if c.Timeout != 0 || c.Unknown != len(insts) {
 		t.Fatalf("instant unknowns classified as %+v, want all UNKNOWN", c)
 	}
@@ -29,7 +29,7 @@ func TestTimeoutClassification(t *testing.T) {
 		}
 		return core.StatusUnknown
 	}}
-	c, _ = RunSuite(insts, spin, 30*time.Millisecond, 1)
+	c = RunSuite(insts, spin, 30*time.Millisecond, 1).Counts
 	if c.Unknown != 0 || c.Timeout != len(insts) {
 		t.Fatalf("deadline-bound unknowns classified as %+v, want all TIMEOUT", c)
 	}

@@ -65,7 +65,7 @@ func TestGroundTruthAgainstSolver(t *testing.T) {
 
 func TestRunSuiteClassification(t *testing.T) {
 	insts := Table2Suites(4)[0].Instances
-	counts, _ := RunSuite(insts, Solvers()[0], 5*time.Second, 1)
+	counts := RunSuite(insts, Solvers()[0], 5*time.Second, 1).Counts
 	if counts.Sat+counts.Unsat+counts.Unknown+counts.Timeout+counts.Incorrect != len(insts) {
 		t.Fatalf("counts %+v do not add up to %d", counts, len(insts))
 	}

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,9 +65,24 @@ type Options struct {
 	// on up to this many worker goroutines. Values <= 1 solve
 	// sequentially. The verdict and model are identical either way.
 	Parallel int
+	// Incremental selects the refinement engine. The zero value
+	// (IncrementalOn) keeps one arithmetic solver session alive per
+	// case-split branch, so round r+1 reuses round r's learned
+	// clauses, activity and simplex state under assumption literals.
+	// IncrementalOff re-solves every round cold (the A/B baseline).
+	Incremental IncrementalMode
 	// Lia tunes the arithmetic backend (budgets, not deadline).
 	Lia lia.Options
 }
+
+// IncrementalMode toggles the incremental refinement engine.
+type IncrementalMode int
+
+// Incremental engine modes. The zero value is on.
+const (
+	IncrementalOn IncrementalMode = iota
+	IncrementalOff
+)
 
 // Result is the solver outcome. Model is non-nil exactly when Status is
 // StatusSat, and has been validated by the concrete evaluator.
@@ -106,13 +122,43 @@ func SolveCtx(prob *strcon.Problem, opts Options, ec *engine.Ctx) Result {
 	original := prob.Constraints
 
 	// abstractUnsat checks a constraint set with the over-approximation.
+	// The branch enumeration of splitBranches probes heavily overlapping
+	// constraint sets (shared prefixes plus one candidate conjunct), so
+	// results are memoized per solve, keyed by the canonical identity of
+	// the slice. All callers run on the solve goroutine.
+	memo := make(map[string]bool)
+	memoID := make(map[strcon.Constraint]int)
+	memoKey := func(cons []strcon.Constraint) string {
+		// Constraint objects are shared across the enumeration, so a
+		// per-solve identity numbering (first-seen order, which is
+		// deterministic) canonicalizes a slice cheaply.
+		key := make([]byte, 0, 4*len(cons))
+		for _, c := range cons {
+			id, ok := memoID[c]
+			if !ok {
+				id = len(memoID)
+				memoID[c] = id
+			}
+			key = strconv.AppendInt(key, int64(id), 32)
+			key = append(key, '.')
+		}
+		return string(key)
+	}
 	abstractUnsat := func(cons []strcon.Constraint) bool {
+		key := memoKey(cons)
+		if v, ok := memo[key]; ok {
+			st.Add("cache.overapprox.hit", 1)
+			return v
+		}
+		st.Add("cache.overapprox.miss", 1)
 		oa := overapprox.Abstract(prob, cons, ec)
 		o := opts.Lia
 		o.Ctx = ec
 		o.OnModel = oa.OnModel
 		res, _ := lia.Solve(oa.Formula, &o)
-		return res == lia.ResUnsat
+		v := res == lia.ResUnsat
+		memo[key] = v
+		return v
 	}
 
 	if !opts.SkipOverApprox && abstractUnsat(original) {
@@ -143,6 +189,11 @@ func SolveCtx(prob *strcon.Problem, opts Options, ec *engine.Ctx) Result {
 		maxRounds = 3
 	}
 
+	states := make([]*branchState, len(branches))
+	for i, b := range branches {
+		states[i] = &branchState{branch: b}
+	}
+
 	out := Result{Status: StatusUnknown, Stats: st}
 	for round := 0; round < maxRounds; round++ {
 		if ec.Expired() {
@@ -153,9 +204,9 @@ func SolveCtx(prob *strcon.Problem, opts Options, ec *engine.Ctx) Result {
 		roundCtx := ec.Child(fmt.Sprintf("round%d", round))
 		var win *branchOutcome
 		if opts.Parallel > 1 && len(branches) > 1 {
-			win = raceBranches(prob, branches, params, opts, roundCtx)
+			win = raceBranches(prob, states, params, opts, roundCtx)
 		} else {
-			win = runBranchesSeq(prob, branches, params, opts, roundCtx)
+			win = runBranchesSeq(prob, states, params, opts, roundCtx)
 		}
 		if win != nil {
 			if win.validated {
@@ -171,6 +222,16 @@ func SolveCtx(prob *strcon.Problem, opts Options, ec *engine.Ctx) Result {
 	return out
 }
 
+// branchState is the per-branch state the refinement loop keeps across
+// rounds: the case-split conjuncts, a private problem clone (its own
+// lia pool, growing round over round), and — with the incremental
+// engine — the persistent arithmetic session.
+type branchState struct {
+	branch []strcon.Constraint
+	bp     *strcon.Problem
+	sess   *lia.Session
+}
+
 // branchOutcome is the result of flattening and solving one case-split
 // branch at one parameter level. hit reports that the flattening was
 // satisfiable (the sequential scan stops there, validated or not).
@@ -184,14 +245,36 @@ type branchOutcome struct {
 // (its own lia pool, so concurrent branches allocate identically
 // numbered variables) and validates any model against the full original
 // problem.
-func solveBranch(prob *strcon.Problem, branch []strcon.Constraint,
+//
+// With the incremental engine the clone and the arithmetic session
+// persist on the branch state across rounds: the flattening of round
+// r+1 enters the same solver under a fresh activation literal, reusing
+// learned clauses, activity and simplex state (see lia.Session). With
+// IncrementalOff every round re-solves cold from a fresh clone.
+func solveBranch(prob *strcon.Problem, bs *branchState,
 	params flatten.Params, opts Options, ec *engine.Ctx) branchOutcome {
-	bp := prob.WithConstraints(branch)
-	fl := flatten.Flatten(bp, branch, params, ec)
-	o := opts.Lia
-	o.Ctx = ec
-	o.OnModel = fl.OnModel
-	res, m := lia.Solve(fl.Formula, &o)
+	var res lia.Result
+	var m lia.Model
+	var fl *flatten.Result
+	if opts.Incremental == IncrementalOn {
+		if bs.bp == nil {
+			bs.bp = prob.WithConstraints(bs.branch)
+		}
+		fl = flatten.Flatten(bs.bp, bs.branch, params, ec)
+		if bs.sess == nil {
+			o := opts.Lia
+			o.Ctx = ec
+			bs.sess = lia.NewSession(&o)
+		}
+		res, m = bs.sess.SolveRound(fl.Formula, fl.OnModel, ec)
+	} else {
+		bp := prob.WithConstraints(bs.branch)
+		fl = flatten.Flatten(bp, bs.branch, params, ec)
+		o := opts.Lia
+		o.Ctx = ec
+		o.OnModel = fl.OnModel
+		res, m = lia.Solve(fl.Formula, &o)
+	}
 	if res != lia.ResSat {
 		// "No solution within the current PFA domains" or unknown;
 		// other branches and larger parameters remain.
@@ -206,13 +289,13 @@ func solveBranch(prob *strcon.Problem, branch []strcon.Constraint,
 
 // runBranchesSeq scans the branches in order and returns the first hit,
 // or nil when the whole round comes up dry.
-func runBranchesSeq(prob *strcon.Problem, branches [][]strcon.Constraint,
+func runBranchesSeq(prob *strcon.Problem, states []*branchState,
 	params flatten.Params, opts Options, ec *engine.Ctx) *branchOutcome {
-	for i, branch := range branches {
+	for i, bs := range states {
 		if ec.Expired() {
 			return nil
 		}
-		out := solveBranch(prob, branch, params, opts, ec.Child(fmt.Sprintf("branch%d", i)))
+		out := solveBranch(prob, bs, params, opts, ec.Child(fmt.Sprintf("branch%d", i)))
 		if out.hit {
 			return &out
 		}
@@ -226,9 +309,9 @@ func runBranchesSeq(prob *strcon.Problem, branches [][]strcon.Constraint,
 // can no longer matter), while lower-indexed branches run to completion
 // so the final winner — the lowest-indexed hit — is exactly the branch
 // the sequential scan would have returned.
-func raceBranches(prob *strcon.Problem, branches [][]strcon.Constraint,
+func raceBranches(prob *strcon.Problem, states []*branchState,
 	params flatten.Params, opts Options, ec *engine.Ctx) *branchOutcome {
-	n := len(branches)
+	n := len(states)
 	workers := opts.Parallel
 	if workers > n {
 		workers = n
@@ -257,7 +340,7 @@ func raceBranches(prob *strcon.Problem, branches [][]strcon.Constraint,
 				if dead {
 					continue
 				}
-				out := solveBranch(prob, branches[i], params, opts, attempts[i])
+				out := solveBranch(prob, states[i], params, opts, attempts[i])
 				results[i] = out
 				if !out.hit {
 					continue

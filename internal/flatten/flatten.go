@@ -49,7 +49,8 @@ type Result struct {
 	R       map[strcon.Var]pfa.Restriction
 	Cuts    *pfa.CutRegistry
 
-	prob *strcon.Problem
+	prob  *strcon.Problem
+	stats *engine.Stats
 }
 
 // OnModel is the lazy-lemma callback for lia.Options. It is a no-op
@@ -84,7 +85,8 @@ func flattenWith(prob *strcon.Problem, cons []strcon.Constraint, params Params, 
 	st := ec.Stats().Child("flatten")
 	st.Add("calls", 1)
 	defer st.Time("time")()
-	res := &Result{R: make(map[strcon.Var]pfa.Restriction), Cuts: cuts, prob: prob}
+	res := &Result{R: make(map[strcon.Var]pfa.Restriction), Cuts: cuts, prob: prob,
+		stats: ec.Stats().Child("cache")}
 	pool := prob.Lia
 
 	numeric := make(map[strcon.Var]bool)
@@ -236,6 +238,7 @@ func (res *Result) termPA(t strcon.Term, extra *[]lia.Formula) *pfa.PA {
 	return pfa.ConcatAll(pool, pas...)
 }
 
+// flattenCon translates one constraint.
 func (res *Result) flattenCon(c strcon.Constraint, params Params) lia.Formula {
 	pool := res.prob.Lia
 	switch t := c.(type) {
@@ -243,7 +246,7 @@ func (res *Result) flattenCon(c strcon.Constraint, params Params) lia.Formula {
 		var extra []lia.Formula
 		left := res.termPA(t.L, &extra)
 		right := res.termPA(t.R, &extra)
-		sync := pfa.Sync(pool, left, right, res.Cuts)
+		sync := pfa.Sync(pool, left, right, res.Cuts, res.stats)
 		return lia.And(append(extra, sync)...)
 
 	case *strcon.WordNeq:
@@ -255,7 +258,7 @@ func (res *Result) flattenCon(c strcon.Constraint, params Params) lia.Formula {
 			return lia.False
 		}
 		pa := pfa.FromNFA(pool, a, "re")
-		return pfa.Sync(pool, res.R[t.X].PA(), pa, res.Cuts)
+		return pfa.Sync(pool, res.R[t.X].PA(), pa, res.Cuts, res.stats)
 
 	case *strcon.Arith:
 		return t.F

@@ -19,6 +19,24 @@ import (
 type presolver struct {
 	undo   []undoEntry
 	rounds []substRound
+	// frozen, when non-nil, lists variables that must not be pinned or
+	// alias-eliminated: they already occur in previously encoded
+	// formulas, so removing their defining facts from the residue (and
+	// overwriting their values in complete) would be unsound. Shared
+	// with the owning engine's variable set; read during harvest.
+	frozen map[Var]bool
+}
+
+// fork returns a presolver that starts from ps's substitution history
+// but records new rounds privately: the session uses one fork per
+// refinement round, so round-local pins never leak into other rounds.
+// The slices are capped so appends copy instead of clobbering ps.
+func (ps *presolver) fork(frozen map[Var]bool) *presolver {
+	return &presolver{
+		undo:   ps.undo[:len(ps.undo):len(ps.undo)],
+		rounds: ps.rounds[:len(ps.rounds):len(ps.rounds)],
+		frozen: frozen,
+	}
 }
 
 // substRound is one round's substitution maps, kept so that formulas
@@ -49,7 +67,7 @@ func (ps *presolver) run(f Formula) Formula {
 	for round := 0; round < 30; round++ {
 		pins := make(map[Var]*big.Int)
 		aliases := make(map[Var]aliasTo)
-		if contradiction := harvest(f, pins, aliases); contradiction {
+		if contradiction := harvest(f, pins, aliases, ps.frozen); contradiction {
 			return False
 		}
 		if len(pins) == 0 && len(aliases) == 0 {
@@ -83,8 +101,9 @@ type aliasTo struct {
 // pairing canonical upper and lower bounds on the same one- or two-
 // variable combination. To keep the substitution acyclic within a
 // round, a variable is recorded at most once and alias targets are
-// never themselves rewritten this round.
-func harvest(f Formula, pins map[Var]*big.Int, aliases map[Var]aliasTo) (contradiction bool) {
+// never themselves rewritten this round. Variables in frozen are never
+// eliminated (see presolver.frozen); a nil map freezes nothing.
+func harvest(f Formula, pins map[Var]*big.Int, aliases map[Var]aliasTo, frozen map[Var]bool) (contradiction bool) {
 	conjuncts := []Formula{f}
 	if n, isNAry := f.(*NAry); isNAry && n.Op == OpAnd {
 		conjuncts = n.Args
@@ -136,7 +155,7 @@ func harvest(f Formula, pins map[Var]*big.Int, aliases map[Var]aliasTo) (contrad
 		switch len(r.def) {
 		case 1:
 			for v, co := range r.def {
-				if taken[v] {
+				if taken[v] || frozen[v] {
 					continue
 				}
 				// co is +1 or -1 after canonicalization of a unit comb;
@@ -170,11 +189,11 @@ func harvest(f Formula, pins map[Var]*big.Int, aliases map[Var]aliasTo) (contrad
 			if cv.Sign() < 0 {
 				d.Neg(d)
 			}
-			if !taken[v] {
+			if !taken[v] && !frozen[v] {
 				aliases[v] = aliasTo{w: w, d: d}
 				taken[v] = true
 				taken[w] = true
-			} else if !taken[w] {
+			} else if !taken[w] && !frozen[w] {
 				aliases[w] = aliasTo{w: v, d: new(big.Int).Neg(d)}
 				taken[w] = true
 			}

@@ -1,0 +1,20 @@
+package lia
+
+import "math/big"
+
+// Rename returns f with every variable replaced according to m;
+// variables absent from m are kept. The input is not modified, so a
+// shared read-only formula (a cached template) can be instantiated
+// concurrently. Renaming must be injective on the variables of f or
+// distinct variables will collapse into one.
+func Rename(f Formula, m map[Var]Var) Formula {
+	if len(m) == 0 {
+		return f
+	}
+	aliases := make(map[Var]aliasTo, len(m))
+	zero := new(big.Int)
+	for v, w := range m {
+		aliases[v] = aliasTo{w: w, d: zero}
+	}
+	return substitute(f, nil, aliases)
+}

@@ -1,0 +1,136 @@
+package lia
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestSessionRoundsSupersede(t *testing.T) {
+	pool := NewPool()
+	x := pool.Fresh("x")
+	y := pool.Fresh("y")
+	sess := NewSession(nil)
+	sess.AddPersistent(Eq(NewLin().AddTermInt(x, 1).AddTermInt(y, 1), Const(10)))
+
+	// Round 1: x >= 8 and y >= 8 contradicts x+y = 10.
+	r1 := And(Ge(V(x), Const(8)), Ge(V(y), Const(8)))
+	res, _ := sess.SolveRound(r1, nil, nil)
+	if res != ResUnsat {
+		t.Fatalf("round 1 = %v, want unsat", res)
+	}
+	if sess.Dead() {
+		t.Fatalf("round-level unsat must not kill the session")
+	}
+
+	// Round 2 relaxes the bounds; round 1's constraints must be gone.
+	r2 := And(Ge(V(x), Const(3)), Ge(V(y), Const(3)))
+	res, m := sess.SolveRound(r2, nil, nil)
+	if res != ResSat {
+		t.Fatalf("round 2 = %v, want sat", res)
+	}
+	sum := new(big.Int).Add(m.Value(x), m.Value(y))
+	if sum.Int64() != 10 || m.Value(x).Int64() < 3 || m.Value(y).Int64() < 3 {
+		t.Fatalf("round 2 model x=%v y=%v violates constraints", m.Value(x), m.Value(y))
+	}
+}
+
+func TestSessionDeadPersistentBase(t *testing.T) {
+	pool := NewPool()
+	x := pool.Fresh("x")
+	sess := NewSession(nil)
+	sess.AddPersistent(Ge(V(x), Const(5)))
+	sess.AddPersistent(Le(V(x), Const(3)))
+	if !sess.Dead() {
+		// The contradiction may only surface at the first solve when the
+		// presolver cannot fold it; either way the round must be unsat.
+		res, _ := sess.SolveRound(Bool(true), nil, nil)
+		if res != ResUnsat {
+			t.Fatalf("round on dead base = %v, want unsat", res)
+		}
+	}
+	if !sess.Dead() {
+		t.Fatalf("contradictory persistent base must mark the session dead")
+	}
+	res, _ := sess.SolveRound(Ge(V(x), Const(0)), nil, nil)
+	if res != ResUnsat {
+		t.Fatalf("round after death = %v, want unsat", res)
+	}
+}
+
+func TestSessionTrivialRounds(t *testing.T) {
+	sess := NewSession(nil)
+	res, m := sess.SolveRound(Bool(true), nil, nil)
+	if res != ResSat || m == nil {
+		t.Fatalf("true round = %v %v, want sat with empty model", res, m)
+	}
+	res, _ = sess.SolveRound(Bool(false), nil, nil)
+	if res != ResUnsat || sess.Dead() {
+		t.Fatalf("false round = %v dead=%v, want round-level unsat", res, sess.Dead())
+	}
+	res, _ = sess.SolveRound(Bool(true), nil, nil)
+	if res != ResSat {
+		t.Fatalf("true round after false round = %v, want sat", res)
+	}
+}
+
+// TestSessionAgainstFreshSolve is the differential check of the
+// incremental engine: for random persistent bases and round sequences,
+// every SolveRound verdict must match a cold Solve of base ∧ round, and
+// every model must satisfy base ∧ round.
+func TestSessionAgainstFreshSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	randAtom := func(vars []Var) Formula {
+		e := NewLin()
+		terms := 1 + rng.Intn(2)
+		for i := 0; i < terms; i++ {
+			e.AddTermInt(vars[rng.Intn(len(vars))], int64(rng.Intn(5)-2))
+		}
+		e.AddConst(int64(rng.Intn(21) - 10))
+		switch rng.Intn(3) {
+		case 0:
+			return Le(e, Const(0))
+		case 1:
+			return Ge(e, Const(0))
+		default:
+			return Eq(e, Const(0))
+		}
+	}
+	randConj := func(vars []Var, n int) Formula {
+		var conj []Formula
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				conj = append(conj, Or(randAtom(vars), randAtom(vars)))
+			} else {
+				conj = append(conj, randAtom(vars))
+			}
+		}
+		return And(conj...)
+	}
+
+	for iter := 0; iter < 40; iter++ {
+		pool := NewPool()
+		vars := make([]Var, 4)
+		for i := range vars {
+			vars[i] = pool.Fresh("v")
+		}
+		base := randConj(vars, 1+rng.Intn(3))
+		sess := NewSession(nil)
+		sess.AddPersistent(base)
+
+		for round := 0; round < 4; round++ {
+			f := randConj(vars, 1+rng.Intn(3))
+			got, m := sess.SolveRound(f, nil, nil)
+			want, _ := Solve(And(base, f), nil)
+			if got != want {
+				t.Fatalf("iter %d round %d: session=%v fresh=%v\nbase=%s\nround=%s",
+					iter, round, got, want, String(base, pool), String(f, pool))
+			}
+			if got == ResSat {
+				if !Eval(base, m) || !Eval(f, m) {
+					t.Fatalf("iter %d round %d: session model violates base or round", iter, round)
+				}
+			}
+		}
+	}
+}

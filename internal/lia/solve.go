@@ -368,20 +368,7 @@ func (d *dpllt) addLemma(lemma Formula) {
 	g := nnf(lemma, false)
 	root := d.encode(g, 0)
 	d.sat.AddClause(root)
-	d.defineExprs()
-	for len(d.assertedPol) < len(d.atoms) {
-		d.assertedPol = append(d.assertedPol, 0)
-	}
-	for i, a := range d.atoms {
-		if _, ok := d.atomOfVar[a.satVar]; !ok {
-			d.atomOfVar[a.satVar] = i
-		}
-	}
-	for _, v := range sortedVars(d.vars) {
-		if int(v) < d.identityLimit {
-			d.registerIntVar(int(v))
-		}
-	}
+	d.wireNewAtoms()
 }
 
 // sortedVars returns the keys of a variable set in increasing order, so
@@ -489,18 +476,17 @@ func (d *dpllt) defineExprs() {
 			continue
 		}
 		if len(er.def) == 1 {
-			for v, c := range er.def {
-				if c.Cmp(oneInt) == 0 {
-					er.sv = d.svOf(v)
-				}
-			}
-			if er.sv >= 0 {
+			v := er.vars[0]
+			if er.def[v].Cmp(oneInt) == 0 {
+				er.sv = d.svOf(v)
 				continue
 			}
 		}
+		// Iterate er.vars, not er.def: svOf allocates simplex ids for
+		// late-arriving variables, so the visit order must be fixed.
 		idef := make(map[int]*big.Int, len(er.def))
-		for v, c := range er.def {
-			idef[d.svOf(v)] = c
+		for _, v := range er.vars {
+			idef[d.svOf(v)] = er.def[v]
 		}
 		er.sv = d.sx.DefineSlack(idef)
 	}
@@ -602,17 +588,18 @@ func (d *dpllt) subsetCheck(subset []int) (infeasible bool, subcore []int) {
 		sv, ok := slackOf[a.exprKey]
 		if !ok {
 			if len(er.def) == 1 {
-				for v, c := range er.def {
-					if c.Cmp(oneInt) == 0 {
-						sv = d.svOf(v)
-						ok = true
-					}
+				v := er.vars[0]
+				if er.def[v].Cmp(oneInt) == 0 {
+					sv = d.svOf(v)
+					ok = true
 				}
 			}
 			if !ok {
+				// er.vars, not er.def: svOf may allocate, so the visit
+				// order must be fixed.
 				idef := make(map[int]*big.Int, len(er.def))
-				for v, c := range er.def {
-					idef[d.svOf(v)] = c
+				for _, v := range er.vars {
+					idef[d.svOf(v)] = er.def[v]
 				}
 				sv = scratch.DefineSlack(idef)
 			}

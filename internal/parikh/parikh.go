@@ -10,7 +10,10 @@
 // automata when building synchronization formulas (paper §7).
 package parikh
 
-import "repro/internal/lia"
+import (
+	"repro/internal/engine"
+	"repro/internal/lia"
+)
 
 // Edge is a directed edge of the automaton graph. Labels are irrelevant
 // here; callers keep the edge order and attach meaning to the flow
@@ -134,10 +137,32 @@ func CutFormula(a Automaton, flow []lia.Var, component []int) lia.Formula {
 // models, projected to flow, are exactly the functions counting how
 // often each edge is used by some accepting run from Init to Final.
 // Auxiliary depth variables are allocated from pool.
-func Formula(a Automaton, flow []lia.Var, pool *lia.Pool) lia.Formula {
+//
+// The formula is instantiated from a template memoized by the
+// automaton's shape (see template); cache counters are recorded on st,
+// which may be nil.
+func Formula(a Automaton, flow []lia.Var, pool *lia.Pool, st *engine.Stats) lia.Formula {
 	if len(flow) != len(a.Edges) {
 		panic("parikh: flow variable count mismatch")
 	}
+	tmpl := template(a, st)
+	// The renaming maps the template's placeholders onto the caller's
+	// flow variables and onto depth variables freshly allocated here —
+	// in the same order whether the template was cached or just built,
+	// so caching never perturbs pool numbering.
+	ren := make(map[lia.Var]lia.Var, len(flow)+a.NumStates)
+	for i, f := range flow {
+		ren[lia.Var(i)] = f
+	}
+	for q := 0; q < a.NumStates; q++ {
+		ren[lia.Var(len(flow)+q)] = pool.Fresh("z")
+	}
+	return lia.Rename(tmpl, ren)
+}
+
+// formulaBody is the Verma–Seidl–Schwentick encoding over explicit
+// flow and depth variables.
+func formulaBody(a Automaton, flow, z []lia.Var) lia.Formula {
 	var conj []lia.Formula
 
 	// Non-negativity.
@@ -174,10 +199,6 @@ func Formula(a Automaton, flow []lia.Var, pool *lia.Pool) lia.Formula {
 	// state, either no incoming flow (then flow conservation forces no
 	// outgoing flow either) or it is reached from a connected
 	// predecessor one level deeper.
-	z := make([]lia.Var, a.NumStates)
-	for q := range z {
-		z[q] = pool.Fresh("z")
-	}
 	conj = append(conj, lia.EqConst(z[a.Init], 1))
 	maxDepth := int64(a.NumStates)
 	for q := 0; q < a.NumStates; q++ {

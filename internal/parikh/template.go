@@ -1,0 +1,67 @@
+package parikh
+
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/lia"
+)
+
+// Parikh-image formulas are memoized as templates over placeholder
+// variables — flow[i] is lia.Var(i), the depth variable of state q is
+// lia.Var(len(Edges)+q) — keyed by the automaton's shape. Templates are
+// immutable and pool-independent; Formula instantiates one by renaming
+// the placeholders into the caller's variables (lia.Rename does not
+// modify its input, so concurrent instantiation of a shared template is
+// safe). The refinement loop re-derives the same product shapes round
+// after round, which is what makes the memo pay.
+var tmplCache = struct {
+	sync.Mutex
+	m map[string]lia.Formula
+}{m: make(map[string]lia.Formula)}
+
+const tmplCacheCap = 512
+
+// template returns the memoized placeholder-variable encoding of a,
+// building and (capacity permitting) storing it on a miss. Hit/miss
+// counters are recorded on st (nil-safe).
+func template(a Automaton, st *engine.Stats) lia.Formula {
+	key := make([]byte, 0, 16+8*len(a.Edges))
+	key = strconv.AppendInt(key, int64(a.NumStates), 32)
+	key = append(key, ',')
+	key = strconv.AppendInt(key, int64(a.Init), 32)
+	key = append(key, ',')
+	key = strconv.AppendInt(key, int64(a.Final), 32)
+	for _, e := range a.Edges {
+		key = append(key, ';')
+		key = strconv.AppendInt(key, int64(e.From), 32)
+		key = append(key, ',')
+		key = strconv.AppendInt(key, int64(e.To), 32)
+	}
+	k := string(key)
+
+	tmplCache.Lock()
+	f, ok := tmplCache.m[k]
+	tmplCache.Unlock()
+	if ok {
+		st.Add("parikh.hit", 1)
+		return f
+	}
+	st.Add("parikh.miss", 1)
+	flow := make([]lia.Var, len(a.Edges))
+	for i := range flow {
+		flow[i] = lia.Var(i)
+	}
+	z := make([]lia.Var, a.NumStates)
+	for q := range z {
+		z[q] = lia.Var(len(a.Edges) + q)
+	}
+	f = formulaBody(a, flow, z)
+	tmplCache.Lock()
+	if len(tmplCache.m) < tmplCacheCap {
+		tmplCache.m[k] = f
+	}
+	tmplCache.Unlock()
+	return f
+}

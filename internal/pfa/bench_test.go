@@ -1,0 +1,46 @@
+package pfa
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/lia"
+)
+
+// benchSync builds the synchronization formula of two standard flat
+// PFAs. With warm=false the skeleton cache is emptied first, so every
+// iteration pays the full product construction; with warm=true only
+// the first iteration does.
+func benchSync(b *testing.B, loops, loopLen int, warm bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !warm {
+			syncCache.Lock()
+			syncCache.m = make(map[string]*syncSkeleton)
+			syncCache.Unlock()
+		}
+		pool := lia.NewPool()
+		x := NewFlat(pool, loops, loopLen, "x")
+		y := NewFlat(pool, loops, loopLen, "y")
+		reg := &CutRegistry{}
+		f := Sync(pool, x.PA(), y.PA(), reg, nil)
+		if lia.FormulaSize(f) == 0 {
+			b.Fatal("empty synchronization formula")
+		}
+	}
+}
+
+// BenchmarkSyncProduct measures Ψ_{P×P'} construction with the product
+// skeleton rebuilt every time (cold) versus served from the template
+// cache (warm), at the refinement loop's typical PFA sizes.
+func BenchmarkSyncProduct(b *testing.B) {
+	for _, sz := range []struct{ loops, loopLen int }{{2, 2}, {3, 3}, {4, 4}} {
+		name := fmt.Sprintf("p%dq%d", sz.loops, sz.loopLen)
+		b.Run("cold/"+name, func(b *testing.B) {
+			benchSync(b, sz.loops, sz.loopLen, false)
+		})
+		b.Run("warm/"+name, func(b *testing.B) {
+			benchSync(b, sz.loops, sz.loopLen, true)
+		})
+	}
+}

@@ -193,7 +193,7 @@ func TestSyncEqualWords(t *testing.T) {
 	x := NewFlat(pool, 2, 2, "x")
 	k := NewConst(pool, "abc", "k")
 	reg := &CutRegistry{}
-	sync := Sync(pool, x.PA(), k.PA(), reg)
+	sync := Sync(pool, x.PA(), k.PA(), reg, nil)
 	res, m := solveWith(t, reg, x.Base(), k.Base(), sync)
 	if res != lia.ResSat {
 		t.Fatalf("sync with constant unsat")
@@ -208,7 +208,7 @@ func TestSyncEmptyIntersection(t *testing.T) {
 	a := NewConst(pool, "ab", "a")
 	b := NewConst(pool, "cd", "b")
 	reg := &CutRegistry{}
-	sync := Sync(pool, a.PA(), b.PA(), reg)
+	sync := Sync(pool, a.PA(), b.PA(), reg, nil)
 	res, _ := solveWith(t, reg, a.Base(), b.Base(), sync)
 	if res != lia.ResUnsat {
 		t.Fatalf("got %v, want unsat", res)
@@ -221,7 +221,7 @@ func TestSyncWithRegexPA(t *testing.T) {
 	nfa := regex.MustCompile("(ab)+").RemoveEpsilon().Trim()
 	re := FromNFA(pool, nfa, "re")
 	reg := &CutRegistry{}
-	sync := Sync(pool, x.PA(), re, reg)
+	sync := Sync(pool, x.PA(), re, reg, nil)
 	// Also force length 6 via counts: loop words of x.
 	res, m := solveWith(t, reg, x.Base(), sync)
 	if res != lia.ResSat {

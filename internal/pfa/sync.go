@@ -1,7 +1,11 @@
 package pfa
 
 import (
+	"strconv"
+	"sync"
+
 	"repro/internal/alphabet"
+	"repro/internal/engine"
 	"repro/internal/lia"
 	"repro/internal/parikh"
 )
@@ -13,6 +17,188 @@ import (
 type prodEdge struct {
 	from, to    int // product state ids
 	left, right int // transition indices, -1 = stay
+}
+
+// syncSkeleton is the pool-independent template of a synchronization
+// formula: the trimmed asynchronous product graph. It depends only on
+// the structural shape of the two operands — state counts, transition
+// endpoints and label ranges — never on their lia variables, so one
+// skeleton serves every branch and every solve whose automata share
+// that shape. Skeletons are immutable once stored; Sync instantiates
+// them into the caller's pool by allocating fresh flow variables (the
+// allocation sequence is identical on cache hit and miss, which is what
+// keeps variable numbering — and with it run-to-run determinism —
+// unchanged by caching).
+type syncSkeleton struct {
+	empty bool
+	aut   parikh.Automaton // trimmed product graph (read-only)
+	edges []prodEdge       // index-aligned with aut.Edges
+}
+
+// syncCache memoizes product skeletons across branches and solves. The
+// cap bounds memory on adversarial workloads; once full, new shapes are
+// rebuilt on every request (correct, just slower).
+var syncCache = struct {
+	sync.Mutex
+	m map[string]*syncSkeleton
+}{m: make(map[string]*syncSkeleton)}
+
+const syncCacheCap = 512
+
+// shapeKey appends the structural shape of one operand: everything the
+// product construction reads except the lia variables.
+func shapeKey(b []byte, p *PA) []byte {
+	b = strconv.AppendInt(b, int64(p.NumStates), 32)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(p.Init), 32)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(p.Final), 32)
+	for _, t := range p.Trans {
+		b = append(b, ';')
+		b = strconv.AppendInt(b, int64(t.From), 32)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(t.To), 32)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(t.Lo), 32)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(t.Hi), 32)
+	}
+	return b
+}
+
+// skeleton returns the product skeleton for p and q, from the cache
+// when the shape has been built before. Hit/miss counters land on st
+// (nil-safe).
+func skeleton(p, q *PA, st *engine.Stats) *syncSkeleton {
+	key := make([]byte, 0, 64)
+	key = shapeKey(key, p)
+	key = append(key, '|')
+	key = shapeKey(key, q)
+	k := string(key)
+
+	syncCache.Lock()
+	sk, ok := syncCache.m[k]
+	syncCache.Unlock()
+	if ok {
+		st.Add("sync.hit", 1)
+		return sk
+	}
+	st.Add("sync.miss", 1)
+	sk = buildSkeleton(p, q)
+	syncCache.Lock()
+	if len(syncCache.m) < syncCacheCap {
+		syncCache.m[k] = sk
+	}
+	syncCache.Unlock()
+	return sk
+}
+
+// buildSkeleton constructs the asynchronous product of p and q, trimmed
+// to states reachable from (init,init) and co-reachable to
+// (final,final).
+func buildSkeleton(p, q *PA) *syncSkeleton {
+	type pair struct{ x, y int }
+	id := map[pair]int{}
+	var states []pair
+	get := func(pr pair) int {
+		if i, ok := id[pr]; ok {
+			return i
+		}
+		id[pr] = len(states)
+		states = append(states, pr)
+		return len(states) - 1
+	}
+
+	// Index transitions by source state for both automata.
+	pOut := make([][]int, p.NumStates)
+	for i, t := range p.Trans {
+		pOut[t.From] = append(pOut[t.From], i)
+	}
+	qOut := make([][]int, q.NumStates)
+	for i, t := range q.Trans {
+		qOut[t.From] = append(qOut[t.From], i)
+	}
+
+	var edges []prodEdge
+	get(pair{p.Init, q.Init})
+	for si := 0; si < len(states); si++ {
+		st := states[si]
+		for _, ti := range pOut[st.x] {
+			t := p.Trans[ti]
+			// Synchronous move: prune label pairs whose value ranges
+			// cannot intersect.
+			for _, ui := range qOut[st.y] {
+				u := q.Trans[ui]
+				if maxi(t.Lo, u.Lo) > mini(t.Hi, u.Hi) {
+					continue
+				}
+				to := get(pair{t.To, u.To})
+				edges = append(edges, prodEdge{from: si, to: to, left: ti, right: ui})
+			}
+			// Left reads an ε-valued variable, right stays; impossible
+			// when the variable cannot take ε.
+			if t.Lo <= -1 {
+				to := get(pair{t.To, st.y})
+				edges = append(edges, prodEdge{from: si, to: to, left: ti, right: -1})
+			}
+		}
+		for _, ui := range qOut[st.y] {
+			u := q.Trans[ui]
+			if u.Lo > -1 {
+				continue
+			}
+			to := get(pair{st.x, u.To})
+			edges = append(edges, prodEdge{from: si, to: to, left: -1, right: ui})
+		}
+	}
+	finalID, ok := id[pair{p.Final, q.Final}]
+	if !ok {
+		return &syncSkeleton{empty: true}
+	}
+
+	// Co-reachability pruning.
+	rev := make([][]int, len(states)) // state -> incoming edge indices
+	for i, e := range edges {
+		rev[e.to] = append(rev[e.to], i)
+	}
+	co := make([]bool, len(states))
+	co[finalID] = true
+	stack := []int{finalID}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range rev[s] {
+			f := edges[ei].from
+			if !co[f] {
+				co[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	if !co[0] { // product initial state is id 0
+		return &syncSkeleton{empty: true}
+	}
+	// Renumber kept states; drop edges touching pruned states.
+	newID := make([]int, len(states))
+	cnt := 0
+	for i := range states {
+		if co[i] {
+			newID[i] = cnt
+			cnt++
+		} else {
+			newID[i] = -1
+		}
+	}
+	sk := &syncSkeleton{
+		aut: parikh.Automaton{NumStates: cnt, Init: newID[0], Final: newID[finalID]},
+	}
+	for _, e := range edges {
+		if co[e.from] && co[e.to] {
+			sk.edges = append(sk.edges, prodEdge{from: newID[e.from], to: newID[e.to], left: e.left, right: e.right})
+			sk.aut.Edges = append(sk.aut.Edges, parikh.Edge{From: newID[e.from], To: newID[e.to]})
+		}
+	}
+	return sk
 }
 
 // ProductFlows records one asynchronous product and its flow variables
@@ -74,112 +260,20 @@ func (r *CutRegistry) Lemmas(m lia.Model) lia.Formula {
 //
 // The product is trimmed to states reachable from (init,init) and
 // co-reachable to (final,final); when none remain the intersection is
-// empty and False is returned.
-func Sync(pool *lia.Pool, p, q *PA, reg *CutRegistry) lia.Formula {
-	type pair struct{ x, y int }
-	id := map[pair]int{}
-	var states []pair
-	get := func(pr pair) int {
-		if i, ok := id[pr]; ok {
-			return i
-		}
-		id[pr] = len(states)
-		states = append(states, pr)
-		return len(states) - 1
-	}
-
-	// Index transitions by source state for both automata.
-	pOut := make([][]int, p.NumStates)
-	for i, t := range p.Trans {
-		pOut[t.From] = append(pOut[t.From], i)
-	}
-	qOut := make([][]int, q.NumStates)
-	for i, t := range q.Trans {
-		qOut[t.From] = append(qOut[t.From], i)
-	}
-
-	var edges []prodEdge
-	get(pair{p.Init, q.Init})
-	for si := 0; si < len(states); si++ {
-		st := states[si]
-		for _, ti := range pOut[st.x] {
-			t := p.Trans[ti]
-			// Synchronous move: prune label pairs whose value ranges
-			// cannot intersect.
-			for _, ui := range qOut[st.y] {
-				u := q.Trans[ui]
-				if maxi(t.Lo, u.Lo) > mini(t.Hi, u.Hi) {
-					continue
-				}
-				to := get(pair{t.To, u.To})
-				edges = append(edges, prodEdge{from: si, to: to, left: ti, right: ui})
-			}
-			// Left reads an ε-valued variable, right stays; impossible
-			// when the variable cannot take ε.
-			if t.Lo <= -1 {
-				to := get(pair{t.To, st.y})
-				edges = append(edges, prodEdge{from: si, to: to, left: ti, right: -1})
-			}
-		}
-		for _, ui := range qOut[st.y] {
-			u := q.Trans[ui]
-			if u.Lo > -1 {
-				continue
-			}
-			to := get(pair{st.x, u.To})
-			edges = append(edges, prodEdge{from: si, to: to, left: -1, right: ui})
-		}
-	}
-	finalID, ok := id[pair{p.Final, q.Final}]
-	if !ok {
+// empty and False is returned. The trimmed product graph is memoized
+// across calls by structural shape (see syncSkeleton); cache counters
+// are recorded on st, which may be nil.
+func Sync(pool *lia.Pool, p, q *PA, reg *CutRegistry, st *engine.Stats) lia.Formula {
+	sk := skeleton(p, q, st)
+	if sk.empty {
 		return lia.False
 	}
-
-	// Co-reachability pruning.
-	rev := make([][]int, len(states)) // state -> incoming edge indices
-	for i, e := range edges {
-		rev[e.to] = append(rev[e.to], i)
-	}
-	co := make([]bool, len(states))
-	co[finalID] = true
-	stack := []int{finalID}
-	for len(stack) > 0 {
-		s := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, ei := range rev[s] {
-			f := edges[ei].from
-			if !co[f] {
-				co[f] = true
-				stack = append(stack, f)
-			}
-		}
-	}
-	if !co[0] { // product initial state is id 0
-		return lia.False
-	}
-	// Renumber kept states; drop edges touching pruned states.
-	newID := make([]int, len(states))
-	cnt := 0
-	for i := range states {
-		if co[i] {
-			newID[i] = cnt
-			cnt++
-		} else {
-			newID[i] = -1
-		}
-	}
-	var kept []prodEdge
-	for _, e := range edges {
-		if co[e.from] && co[e.to] {
-			kept = append(kept, prodEdge{from: newID[e.from], to: newID[e.to], left: e.left, right: e.right})
-		}
-	}
+	kept := sk.edges
+	aut := sk.aut
 
 	// Parikh formula of the product over fresh flow variables.
-	aut := parikh.Automaton{NumStates: cnt, Init: newID[0], Final: newID[finalID]}
 	flow := make([]lia.Var, len(kept))
-	for i, e := range kept {
-		aut.Edges = append(aut.Edges, parikh.Edge{From: e.from, To: e.to})
+	for i := range kept {
 		flow[i] = pool.Fresh("yprod")
 	}
 	var conj []lia.Formula
@@ -188,7 +282,7 @@ func Sync(pool *lia.Pool, p, q *PA, reg *CutRegistry) lia.Formula {
 		conj = append(conj, parikh.FlowOnly(aut, flow), lia.EqConst(act, 1))
 		reg.Products = append(reg.Products, ProductFlows{Aut: aut, Flow: flow, Act: act})
 	} else {
-		conj = append(conj, parikh.Formula(aut, flow, pool))
+		conj = append(conj, parikh.Formula(aut, flow, pool, st))
 	}
 
 	// Ψ_#: each component counter equals the sum of product flows whose

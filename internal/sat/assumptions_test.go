@@ -1,0 +1,160 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAssumptionsSatAndUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(MkLit(a, true), MkLit(b, false)) // a -> b
+
+	s.Assumptions = []Lit{MkLit(a, false)}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve under {a} = %v, want Sat", got)
+	}
+	if !s.Value(a) || !s.Value(b) {
+		t.Fatalf("model under {a} should set a and b true")
+	}
+
+	s.Assumptions = []Lit{MkLit(a, false), MkLit(b, true)}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve under {a, !b} = %v, want Unsat", got)
+	}
+	if core := s.FailedAssumptions(); len(core) == 0 {
+		t.Fatalf("Unsat under assumptions must report a failed core")
+	}
+
+	// The solver must stay usable: dropping the assumptions restores Sat.
+	s.Assumptions = nil
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve after failed assumptions = %v, want Sat", got)
+	}
+}
+
+func TestAssumptionsFailedCoreSubset(t *testing.T) {
+	// x1..x4 free; clause (!x1 | !x3). Assume all four positively: the
+	// failed core is a subset of the assumptions and must not be larger
+	// than the minimal conflict {x1, x3}.
+	s := New()
+	var lits []Lit
+	for i := 0; i < 4; i++ {
+		lits = append(lits, MkLit(s.NewVar(), false))
+	}
+	s.AddClause(lits[0].Flip(), lits[2].Flip())
+	s.Assumptions = lits
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", got)
+	}
+	core := s.FailedAssumptions()
+	isAssumed := make(map[Lit]bool)
+	for _, l := range lits {
+		isAssumed[l] = true
+	}
+	for _, l := range core {
+		if !isAssumed[l] {
+			t.Fatalf("failed core contains non-assumption literal %v", l)
+		}
+	}
+	if len(core) > 2 {
+		t.Fatalf("failed core %v larger than the minimal conflict", core)
+	}
+}
+
+func TestAssumptionsDoNotPoisonSolver(t *testing.T) {
+	// An assumption-level conflict must leave the solver usable; only a
+	// genuine level-0 contradiction makes it permanently Unsat (nil core).
+	s := New()
+	a := s.NewVar()
+	s.Assumptions = []Lit{MkLit(a, false), MkLit(a, true)}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("contradictory assumptions = %v, want Unsat", got)
+	}
+	if len(s.FailedAssumptions()) == 0 {
+		t.Fatalf("contradictory assumptions must yield a failed core")
+	}
+	s.Assumptions = nil
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("solver poisoned by contradictory assumptions: %v", got)
+	}
+
+	s.AddClause(MkLit(a, false))
+	s.AddClause(MkLit(a, true))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("genuine contradiction = %v, want Unsat", got)
+	}
+	if core := s.FailedAssumptions(); core != nil {
+		t.Fatalf("genuine Unsat reported failed assumptions %v", core)
+	}
+}
+
+// TestAssumptionsAgainstFreshSolve is the differential check: solving F
+// under assumptions A must agree with solving F ∧ A from scratch, and
+// after an Unsat-under-assumptions the incremental solver must keep
+// agreeing on later queries.
+func TestAssumptionsAgainstFreshSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 80; iter++ {
+		nv := 6 + rng.Intn(6)
+		nc := 2 + rng.Intn(4*nv)
+		cnf := make([][]Lit, nc)
+		for i := range cnf {
+			w := 2 + rng.Intn(2)
+			c := make([]Lit, w)
+			for j := range c {
+				c[j] = MkLit(rng.Intn(nv), rng.Intn(2) == 1)
+			}
+			cnf[i] = c
+		}
+
+		inc := New()
+		for i := 0; i < nv; i++ {
+			inc.NewVar()
+		}
+		for _, c := range cnf {
+			inc.AddClause(c...)
+		}
+
+		// Several assumption queries against the same incremental solver.
+		for q := 0; q < 4; q++ {
+			na := rng.Intn(nv)
+			seen := make(map[int]bool)
+			var assume []Lit
+			for len(assume) < na {
+				v := rng.Intn(nv)
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				assume = append(assume, MkLit(v, rng.Intn(2) == 1))
+			}
+
+			fresh := New()
+			for i := 0; i < nv; i++ {
+				fresh.NewVar()
+			}
+			for _, c := range cnf {
+				fresh.AddClause(c...)
+			}
+			for _, l := range assume {
+				fresh.AddClause(l)
+			}
+
+			inc.Assumptions = assume
+			got, want := inc.Solve(), fresh.Solve()
+			if got != want {
+				t.Fatalf("iter %d query %d: incremental=%v fresh=%v (assumptions %v)",
+					iter, q, got, want, assume)
+			}
+			if got == Sat {
+				for _, l := range assume {
+					if inc.Value(l.Var()) == l.Neg() {
+						t.Fatalf("iter %d query %d: model violates assumption %v", iter, q, l)
+					}
+				}
+			}
+		}
+	}
+}

@@ -116,6 +116,13 @@ type Solver struct {
 	// Budget limits the number of conflicts per Solve call; 0 means
 	// unlimited. When exhausted, Solve returns Unknown.
 	Budget int64
+	// Assumptions are literals assumed true for the duration of each
+	// Solve call, as pseudo-decisions at levels 1..n of every restart.
+	// When they make the instance unsatisfiable, Solve returns Unsat
+	// but the solver stays usable (ok is not cleared) and
+	// FailedAssumptions reports an inconsistent subset. The caller owns
+	// the slice and may change it between Solve calls.
+	Assumptions []Lit
 	// Ctx, when non-nil, aborts Solve with Unknown once the context
 	// stops; polled in the search loop and inside unit propagation.
 	Ctx *engine.Ctx
@@ -127,6 +134,8 @@ type Solver struct {
 	Theory TheoryClient
 
 	theoryHead int // trail prefix already sent to the theory
+
+	failed []Lit // failed-assumption core of the last Solve, or nil
 
 	claInc float64
 }
@@ -460,6 +469,71 @@ func (s *Solver) redundant(l Lit, learnt []Lit) bool {
 	return true
 }
 
+// assumeMore installs the next pending assumption as a pseudo-decision.
+// It returns the assumption literal and what happened: failed means the
+// assumption is false under the current trail (unsat under assumptions),
+// made means a fresh assumption was enqueued and needs propagation.
+// Assumptions already implied true get an empty decision level so level
+// i always corresponds to Assumptions[i-1].
+func (s *Solver) assumeMore() (p Lit, failed, made bool) {
+	for len(s.lim) < len(s.Assumptions) {
+		p = s.Assumptions[len(s.lim)]
+		switch s.litValue(p) {
+		case valTrue:
+			s.lim = append(s.lim, len(s.trail))
+			if s.Theory != nil {
+				s.Theory.TheoryPush()
+			}
+		case valFalse:
+			return p, true, false
+		default:
+			s.lim = append(s.lim, len(s.trail))
+			if s.Theory != nil {
+				s.Theory.TheoryPush()
+			}
+			s.enqueue(p, nil)
+			return p, false, true
+		}
+	}
+	return 0, false, false
+}
+
+// analyzeFinal computes the subset of assumption literals that imply
+// the falsified assumption p (MiniSat's final-conflict analysis): the
+// returned core, conjoined, is inconsistent with the clause database.
+func (s *Solver) analyzeFinal(p Lit) []Lit {
+	out := []Lit{p}
+	if len(s.lim) == 0 {
+		return out
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= s.lim[0]; i-- {
+		x := s.trail[i].Var()
+		if !s.seen[x] {
+			continue
+		}
+		if s.reason[x] == nil {
+			// A pseudo-decision: at this point every decision on the
+			// trail is an assumption.
+			out = append(out, s.trail[i])
+		} else {
+			for _, q := range s.reason[x].lits[1:] {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[x] = false
+	}
+	s.seen[p.Var()] = false
+	return out
+}
+
+// FailedAssumptions returns an inconsistent subset of the assumptions
+// after a Solve call that returned Unsat because of them, or nil when
+// the last Unsat was assumption-free (a permanent contradiction).
+func (s *Solver) FailedAssumptions() []Lit { return s.failed }
+
 func (s *Solver) decide() bool {
 	//lint:nopoll bounded by the heap size; the search loop polls the context between decisions
 	for {
@@ -506,6 +580,7 @@ func (s *Solver) Solve() Result {
 		s.Stats.Add("propagations", s.propags-startPropags)
 		s.Stats.Add("restarts", s.restarts-startRestarts)
 	}()
+	s.failed = nil
 	if !s.ok {
 		return Unsat
 	}
@@ -532,6 +607,13 @@ func (s *Solver) Solve() Result {
 			confl = s.theorySync()
 		}
 		if confl == nil {
+			if p, failed, made := s.assumeMore(); failed {
+				s.failed = s.analyzeFinal(p)
+				s.cancelUntil(0)
+				return Unsat
+			} else if made {
+				continue
+			}
 			if s.decide() {
 				continue
 			}
