@@ -29,14 +29,44 @@ echo "==> cancellation and equivalence tests (-race)"
 # another goroutine, and the parallel portfolio must stay deterministic.
 # The incremental-vs-fresh equivalence suite rides along: per-branch
 # solver sessions under Options.Parallel are the newest shared-state
-# hazard. Run them first and explicitly so a hang here is attributed
-# correctly.
-go test -race -run 'Cancel|Deadline|Timeout|Parallel|Incremental' \
+# hazard, and the trauserve mixed-load test exercises the admission
+# gate, verdict cache, and merged stats tree under concurrent clients.
+# Run them first and explicitly so a hang here is attributed correctly.
+go test -race -run 'Cancel|Deadline|Timeout|Parallel|Incremental|Concurrent' \
     ./internal/sat ./internal/simplex ./internal/lia \
-    ./internal/core ./internal/baseline ./internal/bench
+    ./internal/core ./internal/baseline ./internal/bench \
+    ./internal/server
 
 echo "==> go test -race"
 go test -race ./...
+
+echo "==> trauserve smoke"
+# End-to-end over a real socket: boot the service, solve once cold,
+# once from the cache, probe /stats, then require a graceful SIGTERM
+# drain with exit code 0. Gating — a server that cannot serve or drain
+# is broken no matter what the unit tests say.
+go build -o /tmp/trauserve ./cmd/trauserve
+/tmp/trauserve -addr 127.0.0.1:0 >/tmp/trauserve.log 2>&1 &
+trauserve_pid=$!
+url=""
+for _ in $(seq 1 100); do
+    url=$(sed -n 's/^trauserve: listening on //p' /tmp/trauserve.log)
+    [ -n "$url" ] && break
+    sleep 0.1
+done
+if [ -z "$url" ]; then
+    echo "trauserve did not announce its address" >&2
+    cat /tmp/trauserve.log >&2
+    kill "$trauserve_pid" 2>/dev/null || true
+    exit 1
+fi
+payload='{"smtlib": "(declare-fun x () String)(declare-fun n () Int)(assert (= n (str.to_int x)))(assert (= n 42))(assert (= (str.len x) 4))(check-sat)"}'
+curl -sf -X POST -d "$payload" "$url/solve" | grep -q '"status": "sat"'
+curl -sf -X POST -d "$payload" "$url/solve" | grep -q '"cached": true'
+curl -sf "$url/stats" | grep -q '"cache"'
+kill -TERM "$trauserve_pid"
+wait "$trauserve_pid"
+grep -q 'trauserve: drained' /tmp/trauserve.log
 
 echo "==> perf smoke (non-gating)"
 # Re-run the Table 3 workload and print the drift against the checked-in

@@ -1,0 +1,112 @@
+// Command trauserve runs the concurrent solving service: SMT-LIB
+// problems in, JSON verdicts out, over HTTP (see internal/server and
+// the "trauserve" section of the README).
+//
+// Usage:
+//
+//	trauserve [-addr 127.0.0.1:8080] [-workers N] [-queue N] [-cache N]
+//	          [-timeout d] [-max-timeout d] [-parallel N]
+//	          [-incremental=false] [-drain d]
+//
+// The process listens until SIGINT/SIGTERM, then drains: the listener
+// stops accepting, in-flight solves finish (bounded by -drain), and the
+// process exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, sigs))
+}
+
+// run is the testable body of the command: exit 0 on a clean serve and
+// drain, 1 on runtime errors, 2 on usage errors. sigs triggers graceful
+// shutdown; tests pass their own channel.
+func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
+	fs := flag.NewFlagSet("trauserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	workers := fs.Int("workers", 4, "solver worker goroutines")
+	queue := fs.Int("queue", 0, "admission queue depth (0 = 2*workers)")
+	cache := fs.Int("cache", 1024, "verdict cache entries (negative disables)")
+	timeout := fs.Duration("timeout", 5*time.Second, "default per-request solve budget")
+	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "largest per-request budget a client may ask for")
+	maxBody := fs.Int64("max-body", 1<<20, "largest accepted request body in bytes")
+	parallel := fs.Int("parallel", 1, "case-split branch workers per solve")
+	incremental := fs.Bool("incremental", true, "reuse solver sessions across refinement rounds")
+	drain := fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight solves")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: trauserve [-addr host:port] [-workers n] [-queue n] [-cache n] [-timeout d] [-max-timeout d] [-parallel n] [-incremental=false] [-drain d]")
+		return 2
+	}
+
+	mode := core.IncrementalOn
+	if !*incremental {
+		mode = core.IncrementalOff
+	}
+	srv := server.New(server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MaxRequestBytes: *maxBody,
+		Solve:           core.Options{Parallel: *parallel, Incremental: mode},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "trauserve:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv}
+	fmt.Fprintf(stdout, "trauserve: listening on http://%s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// Serve never returns nil; anything before a shutdown request
+		// is a real failure.
+		fmt.Fprintln(stderr, "trauserve:", err)
+		return 1
+	case <-sigs:
+	}
+
+	fmt.Fprintln(stdout, "trauserve: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop the listener and wait for handlers first, so nothing is
+	// still enqueueing when the worker pool drains.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(stderr, "trauserve: http shutdown:", err)
+		return 1
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(stderr, "trauserve:", err)
+		return 1
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed
+	fmt.Fprintln(stdout, "trauserve: drained")
+	return 0
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a locked bytes.Buffer: run writes from its own
+// goroutine while the test polls.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestRunUsageError(t *testing.T) {
+	var out, errOut syncBuffer
+	if code := run([]string{"stray-arg"}, &out, &errOut, nil); code != 2 {
+		t.Fatalf("run with stray argument = %d, want 2", code)
+	}
+	if code := run([]string{"-no-such-flag"}, &out, &errOut, nil); code != 2 {
+		t.Fatalf("run with unknown flag = %d, want 2", code)
+	}
+}
+
+func TestRunBadListenAddr(t *testing.T) {
+	var out, errOut syncBuffer
+	if code := run([]string{"-addr", "256.256.256.256:0"}, &out, &errOut, nil); code != 1 {
+		t.Fatalf("run with bad address = %d, want 1", code)
+	}
+}
+
+// TestRunServeAndGracefulShutdown boots the command on an ephemeral
+// port, fires a smoke solve and a cache-hit repeat, then delivers
+// SIGTERM and requires a clean drain with exit code 0.
+func TestRunServeAndGracefulShutdown(t *testing.T) {
+	var out, errOut syncBuffer
+	sigs := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, &out, &errOut, sigs)
+	}()
+
+	var url string
+	deadline := time.Now().Add(10 * time.Second)
+	for url == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stdout %q stderr %q", out.String(), errOut.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "trauserve: listening on "); ok {
+				url = strings.TrimSpace(rest)
+			}
+		}
+		if url == "" {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	body := `{"smtlib": "(declare-fun x () String)(assert (= (str.len x) 3))(check-sat)"}`
+	for i, want := range []string{`"cached": false`, `"cached": true`} {
+		resp, err := http.Post(url+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != 200 || !strings.Contains(buf.String(), `"status": "sat"`) {
+			t.Fatalf("solve %d: status %d body %s", i, resp.StatusCode, buf.String())
+		}
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("solve %d: want %s in body %s", i, want, buf.String())
+		}
+	}
+
+	statsResp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	_ = statsResp.Body.Close()
+	if statsResp.StatusCode != 200 {
+		t.Fatalf("GET /stats status = %d", statsResp.StatusCode)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr %q", code, errOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "trauserve: drained") {
+		t.Fatalf("drain message missing from stdout %q", out.String())
+	}
+}

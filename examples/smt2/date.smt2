@@ -1,0 +1,10 @@
+; A fragment of date validation (the paper's §2 motivating example
+; family): a two-digit month string whose numeric value is in 1..12.
+(set-logic QF_SLIA)
+(declare-fun month () String)
+(declare-fun m () Int)
+(assert (str.in_re month (re.++ (re.range "0" "1") (re.range "0" "9"))))
+(assert (= m (str.to_int month)))
+(assert (>= m 1))
+(assert (<= m 12))
+(check-sat)

@@ -1,0 +1,13 @@
+; Mixing word equations over bracketed segments with string-number
+; conversion: s and t wrap to the same array literal, read as a number
+; at least 10, but t is not the string "10" — forces a non-canonical
+; numeral or a larger value.
+(set-logic QF_SLIA)
+(declare-fun s () String)
+(declare-fun t () String)
+(declare-fun i () Int)
+(assert (= (str.++ "[" s "]") (str.++ "[" t "]")))
+(assert (= i (str.to_int s)))
+(assert (>= i 10))
+(assert (not (= t "10")))
+(check-sat)

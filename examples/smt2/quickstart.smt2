@@ -1,0 +1,10 @@
+; Leading zeros: str.to_int reads "0042" as 42, so a 4-character
+; numeral equal to 42 exists. The quick-start problem of the README and
+; the smoke payload of the trauserve CI step.
+(set-logic QF_SLIA)
+(declare-fun x () String)
+(declare-fun n () Int)
+(assert (= n (str.to_int x)))
+(assert (= n 42))
+(assert (= (str.len x) 4))
+(check-sat)

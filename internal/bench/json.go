@@ -37,6 +37,15 @@ type JSONSuite struct {
 	MeanMS   float64 `json:"mean_ms"`
 	MedianMS float64 `json:"median_ms"`
 
+	// The statistics means below are computed over StatsInstances runs:
+	// the ones that finished before their deadline. StatsExcludedTimeouts
+	// says how many runs were dropped from the means (not the same thing
+	// as the Timeout verdict count — a run that settles just after its
+	// deadline lands is excluded here yet not an UNKNOWN), so a consumer
+	// can tell "excluded" from "absent".
+	StatsInstances        int `json:"stats_instances"`
+	StatsExcludedTimeouts int `json:"stats_excluded_timeouts"`
+
 	MeanRounds    float64 `json:"mean_rounds"`
 	MeanConflicts float64 `json:"mean_conflicts"`
 	MeanPivots    float64 `json:"mean_pivots"`
@@ -95,21 +104,24 @@ func jsonSuite(table, suite, solver string, r SuiteResult) JSONSuite {
 		return math.Round(float64(v)/float64(n)*10) / 10
 	}
 	c := r.Counts
+	instances := c.Sat + c.Unsat + c.Unknown + c.Timeout + c.Incorrect
 	return JSONSuite{
-		Table:         table,
-		Suite:         suite,
-		Solver:        solver,
-		Instances:     c.Sat + c.Unsat + c.Unknown + c.Timeout + c.Incorrect,
-		Sat:           r.Counts.Sat,
-		Unsat:         r.Counts.Unsat,
-		Unknown:       r.Counts.Unknown,
-		Timeout:       r.Counts.Timeout,
-		Incorrect:     r.Counts.Incorrect,
-		MeanMS:        mean,
-		MedianMS:      median,
-		MeanRounds:    frac(r.Agg.Rounds),
-		MeanConflicts: frac(r.Agg.Conflicts),
-		MeanPivots:    frac(r.Agg.Pivots),
+		Table:                 table,
+		Suite:                 suite,
+		Solver:                solver,
+		Instances:             instances,
+		Sat:                   r.Counts.Sat,
+		Unsat:                 r.Counts.Unsat,
+		Unknown:               r.Counts.Unknown,
+		Timeout:               r.Counts.Timeout,
+		Incorrect:             r.Counts.Incorrect,
+		MeanMS:                mean,
+		MedianMS:              median,
+		StatsInstances:        int(n),
+		StatsExcludedTimeouts: instances - int(n),
+		MeanRounds:            frac(r.Agg.Rounds),
+		MeanConflicts:         frac(r.Agg.Conflicts),
+		MeanPivots:            frac(r.Agg.Pivots),
 	}
 }
 

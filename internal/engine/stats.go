@@ -172,6 +172,56 @@ func (s *Stats) Merge(o *Stats) {
 	}
 }
 
+// Snapshot is a point-in-time copy of a Stats subtree with exported
+// fields, so callers (the trauserve /stats endpoint) can render the
+// hierarchical statistics as JSON. Timers are nanoseconds. JSON
+// objects do not preserve key order, so Order carries the children's
+// creation order alongside the Children map.
+type Snapshot struct {
+	Counters map[string]int64     `json:"counters,omitempty"`
+	TimersNS map[string]int64     `json:"timers_ns,omitempty"`
+	Children map[string]*Snapshot `json:"children,omitempty"`
+	Order    []string             `json:"order,omitempty"`
+}
+
+// Snapshot copies the subtree rooted at s. It is safe to call
+// concurrently with writers; each node is copied under its own lock, so
+// the snapshot is per-node (not globally) consistent — the same
+// guarantee Write gives.
+func (s *Stats) Snapshot() *Snapshot {
+	out := &Snapshot{}
+	if s == nil {
+		return out
+	}
+	s.mu.Lock()
+	if len(s.counters) > 0 {
+		out.Counters = make(map[string]int64, len(s.counters))
+		for k, v := range s.counters {
+			out.Counters[k] = v
+		}
+	}
+	if len(s.timers) > 0 {
+		out.TimersNS = make(map[string]int64, len(s.timers))
+		for k, v := range s.timers {
+			out.TimersNS[k] = int64(v)
+		}
+	}
+	names := append([]string(nil), s.order...)
+	kids := make([]*Stats, len(names))
+	for i, n := range names {
+		kids[i] = s.children[n]
+	}
+	s.mu.Unlock()
+	if len(names) > 0 {
+		out.Children = make(map[string]*Snapshot, len(names))
+		for i, n := range names {
+			out.Children[n] = kids[i].Snapshot()
+		}
+		out.Order = names
+	}
+	return out
+}
+
 // Write renders the subtree rooted at s under the given name:
 // counters first, then timers, each sorted by name, then children in
 // creation order, indented two spaces per level. The layout is

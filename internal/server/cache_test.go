@@ -1,0 +1,73 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(3)
+	for i := 0; i < 4; i++ {
+		c.put(fmt.Sprintf("k%d", i), verdict{status: core.StatusUnsat})
+	}
+	if c.len() != 3 {
+		t.Fatalf("len = %d, want 3", c.len())
+	}
+	if _, ok := c.get("k0"); ok {
+		t.Fatal("oldest entry k0 survived eviction")
+	}
+	for i := 1; i < 4; i++ {
+		if _, ok := c.get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d missing", i)
+		}
+	}
+	_, _, evictions := c.counters()
+	if evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+}
+
+func TestLRUCachePromotion(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", verdict{status: core.StatusUnsat})
+	c.put("b", verdict{status: core.StatusUnsat})
+	if _, ok := c.get("a"); !ok { // promote a over b
+		t.Fatal("a missing")
+	}
+	c.put("c", verdict{status: core.StatusUnsat}) // must evict b, not a
+	if _, ok := c.get("b"); ok {
+		t.Fatal("least-recently-used entry b survived")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently-used entry a was evicted")
+	}
+}
+
+func TestLRUCacheRemoveAndRefresh(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", verdict{status: core.StatusUnsat})
+	c.put("a", verdict{status: core.StatusSat}) // refresh, not duplicate
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	if v, ok := c.get("a"); !ok || v.status != core.StatusSat {
+		t.Fatalf("get(a) = %+v, %v; want refreshed SAT", v, ok)
+	}
+	c.remove("a")
+	if _, ok := c.get("a"); ok {
+		t.Fatal("removed entry still present")
+	}
+	if c.len() != 0 {
+		t.Fatalf("len = %d, want 0", c.len())
+	}
+}
+
+func TestLRUCacheDisabled(t *testing.T) {
+	c := newLRUCache(-1)
+	c.put("a", verdict{status: core.StatusUnsat})
+	if c.len() != 0 {
+		t.Fatal("disabled cache stored an entry")
+	}
+}

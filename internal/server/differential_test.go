@@ -1,0 +1,117 @@
+package server
+
+import (
+	"context"
+	"math/big"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/smtlib"
+)
+
+// witnessFromJSON decodes a served witness back into canonical
+// coordinates.
+func witnessFromJSON(t *testing.T, w *witnessJSON) *smtlib.Witness {
+	t.Helper()
+	out := &smtlib.Witness{Str: w.Str, Int: make([]*big.Int, len(w.Int))}
+	for i, s := range w.Int {
+		v, ok := new(big.Int).SetString(s, 10)
+		if !ok {
+			t.Fatalf("bad integer in witness: %q", s)
+		}
+		out.Int[i] = v
+	}
+	return out
+}
+
+// differentialInstances mirrors internal/bench's equivalence corpus:
+// every generator of the benchmark tables plus the small end of the
+// checkLuhn family.
+func differentialInstances() []*bench.Instance {
+	var insts []*bench.Instance
+	for _, s := range bench.Table1Suites(3) {
+		insts = append(insts, s.Instances...)
+	}
+	for _, s := range bench.Table2Suites(3) {
+		insts = append(insts, s.Instances...)
+	}
+	for k := 2; k <= 4; k++ {
+		insts = append(insts, bench.Luhn(k))
+	}
+	return insts
+}
+
+// TestDifferentialServerVsDirect submits every bench generator through
+// an in-process trauserve and requires verdict identity with a direct
+// core.Solve of the same source (modulo deadline), with every served
+// SAT witness validating against a fresh parse of the problem.
+func TestDifferentialServerVsDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite solves the full bench corpus twice")
+	}
+	const budget = 20 * time.Second
+	s := New(Config{Workers: 4, QueueDepth: 64, DefaultTimeout: budget, MaxTimeout: budget})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for _, inst := range differentialInstances() {
+		inst := inst
+		t.Run(inst.Name, func(t *testing.T) {
+			src, err := smtlib.Write(inst.Build())
+			if err != nil {
+				t.Skipf("instance not writable as SMT-LIB: %v", err)
+			}
+
+			resp, code := postSolve(t, ts.URL, solveRequest{SMTLIB: src})
+			if code != 200 {
+				t.Fatalf("server status code = %d", code)
+			}
+
+			script, err := smtlib.Parse(src)
+			if err != nil {
+				t.Fatalf("re-parsing written source: %v", err)
+			}
+			ec := engine.WithTimeout(budget)
+			direct := core.SolveCtx(script.Problem, core.Options{}, ec)
+
+			if resp.Status != direct.Status.String() {
+				// Equivalence holds modulo resource limits, exactly as in
+				// internal/bench's incremental-vs-fresh suite.
+				excused := resp.Status == "unknown" && resp.TimedOut ||
+					direct.Status == core.StatusUnknown && ec.TimedOut()
+				if !excused {
+					t.Fatalf("server %q, direct %v", resp.Status, direct.Status)
+				}
+				t.Logf("verdicts differ under timeout (server %q, direct %v)", resp.Status, direct.Status)
+			}
+
+			if resp.Status == "sat" {
+				if resp.Witness == nil {
+					t.Fatal("server sat without witness")
+				}
+				w := witnessFromJSON(t, resp.Witness)
+				fresh, err := smtlib.Parse(src)
+				if err != nil {
+					t.Fatalf("parsing for validation: %v", err)
+				}
+				canon, err := smtlib.Canonicalize(fresh.Problem)
+				if err != nil {
+					t.Fatalf("canonicalizing for validation: %v", err)
+				}
+				a := canon.Assignment(w)
+				if a == nil {
+					t.Fatalf("served witness shape does not match the problem: %d/%d vs %d/%d",
+						len(w.Str), len(w.Int), len(canon.StrOrder), len(canon.IntOrder))
+				}
+				if !fresh.Problem.Eval(a) {
+					t.Fatal("served witness fails concrete evaluation")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,570 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/smtlib"
+	"repro/internal/strcon"
+)
+
+// Config sizes the serving layer. The zero value of every field selects
+// a sensible default (see withDefaults).
+type Config struct {
+	// Workers is the number of solver goroutines (default 4).
+	Workers int
+	// QueueDepth bounds the admission queue; a request arriving with
+	// the queue full is rejected with 503 (default 2*Workers).
+	QueueDepth int
+	// CacheEntries bounds the verdict cache (default 1024; negative
+	// disables caching).
+	CacheEntries int
+	// DefaultTimeout applies when a request names no deadline (default
+	// 5s); MaxTimeout clamps what a request may ask for (default 30s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxRequestBytes bounds a request body (default 1 MiB).
+	MaxRequestBytes int64
+	// Solve configures the engine (parallel case splits, incremental
+	// mode). Timeout inside it is ignored — deadlines are per request.
+	Solve core.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 1 << 20
+	}
+	c.Solve.Timeout = 0
+	return c
+}
+
+// Server is a concurrent solving service. Create with New, expose via
+// net/http (it implements http.Handler), stop with Shutdown.
+type Server struct {
+	cfg   Config
+	cache *lruCache
+	mux   *http.ServeMux
+
+	// admission gates senders against close(jobs): senders hold the
+	// read lock and check draining before attempting a queue send;
+	// Shutdown takes the write lock to flip draining and close the
+	// channel, so no send can race the close.
+	admission sync.RWMutex
+	draining  bool
+	jobs      chan *job
+	workers   sync.WaitGroup
+
+	stats *engine.Stats // merged engine statistics across all solves
+	ctr   counters
+
+	start time.Time
+}
+
+// counters are the serving-layer metrics (cache counters live on the
+// cache itself).
+type counters struct {
+	requests       atomic.Int64 // POST /solve accepted for processing
+	parseErrors    atomic.Int64
+	rejectedQueue  atomic.Int64 // 503: queue full
+	rejectedDrain  atomic.Int64 // 503: shutting down
+	solvedSat      atomic.Int64
+	solvedUnsat    atomic.Int64
+	solvedUnknown  atomic.Int64
+	timeouts       atomic.Int64
+	cacheServed    atomic.Int64 // responses answered from cache
+	revalFailures  atomic.Int64 // cached witnesses that failed Eval
+	uncacheable    atomic.Int64 // problems with no canonical form
+	clientsGone    atomic.Int64 // client disconnected while queued/solving
+	activeRequests atomic.Int64
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newLRUCache(cfg.CacheEntries),
+		jobs:  make(chan *job, cfg.QueueDepth),
+		stats: engine.NewStats(),
+		start: time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /solve", s.handleSolve)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the admission queue: no new work is accepted, queued
+// and in-flight solves finish (their handlers write responses), and
+// Shutdown returns when the workers exit or ctx expires. Call after
+// http.Server.Shutdown so no handler is still trying to enqueue.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admission.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.jobs)
+	}
+	s.admission.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown wait: %w", ctx.Err())
+	}
+}
+
+// solveRequest is the POST /solve body.
+type solveRequest struct {
+	// SMTLIB is the problem source.
+	SMTLIB string `json:"smtlib"`
+	// TimeoutMS is the per-request deadline (0 = server default,
+	// clamped to the server maximum).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the verdict cache for this request.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// solveResponse is the POST /solve reply. Witness reports a SAT model
+// in canonical coordinates (strings by canonical index; integers as
+// decimal strings); Model reports it by declared variable name.
+type solveResponse struct {
+	Status    string       `json:"status"`
+	Model     *modelJSON   `json:"model,omitempty"`
+	Witness   *witnessJSON `json:"witness,omitempty"`
+	Canonical string       `json:"canonical_hash,omitempty"`
+	Cached    bool         `json:"cached"`
+	Rounds    int          `json:"rounds,omitempty"`
+	TimedOut  bool         `json:"timed_out,omitempty"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+	Error     string       `json:"error,omitempty"`
+}
+
+type modelJSON struct {
+	Strings map[string]string `json:"strings,omitempty"`
+	Ints    map[string]string `json:"ints,omitempty"`
+}
+
+type witnessJSON struct {
+	Str []string `json:"str"`
+	Int []string `json:"int"`
+}
+
+func witnessToJSON(w *smtlib.Witness) *witnessJSON {
+	if w == nil {
+		return nil
+	}
+	out := &witnessJSON{Str: append([]string{}, w.Str...), Int: make([]string, len(w.Int))}
+	for i, v := range w.Int {
+		out.Int[i] = v.String()
+	}
+	return out
+}
+
+// job is one admitted solve, handed from the handler to a worker. done
+// is buffered so a worker never blocks on a handler that stopped
+// listening (client gone).
+type job struct {
+	script  *smtlib.Script
+	canon   *smtlib.Canon
+	noCache bool
+	ec      *engine.Ctx
+	done    chan jobResult
+}
+
+type jobResult struct {
+	res core.Result
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The connection may be gone; there is nowhere to report to.
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, a ...any) {
+	s.writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, a...)})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.ctr.activeRequests.Add(1)
+	defer s.ctr.activeRequests.Add(-1)
+	start := time.Now()
+
+	// A draining server takes no new solve work — not even cache hits —
+	// so clients fail over promptly and deterministically.
+	s.admission.RLock()
+	draining := s.draining
+	s.admission.RUnlock()
+	if draining {
+		s.ctr.rejectedDrain.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", s.cfg.MaxRequestBytes)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var req solveRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	script, err := smtlib.Parse(req.SMTLIB)
+	if err != nil {
+		s.ctr.parseErrors.Add(1)
+		s.writeError(w, http.StatusBadRequest, "parsing problem: %v", err)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	canon, err := smtlib.Canonicalize(script.Problem)
+	if err != nil {
+		// Not an input error: the problem is solvable, just not
+		// cacheable (e.g. past the canonical nesting budget).
+		canon = nil
+		s.ctr.uncacheable.Add(1)
+	}
+
+	// Cache fast path. A cached SAT witness is never trusted blindly:
+	// it is transported onto THIS request's parse and re-checked by the
+	// concrete evaluator; on failure the entry is evicted and the
+	// request falls through to a real solve.
+	if canon != nil && !req.NoCache {
+		if v, ok := s.cache.get(canon.Hash); ok {
+			switch v.status {
+			case core.StatusUnsat:
+				s.ctr.cacheServed.Add(1)
+				s.writeJSON(w, http.StatusOK, solveResponse{
+					Status:    "unsat",
+					Canonical: canon.Hash,
+					Cached:    true,
+					ElapsedMS: msSince(start),
+				})
+				return
+			case core.StatusSat:
+				if a := canon.Assignment(v.witness); a != nil && script.Problem.Eval(a) {
+					s.ctr.cacheServed.Add(1)
+					s.writeJSON(w, http.StatusOK, solveResponse{
+						Status:    "sat",
+						Model:     modelOf(script, a),
+						Witness:   witnessToJSON(v.witness),
+						Canonical: canon.Hash,
+						Cached:    true,
+						ElapsedMS: msSince(start),
+					})
+					return
+				}
+				s.ctr.revalFailures.Add(1)
+				s.cache.remove(canon.Hash)
+			}
+		}
+	}
+
+	// Admission. The deadline starts here, so time spent queued counts
+	// against the request's budget; a client disconnect cancels the
+	// engine context through r.Context().
+	ec, stop := engine.FromContext(r.Context(), timeout)
+	defer stop()
+	j := &job{script: script, canon: canon, noCache: req.NoCache, ec: ec, done: make(chan jobResult, 1)}
+
+	s.admission.RLock()
+	if s.draining {
+		s.admission.RUnlock()
+		s.ctr.rejectedDrain.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	select {
+	case s.jobs <- j:
+		s.admission.RUnlock()
+	default:
+		s.admission.RUnlock()
+		s.ctr.rejectedQueue.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable,
+			"admission queue full (%d queued)", s.cfg.QueueDepth)
+		return
+	}
+	s.ctr.requests.Add(1)
+
+	select {
+	case out := <-j.done:
+		resp := solveResponse{
+			Status:    out.res.Status.String(),
+			Rounds:    out.res.Rounds,
+			TimedOut:  ec.TimedOut(),
+			ElapsedMS: msSince(start),
+		}
+		if canon != nil {
+			resp.Canonical = canon.Hash
+		}
+		if out.res.Status == core.StatusSat {
+			resp.Model = modelOf(script, out.res.Model)
+			if canon != nil {
+				resp.Witness = witnessToJSON(canon.WitnessOf(out.res.Model))
+			}
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+	case <-r.Context().Done():
+		// Client gone: FromContext's watcher cancels ec, the worker
+		// finishes promptly, and the buffered done channel absorbs the
+		// result. Nothing to write to.
+		s.ctr.clientsGone.Add(1)
+	}
+}
+
+// worker drains the admission queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.jobs {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	var res core.Result
+	if j.ec.Expired() {
+		// Deadline or client disconnect consumed the budget while
+		// queued; report without touching the solver.
+		res = core.Result{Status: core.StatusUnknown}
+	} else {
+		res = core.SolveCtx(j.script.Problem, s.cfg.Solve, j.ec)
+	}
+	switch res.Status {
+	case core.StatusSat:
+		s.ctr.solvedSat.Add(1)
+	case core.StatusUnsat:
+		s.ctr.solvedUnsat.Add(1)
+	default:
+		if j.ec.TimedOut() {
+			s.ctr.timeouts.Add(1)
+		} else {
+			s.ctr.solvedUnknown.Add(1)
+		}
+	}
+	s.stats.Merge(j.ec.Stats())
+
+	// Cache only settled verdicts of canonicalizable problems. A
+	// timed-out or cancelled run says nothing about the problem, and an
+	// unknown depends on the round budget.
+	if j.canon != nil && !j.noCache && !j.ec.Expired() {
+		switch res.Status {
+		case core.StatusSat:
+			s.cache.put(j.canon.Hash, verdict{
+				status:  core.StatusSat,
+				witness: j.canon.WitnessOf(res.Model),
+			})
+		case core.StatusUnsat:
+			s.cache.put(j.canon.Hash, verdict{status: core.StatusUnsat})
+		}
+	}
+	j.done <- jobResult{res: res}
+}
+
+// modelOf renders an assignment under the script's declared names.
+// Variables the model leaves unassigned default to "" and 0, matching
+// the concrete evaluator. Length variables are internal, not reported.
+func modelOf(script *smtlib.Script, a *strcon.Assignment) *modelJSON {
+	if a == nil {
+		return nil
+	}
+	m := &modelJSON{}
+	if len(script.StrVars) > 0 {
+		m.Strings = make(map[string]string, len(script.StrVars))
+		for name, v := range script.StrVars {
+			m.Strings[name] = a.Str[v]
+		}
+	}
+	if len(script.IntVars) > 0 {
+		m.Ints = make(map[string]string, len(script.IntVars))
+		for name, v := range script.IntVars {
+			m.Ints[name] = a.Int.Value(v).String()
+		}
+	}
+	return m
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// statsResponse is the GET /stats body.
+type statsResponse struct {
+	UptimeMS float64          `json:"uptime_ms"`
+	Requests requestStats     `json:"requests"`
+	Cache    cacheStats       `json:"cache"`
+	Queue    queueStats       `json:"queue"`
+	Engine   *engine.Snapshot `json:"engine"`
+}
+
+type requestStats struct {
+	Accepted       int64 `json:"accepted"`
+	ParseErrors    int64 `json:"parse_errors"`
+	RejectedQueue  int64 `json:"rejected_queue_full"`
+	RejectedDrain  int64 `json:"rejected_draining"`
+	Sat            int64 `json:"sat"`
+	Unsat          int64 `json:"unsat"`
+	Unknown        int64 `json:"unknown"`
+	Timeouts       int64 `json:"timeouts"`
+	CacheServed    int64 `json:"cache_served"`
+	RevalFailures  int64 `json:"revalidation_failures"`
+	Uncacheable    int64 `json:"uncacheable"`
+	ClientsGone    int64 `json:"clients_gone"`
+	ActiveRequests int64 `json:"active"`
+}
+
+type cacheStats struct {
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+type queueStats struct {
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+	Workers  int `json:"workers"`
+}
+
+func (s *Server) snapshotStats() statsResponse {
+	hits, misses, evictions := s.cache.counters()
+	return statsResponse{
+		UptimeMS: msSince(s.start),
+		Requests: requestStats{
+			Accepted:       s.ctr.requests.Load(),
+			ParseErrors:    s.ctr.parseErrors.Load(),
+			RejectedQueue:  s.ctr.rejectedQueue.Load(),
+			RejectedDrain:  s.ctr.rejectedDrain.Load(),
+			Sat:            s.ctr.solvedSat.Load(),
+			Unsat:          s.ctr.solvedUnsat.Load(),
+			Unknown:        s.ctr.solvedUnknown.Load(),
+			Timeouts:       s.ctr.timeouts.Load(),
+			CacheServed:    s.ctr.cacheServed.Load(),
+			RevalFailures:  s.ctr.revalFailures.Load(),
+			Uncacheable:    s.ctr.uncacheable.Load(),
+			ClientsGone:    s.ctr.clientsGone.Load(),
+			ActiveRequests: s.ctr.activeRequests.Load(),
+		},
+		Cache: cacheStats{
+			Entries:   s.cache.len(),
+			Capacity:  s.cfg.CacheEntries,
+			Hits:      hits,
+			Misses:    misses,
+			Evictions: evictions,
+		},
+		Queue: queueStats{
+			Depth:    len(s.jobs),
+			Capacity: s.cfg.QueueDepth,
+			Workers:  s.cfg.Workers,
+		},
+		Engine: s.stats.Snapshot(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.snapshotStats())
+}
+
+// handleMetrics is the flat machine-readable view: one JSON object of
+// numeric gauges/counters, keys stable and sorted by encoding/json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.snapshotStats()
+	m := map[string]float64{
+		"uptime_ms":                     st.UptimeMS,
+		"requests_accepted_total":       float64(st.Requests.Accepted),
+		"requests_parse_errors_total":   float64(st.Requests.ParseErrors),
+		"requests_rejected_queue_total": float64(st.Requests.RejectedQueue),
+		"requests_rejected_drain_total": float64(st.Requests.RejectedDrain),
+		"requests_sat_total":            float64(st.Requests.Sat),
+		"requests_unsat_total":          float64(st.Requests.Unsat),
+		"requests_unknown_total":        float64(st.Requests.Unknown),
+		"requests_timeouts_total":       float64(st.Requests.Timeouts),
+		"requests_cache_served_total":   float64(st.Requests.CacheServed),
+		"requests_reval_failures_total": float64(st.Requests.RevalFailures),
+		"requests_uncacheable_total":    float64(st.Requests.Uncacheable),
+		"requests_clients_gone_total":   float64(st.Requests.ClientsGone),
+		"requests_active":               float64(st.Requests.ActiveRequests),
+		"cache_entries":                 float64(st.Cache.Entries),
+		"cache_capacity":                float64(st.Cache.Capacity),
+		"cache_hits_total":              float64(st.Cache.Hits),
+		"cache_misses_total":            float64(st.Cache.Misses),
+		"cache_evictions_total":         float64(st.Cache.Evictions),
+		"queue_depth":                   float64(st.Queue.Depth),
+		"queue_capacity":                float64(st.Queue.Capacity),
+		"workers":                       float64(st.Queue.Workers),
+	}
+	s.writeJSON(w, http.StatusOK, m)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.admission.RLock()
+	draining := s.draining
+	s.admission.RUnlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, map[string]string{"status": status})
+}

@@ -1,0 +1,348 @@
+package smtlib
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/lia"
+	"repro/internal/strcon"
+)
+
+// Canon is the canonical form of a problem. Variables are alpha-renamed
+// into canonical indices assigned in first-use order over the
+// constraint list, so two problems that differ only in variable names
+// (or in the declaration order of their string variables) serialize —
+// and therefore hash — equal, while any structural difference changes
+// the hash. Length variables serialize as len(s<i>) of their string
+// variable, so a constraint on |x| can never collide with one on a free
+// integer. Regular memberships hash the automaton structurally (the
+// informational Pattern field is ignored): automaton construction from
+// a term is deterministic, so equal sources modulo names build
+// byte-identical serializations.
+//
+// The StrOrder/IntOrder tables are the transport layer of the verdict
+// cache: because canonical indices are assigned the same way in every
+// alpha-equivalent problem, a witness expressed in canonical
+// coordinates (Witness) can be moved from the problem that produced it
+// onto any problem with the same canonical form.
+//
+// Declaration-order permutations of *integer* variables are not
+// normalized away: terms inside a linear expression are ordered by pool
+// index, which such a permutation changes. The hash stays sound — a
+// changed hash can only miss a cache, never corrupt it.
+type Canon struct {
+	// Form is the canonical serialization; Hash is derived from it.
+	// Kept mainly for tests and diagnostics.
+	Form string
+	// Hash is the hex-encoded SHA-256 of Form.
+	Hash string
+	// StrOrder maps canonical string indices to this problem's
+	// variables (first-use order).
+	StrOrder []strcon.Var
+	// IntOrder maps canonical integer indices to this problem's lia
+	// variables (first-use order). Length variables are excluded: they
+	// serialize as len(s<i>) and are derived from the string values.
+	IntOrder []lia.Var
+}
+
+// Witness is a SAT model in canonical coordinates: Str[i] is the value
+// of the i-th canonical string variable, Int[i] of the i-th canonical
+// integer variable. It is transportable between problems with equal
+// canonical forms via Canon.Assignment.
+type Witness struct {
+	Str []string
+	Int []*big.Int
+}
+
+// Canonicalize computes the canonical form of a problem. It fails only
+// on constraint trees past the nesting budget or of unknown type.
+func Canonicalize(prob *strcon.Problem) (*Canon, error) {
+	c := &canonizer{
+		strID: map[strcon.Var]int{},
+		intID: map[lia.Var]int{},
+		lenOf: map[lia.Var]strcon.Var{},
+	}
+	for x, lv := range prob.LenVars() {
+		c.lenOf[lv] = x
+	}
+	for _, con := range prob.Constraints {
+		if err := c.con(con, 0); err != nil {
+			return nil, err
+		}
+		c.b.WriteByte('\n')
+	}
+	form := c.b.String()
+	sum := sha256.Sum256([]byte(form))
+	return &Canon{
+		Form:     form,
+		Hash:     hex.EncodeToString(sum[:]),
+		StrOrder: c.strOrder,
+		IntOrder: c.intOrder,
+	}, nil
+}
+
+// WitnessOf expresses a model in canonical coordinates. Values the
+// model lacks default to "" and 0, exactly as the concrete evaluator
+// reads them. Integer values are copied, never aliased.
+func (c *Canon) WitnessOf(a *strcon.Assignment) *Witness {
+	w := &Witness{
+		Str: make([]string, len(c.StrOrder)),
+		Int: make([]*big.Int, len(c.IntOrder)),
+	}
+	if a == nil {
+		for i := range w.Int {
+			w.Int[i] = new(big.Int)
+		}
+		return w
+	}
+	for i, v := range c.StrOrder {
+		w.Str[i] = a.Str[v]
+	}
+	for i, v := range c.IntOrder {
+		w.Int[i] = new(big.Int).Set(a.Int.Value(v))
+	}
+	return w
+}
+
+// Assignment maps a canonical witness onto this problem's variables —
+// the other half of the cache transport. It returns nil when the
+// witness shape does not match (callers treat that as a failed
+// revalidation, not an error). Integer values are copied.
+func (c *Canon) Assignment(w *Witness) *strcon.Assignment {
+	if w == nil || len(w.Str) != len(c.StrOrder) || len(w.Int) != len(c.IntOrder) {
+		return nil
+	}
+	a := &strcon.Assignment{
+		Str: make(map[strcon.Var]string, len(c.StrOrder)),
+		Int: make(lia.Model, len(c.IntOrder)),
+	}
+	for i, v := range c.StrOrder {
+		a.Str[v] = w.Str[i]
+	}
+	for i, v := range c.IntOrder {
+		if w.Int[i] == nil {
+			return nil
+		}
+		a.Int[v] = new(big.Int).Set(w.Int[i])
+	}
+	return a
+}
+
+// canonizer accumulates the canonical serialization and the first-use
+// variable numbering.
+type canonizer struct {
+	b        strings.Builder
+	strID    map[strcon.Var]int
+	strOrder []strcon.Var
+	intID    map[lia.Var]int
+	intOrder []lia.Var
+	lenOf    map[lia.Var]strcon.Var
+}
+
+func (c *canonizer) strVar(v strcon.Var) string {
+	id, ok := c.strID[v]
+	if !ok {
+		id = len(c.strOrder)
+		c.strID[v] = id
+		c.strOrder = append(c.strOrder, v)
+	}
+	return fmt.Sprintf("s%d", id)
+}
+
+func (c *canonizer) intVar(v lia.Var) string {
+	if x, ok := c.lenOf[v]; ok {
+		return "len(" + c.strVar(x) + ")"
+	}
+	id, ok := c.intID[v]
+	if !ok {
+		id = len(c.intOrder)
+		c.intID[v] = id
+		c.intOrder = append(c.intOrder, v)
+	}
+	return fmt.Sprintf("i%d", id)
+}
+
+func (c *canonizer) term(t strcon.Term) {
+	c.b.WriteByte('[')
+	for i, it := range t {
+		if i > 0 {
+			c.b.WriteByte(',')
+		}
+		if it.IsVar {
+			c.b.WriteString(c.strVar(it.V))
+		} else {
+			fmt.Fprintf(&c.b, "%q", it.Const)
+		}
+	}
+	c.b.WriteByte(']')
+}
+
+// con serializes one constraint. depth bounds the recursion through
+// nested conjunctions/disjunctions (defense in depth; the parser
+// already bounds its own nesting).
+func (c *canonizer) con(con strcon.Constraint, depth int) error {
+	if depth > maxParseDepth {
+		return fmt.Errorf("smtlib: canonical form exceeds nesting budget (%d)", maxParseDepth)
+	}
+	switch t := con.(type) {
+	case *strcon.WordEq:
+		c.b.WriteString("eq(")
+		c.term(t.L)
+		c.b.WriteByte(',')
+		c.term(t.R)
+		c.b.WriteByte(')')
+	case *strcon.WordNeq:
+		c.b.WriteString("neq(")
+		c.term(t.L)
+		c.b.WriteByte(',')
+		c.term(t.R)
+		c.b.WriteByte(')')
+	case *strcon.Membership:
+		fmt.Fprintf(&c.b, "mem(%s,%t,", c.strVar(t.X), t.Neg)
+		c.nfa(t.A)
+		c.b.WriteByte(')')
+	case *strcon.Arith:
+		c.b.WriteString("arith(")
+		if err := c.formula(t.F, depth+1); err != nil {
+			return err
+		}
+		c.b.WriteByte(')')
+	case *strcon.ToNum:
+		fmt.Fprintf(&c.b, "tonum(%s,%s)", c.intVar(t.N), c.strVar(t.X))
+	case *strcon.ToStr:
+		fmt.Fprintf(&c.b, "tostr(%s,%s)", c.intVar(t.N), c.strVar(t.X))
+	case *strcon.Ord:
+		fmt.Fprintf(&c.b, "ord(%s,%s)", c.intVar(t.N), c.strVar(t.X))
+	case *strcon.AndCon:
+		c.b.WriteString("all(")
+		for i, a := range t.Args {
+			if i > 0 {
+				c.b.WriteByte(',')
+			}
+			if err := c.con(a, depth+1); err != nil {
+				return err
+			}
+		}
+		c.b.WriteByte(')')
+	case *strcon.OrCon:
+		c.b.WriteString("any(")
+		for i, a := range t.Args {
+			if i > 0 {
+				c.b.WriteByte(',')
+			}
+			if err := c.con(a, depth+1); err != nil {
+				return err
+			}
+		}
+		c.b.WriteByte(')')
+	default:
+		return fmt.Errorf("smtlib: cannot canonicalize constraint %T", con)
+	}
+	return nil
+}
+
+func (c *canonizer) formula(f lia.Formula, depth int) error {
+	if depth > maxParseDepth {
+		return fmt.Errorf("smtlib: canonical form exceeds nesting budget (%d)", maxParseDepth)
+	}
+	switch t := f.(type) {
+	case lia.Bool:
+		if bool(t) {
+			c.b.WriteString("true")
+		} else {
+			c.b.WriteString("false")
+		}
+	case *lia.Not:
+		c.b.WriteString("not(")
+		if err := c.formula(t.F, depth+1); err != nil {
+			return err
+		}
+		c.b.WriteByte(')')
+	case *lia.NAry:
+		if t.Op == lia.OpOr {
+			c.b.WriteString("or(")
+		} else {
+			c.b.WriteString("and(")
+		}
+		for i, a := range t.Args {
+			if i > 0 {
+				c.b.WriteByte(',')
+			}
+			if err := c.formula(a, depth+1); err != nil {
+				return err
+			}
+		}
+		c.b.WriteByte(')')
+	case *lia.Atom:
+		fmt.Fprintf(&c.b, "cmp(%s,", t.Op)
+		c.lin(t.E)
+		c.b.WriteByte(')')
+	default:
+		return fmt.Errorf("smtlib: cannot canonicalize formula %T", f)
+	}
+	return nil
+}
+
+// lin serializes a linear expression with its terms ordered by pool
+// index (Vars returns ascending order) — deterministic, and invariant
+// under renaming (which never renumbers the pool).
+func (c *canonizer) lin(e *lia.LinExpr) {
+	for _, v := range e.Vars() {
+		fmt.Fprintf(&c.b, "%s*%s+", e.Coeff(v), c.intVar(v))
+	}
+	c.b.WriteString(e.ConstPart().String())
+}
+
+// nfa serializes an automaton structurally: initial state, sorted final
+// states, transitions sorted by (from, to, eps, lo, hi). State
+// numbering is whatever construction produced — deterministic, hence
+// canonical across alpha-renamed parses of the same term.
+func (c *canonizer) nfa(a *automata.NFA) {
+	if a == nil {
+		c.b.WriteString("nfa(nil)")
+		return
+	}
+	finals := append([]int(nil), a.Finals...)
+	sort.Ints(finals)
+	trans := append([]automata.Transition(nil), a.Trans...)
+	sort.Slice(trans, func(i, j int) bool {
+		ti, tj := trans[i], trans[j]
+		if ti.From != tj.From {
+			return ti.From < tj.From
+		}
+		if ti.To != tj.To {
+			return ti.To < tj.To
+		}
+		if ti.Eps != tj.Eps {
+			return !ti.Eps
+		}
+		if ti.R.Lo != tj.R.Lo {
+			return ti.R.Lo < tj.R.Lo
+		}
+		return ti.R.Hi < tj.R.Hi
+	})
+	fmt.Fprintf(&c.b, "nfa(%d,%d;", a.NumStates, a.Init)
+	for i, f := range finals {
+		if i > 0 {
+			c.b.WriteByte(',')
+		}
+		fmt.Fprintf(&c.b, "%d", f)
+	}
+	c.b.WriteByte(';')
+	for i, t := range trans {
+		if i > 0 {
+			c.b.WriteByte(',')
+		}
+		if t.Eps {
+			fmt.Fprintf(&c.b, "%d>%d:e", t.From, t.To)
+		} else {
+			fmt.Fprintf(&c.b, "%d>%d:%d-%d", t.From, t.To, t.R.Lo, t.R.Hi)
+		}
+	}
+	c.b.WriteByte(')')
+}

@@ -1,0 +1,442 @@
+package smtlib
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// mustCanon parses src and canonicalizes the problem.
+func mustCanon(t *testing.T, src string) *Canon {
+	t.Helper()
+	script, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v\nsource:\n%s", err, src)
+	}
+	c, err := Canonicalize(script.Problem)
+	if err != nil {
+		t.Fatalf("Canonicalize: %v", err)
+	}
+	return c
+}
+
+func TestCanonicalHashAlphaRename(t *testing.T) {
+	a := `(set-logic QF_SLIA)
+(declare-fun x () String)
+(declare-fun y () String)
+(declare-fun n () Int)
+(assert (= (str.++ x "a") (str.++ "a" y)))
+(assert (= n (str.to_int x)))
+(assert (> (+ n (str.len y)) 7))
+(check-sat)`
+	// Same problem with every variable renamed and the string
+	// declarations swapped.
+	b := `(set-logic QF_SLIA)
+(declare-fun right () String)
+(declare-fun left () String)
+(declare-fun num () Int)
+(assert (= (str.++ left "a") (str.++ "a" right)))
+(assert (= num (str.to_int left)))
+(assert (> (+ num (str.len right)) 7))
+(check-sat)`
+	ca, cb := mustCanon(t, a), mustCanon(t, b)
+	if ca.Form != cb.Form {
+		t.Fatalf("alpha-renamed forms differ:\n%s\nvs\n%s", ca.Form, cb.Form)
+	}
+	if ca.Hash != cb.Hash {
+		t.Fatalf("alpha-renamed hashes differ: %s vs %s", ca.Hash, cb.Hash)
+	}
+	if len(ca.StrOrder) != len(cb.StrOrder) || len(ca.IntOrder) != len(cb.IntOrder) {
+		t.Fatalf("variable orders differ in shape: %d/%d vs %d/%d",
+			len(ca.StrOrder), len(ca.IntOrder), len(cb.StrOrder), len(cb.IntOrder))
+	}
+}
+
+func TestCanonicalHashLenVsFreeInt(t *testing.T) {
+	withLen := mustCanon(t, `(declare-fun x () String)
+(assert (= (str.len x) 5))(check-sat)`)
+	withInt := mustCanon(t, `(declare-fun x () String)(declare-fun n () Int)
+(assert (= x x))(assert (= n 5))(check-sat)`)
+	if withLen.Hash == withInt.Hash {
+		t.Fatalf("length constraint and free-int constraint hash equal:\n%s", withLen.Form)
+	}
+	if !strings.Contains(withLen.Form, "len(s0)") {
+		t.Fatalf("length var not serialized as len(s0):\n%s", withLen.Form)
+	}
+}
+
+func TestCanonicalHashStructureSensitive(t *testing.T) {
+	base := `(declare-fun x () String)(assert (str.in_re x (re.+ (re.range "0" "9"))))(check-sat)`
+	variants := []string{
+		`(declare-fun x () String)(assert (str.in_re x (re.* (re.range "0" "9"))))(check-sat)`,
+		`(declare-fun x () String)(assert (not (str.in_re x (re.+ (re.range "0" "9")))))(check-sat)`,
+		`(declare-fun x () String)(assert (str.in_re x (re.+ (re.range "1" "9"))))(check-sat)`,
+	}
+	h := mustCanon(t, base).Hash
+	for _, v := range variants {
+		if mustCanon(t, v).Hash == h {
+			t.Errorf("structurally different problem hashes equal to base:\n%s", v)
+		}
+	}
+}
+
+func TestCanonicalWitnessTransport(t *testing.T) {
+	srcBytes, err := os.ReadFile(filepath.Join("..", "..", "examples", "smt2", "quickstart.smt2"))
+	if err != nil {
+		t.Fatalf("reading example: %v", err)
+	}
+	src := string(srcBytes)
+	nodes, err := parseSExprs(src)
+	if err != nil {
+		t.Fatalf("parseSExprs: %v", err)
+	}
+	renNodes, ok := renameDecls(nodes)
+	if !ok {
+		t.Fatal("example declarations not renameable")
+	}
+	renamed := renderNodes(renNodes)
+
+	orig, err := Parse(string(src))
+	if err != nil {
+		t.Fatalf("Parse original: %v", err)
+	}
+	co, err := Canonicalize(orig.Problem)
+	if err != nil {
+		t.Fatalf("Canonicalize original: %v", err)
+	}
+	// Solve a fresh parse: core.Solve prepares the problem in place, and
+	// the canonical form must describe the unprepared problem the server
+	// would hash.
+	solveMe, err := Parse(string(src))
+	if err != nil {
+		t.Fatalf("Parse for solving: %v", err)
+	}
+	res := core.Solve(solveMe.Problem, core.Options{})
+	if res.Status != core.StatusSat {
+		t.Fatalf("quickstart example not SAT: %v", res.Status)
+	}
+	w := co.WitnessOf(res.Model)
+	if len(w.Str) != len(co.StrOrder) || len(w.Int) != len(co.IntOrder) {
+		t.Fatalf("witness shape %d/%d does not match orders %d/%d",
+			len(w.Str), len(w.Int), len(co.StrOrder), len(co.IntOrder))
+	}
+
+	other, err := Parse(renamed)
+	if err != nil {
+		t.Fatalf("Parse renamed: %v", err)
+	}
+	cr, err := Canonicalize(other.Problem)
+	if err != nil {
+		t.Fatalf("Canonicalize renamed: %v", err)
+	}
+	if cr.Hash != co.Hash {
+		t.Fatalf("renamed example hashes differently:\n%s\nvs\n%s", co.Form, cr.Form)
+	}
+	a := cr.Assignment(w)
+	if a == nil {
+		t.Fatal("witness did not transport onto the renamed problem")
+	}
+	if !other.Problem.Eval(a) {
+		t.Fatal("transported witness fails concrete evaluation on the renamed problem")
+	}
+	// Mutating the transported assignment must not reach back into the
+	// witness (big.Int values are copied, not aliased).
+	for _, v := range a.Int {
+		v.SetInt64(-1)
+	}
+	for _, v := range w.Int {
+		if v.Sign() < 0 {
+			t.Fatal("witness big.Int aliased into the transported assignment")
+		}
+	}
+}
+
+// TestAlphaEquivalentVerdictsBench is the deterministic half of the
+// FuzzCanonicalHash property: for real benchmark problems, an
+// alpha-renamed re-parse hashes equal AND solves to the same verdict,
+// with the original's witness transporting onto the renamed problem.
+func TestAlphaEquivalentVerdictsBench(t *testing.T) {
+	suites := append(bench.Table1Suites(2), bench.Table2Suites(2)...)
+	for _, suite := range suites {
+		for _, inst := range suite.Instances {
+			src, err := Write(inst.Build())
+			if err != nil {
+				continue // unwritable instances are not in scope
+			}
+			t.Run(suite.Name+"/"+inst.Name, func(t *testing.T) {
+				nodes, err := parseSExprs(src)
+				if err != nil {
+					t.Fatalf("parseSExprs: %v", err)
+				}
+				renamed, ok := renameDecls(nodes)
+				if !ok {
+					t.Skipf("declared names not renameable in %s", inst.Name)
+				}
+				origSrc, renSrc := renderNodes(nodes), renderNodes(renamed)
+				co, cr := mustCanon(t, origSrc), mustCanon(t, renSrc)
+				if co.Hash != cr.Hash {
+					t.Fatalf("renamed problem hashes differently:\n%s\nvs\n%s", co.Form, cr.Form)
+				}
+
+				origScript, err := Parse(origSrc)
+				if err != nil {
+					t.Fatalf("Parse: %v", err)
+				}
+				renScript, err := Parse(renSrc)
+				if err != nil {
+					t.Fatalf("Parse renamed: %v", err)
+				}
+				ro := core.Solve(origScript.Problem, core.Options{})
+				rr := core.Solve(renScript.Problem, core.Options{})
+				if ro.Status != rr.Status {
+					t.Fatalf("verdicts differ: %v vs %v", ro.Status, rr.Status)
+				}
+				if ro.Status == core.StatusSat {
+					// Transport the original's model through canonical
+					// coordinates onto a FRESH parse of the renamed
+					// problem (solving prepared renScript in place).
+					freshRen, err := Parse(renSrc)
+					if err != nil {
+						t.Fatalf("Parse renamed again: %v", err)
+					}
+					cf, err := Canonicalize(freshRen.Problem)
+					if err != nil {
+						t.Fatalf("Canonicalize fresh: %v", err)
+					}
+					a := cf.Assignment(co.WitnessOf(ro.Model))
+					if a == nil {
+						t.Fatal("witness did not transport")
+					}
+					if !freshRen.Problem.Eval(a) {
+						t.Fatal("transported witness fails evaluation")
+					}
+				}
+			})
+		}
+	}
+}
+
+// canonPlainName admits only simple alphanumeric symbols for renaming;
+// anything containing '.', '-', etc. might be a keyword or need
+// quoting, and is left alone.
+var canonPlainName = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*$`)
+
+// canonFuzzKeywords are the dot- and dash-free parser keywords a
+// declared name could shadow; such declarations are not renamed.
+var canonFuzzKeywords = map[string]bool{
+	"String": true, "Int": true, "Bool": true,
+	"true": true, "false": true, "not": true, "and": true, "or": true,
+	"ite": true, "div": true, "mod": true, "abs": true,
+	"distinct": true, "push": true, "pop": true, "exit": true, "_": true,
+}
+
+// renameDecls returns a deep copy of the forms with every declared
+// variable consistently renamed to a fresh rn_<k> symbol. ok is false
+// when any declaration is not safely renameable (keyword shadowing,
+// exotic spelling, collision with an existing rn_<k> atom).
+func renameDecls(nodes []*node) ([]*node, bool) {
+	rename := map[string]string{}
+	taken := map[string]bool{}
+	var scan func(n *node, depth int) bool
+	scan = func(n *node, depth int) bool {
+		if depth > maxParseDepth {
+			return false
+		}
+		if n.list == nil {
+			if !n.str {
+				taken[n.atom] = true
+			}
+			return true
+		}
+		for _, c := range n.list {
+			if !scan(c, depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, n := range nodes {
+		if !scan(n, 0) {
+			return nil, false
+		}
+	}
+	for _, n := range nodes {
+		if len(n.list) < 2 || n.list[1].list != nil || n.list[1].str {
+			continue
+		}
+		head, name := n.list[0], n.list[1].atom
+		if !head.isAtom("declare-fun") && !head.isAtom("declare-const") {
+			continue
+		}
+		if _, done := rename[name]; done {
+			continue
+		}
+		if !canonPlainName.MatchString(name) || canonFuzzKeywords[name] ||
+			strings.HasPrefix(name, "rn_") {
+			return nil, false
+		}
+		fresh := fmt.Sprintf("rn_%d", len(rename))
+		if taken[fresh] {
+			return nil, false
+		}
+		rename[name] = fresh
+	}
+	if len(rename) == 0 {
+		return nil, false
+	}
+	var cp func(n *node, depth int) *node
+	cp = func(n *node, depth int) *node {
+		if depth > maxParseDepth {
+			return nil
+		}
+		out := &node{atom: n.atom, str: n.str, line: n.line}
+		if n.list == nil {
+			if !n.str {
+				if to, ok := rename[n.atom]; ok {
+					out.atom = to
+				}
+			}
+			return out
+		}
+		out.list = make([]*node, len(n.list))
+		for i, c := range n.list {
+			out.list[i] = cp(c, depth+1)
+			if out.list[i] == nil {
+				return nil
+			}
+		}
+		return out
+	}
+	out := make([]*node, len(nodes))
+	for i, n := range nodes {
+		out[i] = cp(n, 0)
+		if out[i] == nil {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// renderNodes renders parsed forms back to SMT-LIB source using the
+// writer's quoting rules (node.String is for diagnostics and does not
+// re-escape string literals).
+func renderNodes(nodes []*node) string {
+	var b strings.Builder
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if depth > maxParseDepth {
+			return
+		}
+		if n.list == nil {
+			if n.str {
+				b.WriteString(quote(n.atom))
+			} else {
+				b.WriteString(symbol(n.atom))
+			}
+			return
+		}
+		b.WriteByte('(')
+		for i, c := range n.list {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			walk(c, depth+1)
+		}
+		b.WriteByte(')')
+	}
+	for _, n := range nodes {
+		walk(n, 0)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FuzzCanonicalHash checks the canonical-hash contract on arbitrary
+// inputs: canonicalization is deterministic across parses, and an
+// alpha-renamed re-render hashes identically (with matching variable
+// order shapes, so witnesses transport). Renders are compared against
+// each other — not the raw input — so lexer normalization (escape
+// decoding, whitespace) cancels out.
+func FuzzCanonicalHash(f *testing.F) {
+	for _, suite := range append(bench.Table1Suites(1), bench.Table2Suites(1)...) {
+		for _, inst := range suite.Instances {
+			src, err := Write(inst.Build())
+			if err != nil {
+				continue
+			}
+			f.Add(src)
+		}
+	}
+	if ents, err := os.ReadDir(filepath.Join("..", "..", "examples", "smt2")); err == nil {
+		for _, e := range ents {
+			if b, err := os.ReadFile(filepath.Join("..", "..", "examples", "smt2", e.Name())); err == nil {
+				f.Add(string(b))
+			}
+		}
+	}
+	f.Add(`(declare-fun x () String)(assert (= (str.len x) 3))(check-sat)`)
+	f.Add(`(declare-fun a () String)(declare-fun b () Int)(assert (= b (str.to_int a)))(check-sat)`)
+	f.Fuzz(func(t *testing.T, src string) {
+		script, err := Parse(src)
+		if err != nil {
+			return
+		}
+		c1, err := Canonicalize(script.Problem)
+		if err != nil {
+			return // budget exhaustion is a legal outcome, not a crash
+		}
+		// Determinism: an independent parse canonicalizes identically.
+		again, err := Parse(src)
+		if err != nil {
+			t.Fatalf("second Parse failed where first succeeded: %v", err)
+		}
+		c2, err := Canonicalize(again.Problem)
+		if err != nil {
+			t.Fatalf("second Canonicalize failed where first succeeded: %v", err)
+		}
+		if c1.Hash != c2.Hash {
+			t.Fatalf("canonicalization not deterministic:\n%s\nvs\n%s", c1.Form, c2.Form)
+		}
+
+		// Alpha-renaming invariance, comparing render vs renamed render.
+		nodes, err := parseSExprs(src)
+		if err != nil {
+			return
+		}
+		renamed, ok := renameDecls(nodes)
+		if !ok {
+			return
+		}
+		base, err := Parse(renderNodes(nodes))
+		if err != nil {
+			return // rendering round-trip out of scope for this input
+		}
+		ren, err := Parse(renderNodes(renamed))
+		if err != nil {
+			t.Fatalf("renamed render does not parse: %v", err)
+		}
+		cb, err := Canonicalize(base.Problem)
+		if err != nil {
+			return
+		}
+		cr, err := Canonicalize(ren.Problem)
+		if err != nil {
+			t.Fatalf("renamed problem does not canonicalize: %v", err)
+		}
+		if cb.Form != cr.Form {
+			t.Fatalf("alpha-renamed form differs:\n%s\nvs\n%s", cb.Form, cr.Form)
+		}
+		if len(cb.StrOrder) != len(cr.StrOrder) || len(cb.IntOrder) != len(cr.IntOrder) {
+			t.Fatalf("hash-equal problems have different variable order shapes")
+		}
+		if cr.Assignment(cb.WitnessOf(nil)) == nil {
+			t.Fatal("zero witness does not transport between hash-equal problems")
+		}
+	})
+}
