@@ -37,6 +37,15 @@ go test -race -run 'Cancel|Deadline|Timeout|Parallel|Incremental|Concurrent' \
     ./internal/core ./internal/baseline ./internal/bench \
     ./internal/server
 
+echo "==> chaos: fault-injection sweep (-race)"
+# Deterministic fault injection over the containment boundaries: panics,
+# cancellations, and budget trips at the first, middle, and last
+# injectable site of each probe instance. Gating — the sweep asserts the
+# two containment invariants (verdicts never flip SAT<->UNSAT, no
+# goroutine leaks) plus the over-budget UNKNOWN acceptance case.
+go test -race -run 'Chaos|OverBudget|ContainedWorkerPanic|FaultSeed' \
+    ./internal/bench ./internal/server ./cmd/trauserve
+
 echo "==> go test -race"
 go test -race ./...
 
@@ -67,6 +76,40 @@ curl -sf "$url/stats" | grep -q '"cache"'
 kill -TERM "$trauserve_pid"
 wait "$trauserve_pid"
 grep -q 'trauserve: drained' /tmp/trauserve.log
+
+echo "==> trauserve fault smoke"
+# Containment end-to-end: boot with -faultseed 3072 (panic at the first
+# worker-boundary visit), require the first request to fail with a
+# structured 500 carrying a fault id, the NEXT request to succeed on the
+# surviving worker, /stats to expose the contained fault, and the
+# process to still drain cleanly.
+/tmp/trauserve -addr 127.0.0.1:0 -workers 1 -faultseed 3072 >/tmp/trauserve_fault.log 2>&1 &
+trauserve_pid=$!
+url=""
+for _ in $(seq 1 100); do
+    url=$(sed -n 's/^trauserve: listening on //p' /tmp/trauserve_fault.log)
+    [ -n "$url" ] && break
+    sleep 0.1
+done
+if [ -z "$url" ]; then
+    echo "trauserve (fault smoke) did not announce its address" >&2
+    cat /tmp/trauserve_fault.log >&2
+    kill "$trauserve_pid" 2>/dev/null || true
+    exit 1
+fi
+first=$(curl -s -o /tmp/trauserve_fault_body.json -w '%{http_code}' -X POST -d "$payload" "$url/solve")
+if [ "$first" != "500" ]; then
+    echo "fault smoke: first request status $first, want 500" >&2
+    cat /tmp/trauserve_fault_body.json >&2
+    kill "$trauserve_pid" 2>/dev/null || true
+    exit 1
+fi
+grep -q '"fault_id"' /tmp/trauserve_fault_body.json
+curl -sf -X POST -d "$payload" "$url/solve" | grep -q '"status": "sat"'
+curl -sf "$url/stats" | grep -q '"contained": 1'
+kill -TERM "$trauserve_pid"
+wait "$trauserve_pid"
+grep -q 'trauserve: drained' /tmp/trauserve_fault.log
 
 echo "==> perf smoke (non-gating)"
 # Re-run the Table 3 workload and print the drift against the checked-in

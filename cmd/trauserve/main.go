@@ -7,6 +7,7 @@
 //	trauserve [-addr 127.0.0.1:8080] [-workers N] [-queue N] [-cache N]
 //	          [-timeout d] [-max-timeout d] [-parallel N]
 //	          [-incremental=false] [-drain d]
+//	          [-membudget N] [-faultseed N]
 //
 // The process listens until SIGINT/SIGTERM, then drains: the listener
 // stops accepting, in-flight solves finish (bounded by -drain), and the
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/server"
 )
 
@@ -51,11 +53,13 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	parallel := fs.Int("parallel", 1, "case-split branch workers per solve")
 	incremental := fs.Bool("incremental", true, "reuse solver sessions across refinement rounds")
 	drain := fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight solves")
+	memBudget := fs.Int64("membudget", 0, "resource-governor budget units per solve (0 = unlimited)")
+	faultSeed := fs.Int64("faultseed", 0, "deterministic fault-injection seed for chaos testing (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 0 {
-		fmt.Fprintln(stderr, "usage: trauserve [-addr host:port] [-workers n] [-queue n] [-cache n] [-timeout d] [-max-timeout d] [-parallel n] [-incremental=false] [-drain d]")
+		fmt.Fprintln(stderr, "usage: trauserve [-addr host:port] [-workers n] [-queue n] [-cache n] [-timeout d] [-max-timeout d] [-parallel n] [-incremental=false] [-drain d] [-membudget n] [-faultseed n]")
 		return 2
 	}
 
@@ -71,18 +75,23 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		MaxTimeout:      *maxTimeout,
 		MaxRequestBytes: *maxBody,
 		Solve:           core.Options{Parallel: *parallel, Incremental: mode},
+		MemBudget:       *memBudget,
+		Fault:           fault.NewSchedule(*faultSeed),
 	})
+	if *faultSeed != 0 {
+		fmt.Fprintf(stdout, "trauserve: fault injection armed (seed %d)\n", *faultSeed)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "trauserve:", err)
 		return 1
 	}
-	httpSrv := &http.Server{Handler: srv}
+	httpSrv := newHTTPServer(srv, 10*time.Second, 30*time.Second)
 	fmt.Fprintf(stdout, "trauserve: listening on http://%s\n", ln.Addr())
 
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.Serve(ln) }()
+	go func() { serveErr <- httpSrv.Serve(ln) }() //lint:nocontain — net/http recovers handler panics; Serve runs no solver code
 
 	select {
 	case err := <-serveErr:
@@ -109,4 +118,16 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	<-serveErr // Serve has returned http.ErrServerClosed
 	fmt.Fprintln(stdout, "trauserve: drained")
 	return 0
+}
+
+// newHTTPServer wraps the handler in an http.Server with connection-
+// level read timeouts: they bound how long a stalled or malicious
+// client can pin a connection goroutine — generous enough for any real
+// request, small enough that slowloris-style trickles fail.
+func newHTTPServer(h http.Handler, readHeader, read time.Duration) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeader,
+		ReadTimeout:       read,
+	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"net"
 	"net/http"
 	"os"
 	"strings"
@@ -111,5 +112,106 @@ func TestRunServeAndGracefulShutdown(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "trauserve: drained") {
 		t.Fatalf("drain message missing from stdout %q", out.String())
+	}
+}
+
+// waitForURL polls run's stdout until the listen announcement appears.
+func waitForURL(t *testing.T, out, errOut *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stdout %q stderr %q", out.String(), errOut.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "trauserve: listening on "); ok {
+				return strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunFaultSeedContainsWorkerPanic boots with -faultseed 3072 (which
+// injects a panic at the very first schedule visit — the first job's
+// worker boundary): the first request gets a structured 500 with a
+// fault id, the next request on the same worker succeeds, and the
+// process still drains cleanly.
+func TestRunFaultSeedContainsWorkerPanic(t *testing.T) {
+	var out, errOut syncBuffer
+	sigs := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-faultseed", "3072"}, &out, &errOut, sigs)
+	}()
+	url := waitForURL(t, &out, &errOut)
+	if !strings.Contains(out.String(), "fault injection armed") {
+		t.Fatalf("arming message missing from stdout %q", out.String())
+	}
+
+	body := `{"smtlib": "(declare-fun x () String)(assert (= (str.len x) 3))(check-sat)"}`
+	post := func() (int, string) {
+		resp, err := http.Post(url+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /solve: %v", err)
+		}
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		_ = resp.Body.Close()
+		return resp.StatusCode, buf.String()
+	}
+
+	code, first := post()
+	if code != 500 || !strings.Contains(first, `"fault_id"`) || !strings.Contains(first, `"reason": "panic:`) {
+		t.Fatalf("injected-panic solve: status %d body %s, want 500 with fault_id", code, first)
+	}
+	code, second := post()
+	if code != 200 || !strings.Contains(second, `"status": "sat"`) {
+		t.Fatalf("solve after contained panic: status %d body %s, want sat 200", code, second)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr %q", code, errOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+}
+
+// TestHTTPServerDropsStalledClients checks the connection hardening:
+// a client that opens a connection and never finishes its request
+// headers is cut off by ReadHeaderTimeout instead of pinning a
+// goroutine forever.
+func TestHTTPServerDropsStalledClients(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	hs := newHTTPServer(http.NotFoundHandler(), 100*time.Millisecond, 200*time.Millisecond)
+	go func() { _ = hs.Serve(ln) }()
+	defer func() { _ = hs.Close() }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	// Half a request: headers never terminated.
+	if _, err := conn.Write([]byte("POST /solve HTTP/1.1\r\nHost: stall\r\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	start := time.Now()
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 512)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break // server closed the connection (possibly after a 408)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled connection lived %v, want prompt close from ReadHeaderTimeout", elapsed)
 	}
 }

@@ -39,6 +39,7 @@ func Byte(code int) byte {
 	case 58 <= code && code <= MaxCode:
 		return byte(code)
 	}
+	// contract: callers validate codes first (decode paths use decodeChar).
 	panic("alphabet: code out of range")
 }
 

@@ -63,7 +63,9 @@ func SolveEnum(prob *strcon.Problem, opts EnumOptions, ec *engine.Ctx) Result {
 		if budget <= 0 {
 			return core.StatusUnknown
 		}
-		if ec.Poll() {
+		// Each visited assignment costs one unit of the resource budget
+		// on top of the solver-local candidate budget above.
+		if ec.Charge("baseline enumeration", 1) {
 			return core.StatusUnknown
 		}
 		if v == nvars {

@@ -158,7 +158,7 @@ func RunSuite(insts []*Instance, solver Solver, timeout time.Duration, workers i
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func() { //lint:nocontain — run1 solves through core.SolveCtx, whose boundary contains panics
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1

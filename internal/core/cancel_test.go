@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/lia"
 	"repro/internal/strcon"
 )
@@ -29,6 +30,8 @@ func hardProblem() *strcon.Problem {
 }
 
 func TestCancellationStopsSolve(t *testing.T) {
+	before := fault.Snapshot()
+	defer fault.CheckLeaks(t, before)
 	ec := engine.Background()
 	go func() {
 		time.Sleep(50 * time.Millisecond)
@@ -52,6 +55,8 @@ func TestCancellationStopsSolve(t *testing.T) {
 }
 
 func TestCancellationStopsParallelSolve(t *testing.T) {
+	before := fault.Snapshot()
+	defer fault.CheckLeaks(t, before)
 	ec := engine.Background()
 	go func() {
 		time.Sleep(50 * time.Millisecond)

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/flatten"
 	"repro/internal/lia"
 	"repro/internal/overapprox"
@@ -98,6 +99,13 @@ type Result struct {
 	// model did not pass the validator (the answer degrades to
 	// unknown).
 	ValidationFailed bool
+	// Reason classifies an UNKNOWN verdict for callers: "deadline",
+	// "cancelled", "budget: <site>", "panic: <value>", "validation
+	// failed", or "rounds exhausted". Empty for SAT/UNSAT.
+	Reason string
+	// Fault is the diagnostic of a panic contained at the solve or
+	// branch boundary; nil when nothing panicked.
+	Fault *fault.Diagnostic
 	// Stats is the statistics tree of the solve (never nil).
 	Stats *engine.Stats
 }
@@ -110,10 +118,25 @@ func Solve(prob *strcon.Problem, opts Options) Result {
 
 // SolveCtx decides the problem under the given context's deadline and
 // cancellation. The problem is Prepared in place.
+//
+// SolveCtx is a panic boundary: a contract panic anywhere in the
+// solver degrades this one solve to UNKNOWN with a Fault diagnostic
+// instead of killing the process (parallel branch goroutines have
+// their own boundary in raceBranches — a goroutine panic would bypass
+// this one).
 func SolveCtx(prob *strcon.Problem, opts Options, ec *engine.Ctx) Result {
 	if ec == nil {
 		ec = engine.Background()
 	}
+	var res Result
+	if d := fault.Contain("core.Solve", func() { res = solveCtx(prob, opts, ec) }); d != nil {
+		ec.Stats().Add("fault.contained", 1)
+		res = Result{Status: StatusUnknown, Reason: "panic: " + d.Value, Fault: d, Stats: ec.Stats()}
+	}
+	return res
+}
+
+func solveCtx(prob *strcon.Problem, opts Options, ec *engine.Ctx) Result {
 	st := ec.Stats()
 	stopTotal := st.Time("time.total")
 	defer stopTotal()
@@ -174,7 +197,9 @@ func SolveCtx(prob *strcon.Problem, opts Options, ec *engine.Ctx) Result {
 	st.Add("branches", int64(len(branches)))
 	if len(branches) == 0 {
 		if truncated || opts.SkipOverApprox {
-			return Result{Status: StatusUnknown, Stats: st}
+			r := Result{Status: StatusUnknown, Stats: st}
+			r.Reason = unknownReason(ec, &r)
+			return r
 		}
 		// Every branch refuted by a sound over-approximation.
 		return Result{Status: StatusUnsat, OverApproxDecided: true, Stats: st}
@@ -204,7 +229,11 @@ func SolveCtx(prob *strcon.Problem, opts Options, ec *engine.Ctx) Result {
 		roundCtx := ec.Child(fmt.Sprintf("round%d", round))
 		var win *branchOutcome
 		if opts.Parallel > 1 && len(branches) > 1 {
-			win = raceBranches(prob, states, params, opts, roundCtx)
+			var bf *fault.Diagnostic
+			win, bf = raceBranches(prob, states, params, opts, roundCtx)
+			if bf != nil && out.Fault == nil {
+				out.Fault = bf
+			}
 		} else {
 			win = runBranchesSeq(prob, states, params, opts, roundCtx)
 		}
@@ -215,11 +244,36 @@ func SolveCtx(prob *strcon.Problem, opts Options, ec *engine.Ctx) Result {
 				return out
 			}
 			out.ValidationFailed = true
+			out.Reason = "validation failed"
 			return out
 		}
 		params = params.Refine()
 	}
+	out.Reason = unknownReason(ec, &out)
 	return out
+}
+
+// unknownReason classifies an UNKNOWN verdict by why the solve gave
+// up, in decreasing order of specificity.
+func unknownReason(ec *engine.Ctx, r *Result) string {
+	if r.ValidationFailed {
+		return "validation failed"
+	}
+	switch ec.Cause() {
+	case engine.CauseBudget:
+		if br := ec.BudgetReason(); br != "" {
+			return br
+		}
+		return "budget"
+	case engine.CauseDeadline:
+		return "deadline"
+	case engine.CauseCancelled:
+		return "cancelled"
+	}
+	if r.Fault != nil {
+		return "panic: " + r.Fault.Value
+	}
+	return "rounds exhausted"
 }
 
 // branchState is the per-branch state the refinement loop keeps across
@@ -280,7 +334,15 @@ func solveBranch(prob *strcon.Problem, bs *branchState,
 		// other branches and larger parameters remain.
 		return branchOutcome{}
 	}
-	a := fl.Decode(m)
+	a, err := fl.Decode(m)
+	if err != nil {
+		// The flattening was satisfiable but its model cannot be
+		// materialized (value past int64, decode cap). Treat it like a
+		// failed validation: the verdict degrades to UNKNOWN, it never
+		// becomes an UNSAT.
+		ec.Stats().Add("decode.rejected", 1)
+		return branchOutcome{hit: true}
+	}
 	if prob.Eval(a) {
 		return branchOutcome{hit: true, validated: true, model: a}
 	}
@@ -310,7 +372,7 @@ func runBranchesSeq(prob *strcon.Problem, states []*branchState,
 // so the final winner — the lowest-indexed hit — is exactly the branch
 // the sequential scan would have returned.
 func raceBranches(prob *strcon.Problem, states []*branchState,
-	params flatten.Params, opts Options, ec *engine.Ctx) *branchOutcome {
+	params flatten.Params, opts Options, ec *engine.Ctx) (*branchOutcome, *fault.Diagnostic) {
 	n := len(states)
 	workers := opts.Parallel
 	if workers > n {
@@ -324,6 +386,7 @@ func raceBranches(prob *strcon.Problem, states []*branchState,
 	var next atomic.Int64
 	var mu sync.Mutex
 	winner := n
+	var firstFault *fault.Diagnostic
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -340,7 +403,22 @@ func raceBranches(prob *strcon.Problem, states []*branchState,
 				if dead {
 					continue
 				}
-				out := solveBranch(prob, states[i], params, opts, attempts[i])
+				// Panic boundary: a goroutine panic would bypass the
+				// recover in SolveCtx and kill the process. A crashed
+				// branch counts as no-hit — it can only push the final
+				// verdict toward UNKNOWN, never flip it.
+				var out branchOutcome
+				if d := fault.Contain("core.branch", func() {
+					out = solveBranch(prob, states[i], params, opts, attempts[i])
+				}); d != nil {
+					ec.Stats().Add("fault.contained", 1)
+					mu.Lock()
+					if firstFault == nil {
+						firstFault = d
+					}
+					mu.Unlock()
+					continue
+				}
 				results[i] = out
 				if !out.hit {
 					continue
@@ -359,10 +437,10 @@ func raceBranches(prob *strcon.Problem, states []*branchState,
 	wg.Wait()
 	for i := range results {
 		if results[i].hit {
-			return &results[i]
+			return &results[i], firstFault
 		}
 	}
-	return nil
+	return nil, firstFault
 }
 
 // maxBranches bounds the case-split enumeration.

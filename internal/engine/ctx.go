@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // Cause reports why a context stopped.
@@ -31,6 +33,8 @@ const (
 	CauseCancelled
 	// CauseDeadline: the wall-clock deadline passed.
 	CauseDeadline
+	// CauseBudget: the resource governor's step budget ran out.
+	CauseBudget
 )
 
 func (c Cause) String() string {
@@ -41,6 +45,8 @@ func (c Cause) String() string {
 		return "cancelled"
 	case CauseDeadline:
 		return "deadline"
+	case CauseBudget:
+		return "budget"
 	}
 	return "?"
 }
@@ -50,6 +56,19 @@ func (c Cause) String() string {
 // time.Now is only consulted once per stride.
 const pollStride = 32
 
+// meter is the resource governor shared by a whole Ctx tree: one
+// atomic pool of budget units debited by Charge from every goroutine
+// of the solve, plus the first site that tripped it (for the
+// "budget: <site>" UNKNOWN reason).
+type meter struct {
+	remaining atomic.Int64
+	site      atomic.Pointer[string]
+}
+
+func (m *meter) trip(site string) {
+	m.site.CompareAndSwap(nil, &site)
+}
+
 // Ctx is the cancellable solve context.
 type Ctx struct {
 	parent   *Ctx
@@ -58,6 +77,13 @@ type Ctx struct {
 	stopped atomic.Bool
 	cause   atomic.Int32
 	ticks   atomic.Uint64
+
+	// gov and sched are installed on a root before the solve starts
+	// (SetBudget/SetSchedule) and shared by the whole tree: Child
+	// copies the pointers, so children created earlier do not see a
+	// later install.
+	gov   *meter
+	sched *fault.Schedule
 
 	stats *Stats
 }
@@ -109,7 +135,7 @@ func FromContext(ctx context.Context, timeout time.Duration) (*Ctx, func()) {
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
-	go func() {
+	go func() { //lint:nocontain — pure select on two channels, no solver code
 		defer wg.Done()
 		select {
 		case <-done:
@@ -128,7 +154,121 @@ func (c *Ctx) Child(name string) *Ctx {
 	if c == nil {
 		return Background()
 	}
-	return &Ctx{parent: c, deadline: c.deadline, stats: c.stats.Child(name)}
+	return &Ctx{parent: c, deadline: c.deadline, gov: c.gov, sched: c.sched, stats: c.stats.Child(name)}
+}
+
+// SetBudget installs a cooperative resource budget of n units on the
+// tree rooted at c (n <= 0 removes it). Units are debited by Charge at
+// the solver's big allocation sites; when the pool runs dry the whole
+// tree stops with CauseBudget and the verdict degrades to UNKNOWN.
+// Install before creating children — the meter is inherited at Child
+// time.
+func (c *Ctx) SetBudget(n int64) {
+	if c == nil {
+		return
+	}
+	if n <= 0 {
+		c.gov = nil
+		return
+	}
+	m := &meter{}
+	m.remaining.Store(n)
+	c.gov = m
+}
+
+// SetSchedule installs a deterministic fault-injection schedule
+// consulted at every Poll and Charge site of the tree rooted at c.
+// Install before creating children; a nil schedule means no injection.
+func (c *Ctx) SetSchedule(s *fault.Schedule) {
+	if c == nil {
+		return
+	}
+	c.sched = s
+}
+
+// BudgetRemaining reports the units left in the governor's pool
+// (negative once tripped) and whether a budget is installed at all.
+func (c *Ctx) BudgetRemaining() (int64, bool) {
+	if c == nil || c.gov == nil {
+		return 0, false
+	}
+	return c.gov.remaining.Load(), true
+}
+
+// BudgetReason returns "budget: <site>" for the allocation site that
+// exhausted the budget, or "" when no budget has tripped.
+func (c *Ctx) BudgetReason() string {
+	if c == nil || c.gov == nil {
+		return ""
+	}
+	if site := c.gov.site.Load(); site != nil {
+		return "budget: " + *site
+	}
+	return ""
+}
+
+// tripBudget marks the budget exhausted at site and stops the whole
+// tree: ancestors are marked too (the pool is global to the solve), so
+// sibling branches observe the stop through cancelRequested.
+func (c *Ctx) tripBudget(site string) {
+	if c.gov != nil {
+		c.gov.trip(site)
+	}
+	for p := c; p != nil; p = p.parent {
+		p.markStopped(CauseBudget)
+	}
+}
+
+// ApplyFault applies one injected fault op to the context: OpPanic
+// panics (contain it at a boundary), OpCancel cancels, OpBudget trips
+// the budget with site "injected". Injection sites outside the engine
+// — the server's worker boundary — consult their own Schedule and act
+// through this.
+func (c *Ctx) ApplyFault(op fault.Op) {
+	if op == fault.OpPanic {
+		fault.InjectPanic()
+	}
+	if c == nil {
+		return
+	}
+	switch op {
+	case fault.OpCancel:
+		c.Cancel()
+	case fault.OpBudget:
+		c.tripBudget("injected")
+	}
+}
+
+// inject consults the fault schedule at a Poll/Charge site. It reports
+// whether the context should stop (cancel and budget faults); a panic
+// fault does not return.
+func (c *Ctx) inject() bool {
+	op := c.sched.Visit()
+	if op == fault.OpNone {
+		return false
+	}
+	c.ApplyFault(op)
+	return true
+}
+
+// Charge debits n budget units at a named allocation site and reports
+// whether the context should stop. It is Poll plus the resource
+// governor: fault schedules fire here, the budget is debited here, and
+// the cancellation/deadline checks ride along. Callers that trip the
+// budget must discard partial work (or return results only valid under
+// "the context is stopped" semantics) — see pfa.Sync.
+func (c *Ctx) Charge(site string, n int64) bool {
+	if c == nil {
+		return false
+	}
+	if c.sched != nil && c.inject() {
+		return true
+	}
+	if c.gov != nil && c.gov.remaining.Add(-n) < 0 {
+		c.tripBudget(site)
+		return true
+	}
+	return c.pollClock()
 }
 
 // Cancel stops the context and, transitively, its children.
@@ -174,6 +314,15 @@ func (c *Ctx) Poll() bool {
 	if c == nil {
 		return false
 	}
+	if c.sched != nil && c.inject() {
+		return true
+	}
+	return c.pollClock()
+}
+
+// pollClock is Poll's cancellation/deadline half, shared with Charge
+// (which has already consulted the fault schedule once).
+func (c *Ctx) pollClock() bool {
 	if c.cancelRequested() {
 		c.markStopped(CauseCancelled)
 		return true
@@ -196,6 +345,9 @@ func (c *Ctx) Poll() bool {
 func (c *Ctx) Expired() bool {
 	if c == nil {
 		return false
+	}
+	if c.sched != nil && c.inject() {
+		return true
 	}
 	if c.cancelRequested() {
 		c.markStopped(CauseCancelled)

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestChargeWithoutBudgetIsPoll(t *testing.T) {
+	c := Background()
+	for i := 0; i < 100; i++ {
+		if c.Charge("site", 1000) {
+			t.Fatal("Charge stopped a context with no budget installed")
+		}
+	}
+	var nilCtx *Ctx
+	if nilCtx.Charge("site", 1) {
+		t.Fatal("nil Ctx Charge returned true")
+	}
+	if _, ok := nilCtx.BudgetRemaining(); ok {
+		t.Fatal("nil Ctx reports a budget")
+	}
+}
+
+func TestBudgetTripStopsTreeWithReason(t *testing.T) {
+	root := Background()
+	root.SetBudget(10)
+	child := root.Child("branch")
+	sibling := root.Child("other")
+
+	if child.Charge("pfa product", 4) {
+		t.Fatal("tripped with 6 units left")
+	}
+	if !child.Charge("simplex tableau", 7) {
+		t.Fatal("did not trip past the budget")
+	}
+	if root.Cause() != CauseBudget {
+		t.Fatalf("root cause = %v, want budget", root.Cause())
+	}
+	if got := root.BudgetReason(); got != "budget: simplex tableau" {
+		t.Fatalf("BudgetReason = %q", got)
+	}
+	// The pool is global: siblings observe the stop.
+	if !sibling.Poll() {
+		t.Fatal("sibling kept running after the tree's budget tripped")
+	}
+	if !root.Expired() {
+		t.Fatal("root did not report stopped")
+	}
+}
+
+func TestBudgetFirstSiteSticks(t *testing.T) {
+	c := Background()
+	c.SetBudget(1)
+	c.Charge("first", 5)
+	c.Charge("second", 5)
+	if got := c.BudgetReason(); got != "budget: first" {
+		t.Fatalf("BudgetReason = %q, want the first tripping site", got)
+	}
+}
+
+func TestBudgetInheritedByChildren(t *testing.T) {
+	root := Background()
+	root.SetBudget(5)
+	child := root.Child("a").Child("b")
+	if rem, ok := child.BudgetRemaining(); !ok || rem != 5 {
+		t.Fatalf("grandchild budget = %d,%v; want 5,true", rem, ok)
+	}
+	child.Charge("x", 3)
+	if rem, _ := root.BudgetRemaining(); rem != 2 {
+		t.Fatalf("root sees remaining = %d, want 2", rem)
+	}
+}
+
+func TestSetBudgetNonPositiveClears(t *testing.T) {
+	c := Background()
+	c.SetBudget(5)
+	c.SetBudget(0)
+	if _, ok := c.BudgetRemaining(); ok {
+		t.Fatal("SetBudget(0) left a budget installed")
+	}
+}
+
+func TestScheduleCancelInjection(t *testing.T) {
+	c := Background()
+	c.SetSchedule(fault.At(3, fault.OpCancel))
+	child := c.Child("branch")
+	stops := 0
+	for i := 0; i < 5; i++ {
+		if child.Poll() {
+			stops++
+		}
+	}
+	if stops != 3 { // fires at visit 3, then stays cancelled
+		t.Fatalf("stopped %d times, want 3 (inject at 3rd then sticky)", stops)
+	}
+	if child.Cause() != CauseCancelled {
+		t.Fatalf("cause = %v", child.Cause())
+	}
+}
+
+func TestScheduleBudgetInjection(t *testing.T) {
+	c := Background()
+	c.SetSchedule(fault.At(1, fault.OpBudget))
+	if !c.Charge("site", 0) {
+		t.Fatal("injected budget exhaustion did not stop the context")
+	}
+	if c.Cause() != CauseBudget {
+		t.Fatalf("cause = %v, want budget", c.Cause())
+	}
+}
+
+func TestSchedulePanicInjectionIsContainable(t *testing.T) {
+	c := Background()
+	c.SetSchedule(fault.At(2, fault.OpPanic))
+	d := fault.Contain("test", func() {
+		for i := 0; i < 10; i++ {
+			c.Poll()
+		}
+	})
+	if d == nil || !d.Injected {
+		t.Fatalf("injected panic not contained/marked: %v", d)
+	}
+}
+
+func TestScheduleCountsExpiredSitesToo(t *testing.T) {
+	c := Background()
+	s := fault.Counting()
+	c.SetSchedule(s)
+	c.Poll()
+	c.Expired()
+	c.Charge("x", 1)
+	if s.Visits() != 3 {
+		t.Fatalf("Visits = %d, want 3 (Poll, Expired, Charge)", s.Visits())
+	}
+}

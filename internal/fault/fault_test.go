@@ -1,0 +1,182 @@
+package fault
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestContainNormalReturn(t *testing.T) {
+	ran := false
+	if d := Contain("test", func() { ran = true }); d != nil {
+		t.Fatalf("Contain returned %v for a normal run", d)
+	}
+	if !ran {
+		t.Fatal("fn did not run")
+	}
+}
+
+func TestContainCapturesPanic(t *testing.T) {
+	d := Contain("core.Solve", func() { panic("model value does not fit in int64") })
+	if d == nil {
+		t.Fatal("panic not contained")
+	}
+	if d.Boundary != "core.Solve" {
+		t.Fatalf("boundary = %q", d.Boundary)
+	}
+	if d.Value != "model value does not fit in int64" {
+		t.Fatalf("value = %q", d.Value)
+	}
+	if d.Injected {
+		t.Fatal("real panic marked injected")
+	}
+	if d.ID == "" || !strings.HasPrefix(d.ID, "f") {
+		t.Fatalf("bad id %q", d.ID)
+	}
+	if !strings.Contains(d.Stack, "fault_test.go") {
+		t.Fatalf("stack does not point at the panic site:\n%s", d.Stack)
+	}
+	if strings.Contains(d.Stack, "fault.Contain") || strings.Contains(d.Stack, "debug.Stack") {
+		t.Fatalf("stack keeps containment machinery frames:\n%s", d.Stack)
+	}
+}
+
+func TestContainDistinctIDs(t *testing.T) {
+	a := Contain("b", func() { panic(1) })
+	b := Contain("b", func() { panic(2) })
+	if a.ID == b.ID {
+		t.Fatalf("duplicate diagnostic id %q", a.ID)
+	}
+}
+
+func TestContainMarksInjected(t *testing.T) {
+	d := Contain("b", func() { InjectPanic() })
+	if d == nil || !d.Injected {
+		t.Fatalf("injected panic not marked: %v", d)
+	}
+}
+
+func TestScheduleFiresOnceAtK(t *testing.T) {
+	s := At(3, OpCancel)
+	got := []Op{s.Visit(), s.Visit(), s.Visit(), s.Visit(), s.Visit()}
+	want := []Op{OpNone, OpNone, OpCancel, OpNone, OpNone}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("visit %d: got %v want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if !s.Fired() {
+		t.Fatal("Fired() = false after firing")
+	}
+	if s.Visits() != 5 {
+		t.Fatalf("Visits() = %d, want 5", s.Visits())
+	}
+}
+
+func TestScheduleCountingNeverFires(t *testing.T) {
+	s := Counting()
+	for i := 0; i < 100; i++ {
+		if op := s.Visit(); op != OpNone {
+			t.Fatalf("counting schedule fired %v at visit %d", op, i+1)
+		}
+	}
+	if s.Visits() != 100 {
+		t.Fatalf("Visits() = %d", s.Visits())
+	}
+}
+
+func TestScheduleNilSafe(t *testing.T) {
+	var s *Schedule
+	if s.Visit() != OpNone || s.Visits() != 0 || s.Fired() || s.Op() != OpNone {
+		t.Fatal("nil schedule misbehaved")
+	}
+}
+
+func TestScheduleConcurrentFiresExactlyOnce(t *testing.T) {
+	s := At(50, OpPanic)
+	var fired atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if s.Visit() == OpPanic {
+					fired.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := fired.Load(); n != 1 {
+		t.Fatalf("schedule fired %d times across 800 visits with k=50, want exactly 1", n)
+	}
+}
+
+func TestNewSchedule(t *testing.T) {
+	if NewSchedule(0) != nil || NewSchedule(-5) != nil {
+		t.Fatal("non-positive seed must disable injection")
+	}
+	// Seed 3072: 3072%3 == 0 → panic, 1 + (3072/3)%1024 == 1 → first visit.
+	s := NewSchedule(3072)
+	if s.Op() != OpPanic {
+		t.Fatalf("seed 3072 op = %v, want panic", s.Op())
+	}
+	if op := s.Visit(); op != OpPanic {
+		t.Fatalf("seed 3072 first visit = %v, want panic", op)
+	}
+	if NewSchedule(1).Op() != OpCancel || NewSchedule(2).Op() != OpBudget {
+		t.Fatal("seed→op mapping changed")
+	}
+}
+
+type fakeTB struct {
+	mu     sync.Mutex
+	errors []string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.errors = append(f.errors, format)
+}
+
+func TestLeakCheckerCatchesAndClears(t *testing.T) {
+	before := Snapshot()
+
+	// A goroutine that exits promptly must not be reported even if it
+	// is alive at the first comparison: CheckLeaks retries.
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	tb := &fakeTB{}
+	CheckLeaks(tb, before)
+	if len(tb.errors) != 0 {
+		t.Fatalf("transient goroutine reported as leak: %v", tb.errors)
+	}
+	<-done
+}
+
+func TestLeakCheckerSeesOurGoroutines(t *testing.T) {
+	before := Snapshot()
+	stop := make(chan struct{})
+	go leakyHelper(stop)
+	time.Sleep(20 * time.Millisecond)
+	after := leakedSince(before)
+	if len(after) == 0 {
+		t.Fatal("running repository goroutine not visible to the checker")
+	}
+	close(stop)
+	tb := &fakeTB{}
+	CheckLeaks(tb, before)
+	if len(tb.errors) != 0 {
+		t.Fatalf("stopped goroutine still reported: %v", tb.errors)
+	}
+}
+
+func leakyHelper(stop <-chan struct{}) { <-stop }

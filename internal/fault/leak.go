@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the leak checker needs; taking an
+// interface keeps "testing" out of the production import graph.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// Snapshot returns the normalized stacks of live goroutines running
+// repository code, with multiplicities. Take one before the code under
+// test, then call CheckLeaks with it afterwards.
+func Snapshot() map[string]int {
+	return grab()
+}
+
+// CheckLeaks compares the current goroutines against a prior Snapshot
+// and reports any repository goroutine that is still running and was
+// not in the snapshot. Goroutines legitimately take a moment to unwind
+// after a cancel, so the check retries for up to leakWait before
+// failing with the leaked stacks.
+func CheckLeaks(tb TB, before map[string]int) {
+	tb.Helper()
+	deadline := time.Now().Add(leakWait)
+	var leaked []string
+	for {
+		leaked = leakedSince(before)
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, s := range leaked {
+		tb.Errorf("leaked goroutine:\n%s", s)
+	}
+}
+
+const leakWait = 2 * time.Second
+
+// modulePrefix marks "our" goroutines: only stacks with a frame in the
+// repository count, so runtime, testing, and net/http internals never
+// trip the checker.
+const modulePrefix = "repro/"
+
+func leakedSince(before map[string]int) []string {
+	cur := grab()
+	var leaked []string
+	for key, n := range cur {
+		if n > before[key] {
+			leaked = append(leaked, key)
+		}
+	}
+	sort.Strings(leaked) // deterministic report order
+	return leaked
+}
+
+func grab() map[string]int {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := make(map[string]int)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if !strings.Contains(g, modulePrefix) {
+			continue
+		}
+		key := normalizeStack(g)
+		if key == "" {
+			continue
+		}
+		out[key]++
+	}
+	return out
+}
+
+// normalizeStack strips everything that varies between two otherwise
+// identical goroutines — the goroutine id and state header, argument
+// values, pc offsets — so stacks compare by shape. It returns "" for
+// the goroutine running the checker itself.
+func normalizeStack(g string) string {
+	lines := strings.Split(g, "\n")
+	out := make([]string, 0, len(lines))
+	for _, line := range lines {
+		if strings.HasPrefix(line, "goroutine ") {
+			continue
+		}
+		if strings.Contains(line, "repro/internal/fault.grab") {
+			return "" // the checker's own goroutine
+		}
+		if strings.HasPrefix(line, "\t") {
+			// "\tfile.go:12 +0x85" → drop the pc offset.
+			if i := strings.LastIndex(line, " +0x"); i >= 0 {
+				line = line[:i]
+			}
+		} else if strings.HasPrefix(line, "created by ") {
+			// "created by pkg.fn in goroutine 7" → drop the spawner id.
+			if i := strings.Index(line, " in goroutine "); i >= 0 {
+				line = line[:i]
+			}
+		} else {
+			// "pkg.fn(0xc000..., 0x2)" → drop the argument values.
+			if i := strings.Index(line, "("); i >= 0 {
+				line = line[:i]
+			}
+		}
+		out = append(out, line)
+	}
+	return strings.TrimRight(strings.Join(out, "\n"), "\n")
+}

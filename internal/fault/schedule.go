@@ -1,0 +1,109 @@
+package fault
+
+import "sync/atomic"
+
+// Op is the fault a Schedule injects when it fires.
+type Op int
+
+// Injectable faults.
+const (
+	// OpNone: nothing fires at this visit.
+	OpNone Op = iota
+	// OpPanic: panic at the visit site (contained at the boundaries).
+	OpPanic
+	// OpCancel: cancel the visiting context.
+	OpCancel
+	// OpBudget: exhaust the visiting context's resource budget.
+	OpBudget
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpNone:
+		return "none"
+	case OpPanic:
+		return "panic"
+	case OpCancel:
+		return "cancel"
+	case OpBudget:
+		return "budget"
+	}
+	return "?"
+}
+
+// Schedule is a deterministic fault-injection plan: the engine calls
+// Visit at every Poll/Charge site, and the schedule fires its Op
+// exactly once, at the k-th visit. A Schedule with k == 0 never fires
+// and only counts visits — chaos tests run one counting pass to learn
+// how many injection points an instance has, then sweep k over that
+// range. All methods are safe on a nil receiver (a nil Schedule is
+// "no injection") and for concurrent use; under a parallel portfolio
+// the k-th visit is whichever goroutine gets there first, so sweeps
+// assert verdict invariants, not which site fired.
+type Schedule struct {
+	k      uint64
+	op     Op
+	visits atomic.Uint64
+	fired  atomic.Bool
+}
+
+// At returns a Schedule that fires op at the k-th visit (1-based).
+// k == 0 returns a counting-only schedule.
+func At(k uint64, op Op) *Schedule {
+	return &Schedule{k: k, op: op}
+}
+
+// Counting returns a schedule that never fires and only counts visits.
+func Counting() *Schedule {
+	return &Schedule{}
+}
+
+// NewSchedule derives a schedule from a seed: op cycles through
+// panic/cancel/budget with seed%3 (0 is panic) and the visit index is
+// 1 + (seed/3) % 1024. A seed <= 0 returns nil (no injection). Seed
+// 3072 is the conventional "panic at the first visit" smoke seed.
+func NewSchedule(seed int64) *Schedule {
+	if seed <= 0 {
+		return nil
+	}
+	u := uint64(seed)
+	op := Op(1 + u%3)
+	return &Schedule{k: 1 + (u/3)%1024, op: op}
+}
+
+// Visit records one arrival at an injection site and returns the Op to
+// inject now (OpNone almost always; the schedule's op exactly once, at
+// the k-th visit).
+func (s *Schedule) Visit() Op {
+	if s == nil || s.k == 0 {
+		if s != nil {
+			s.visits.Add(1)
+		}
+		return OpNone
+	}
+	if s.visits.Add(1) == s.k && s.fired.CompareAndSwap(false, true) {
+		return s.op
+	}
+	return OpNone
+}
+
+// Visits reports how many injection sites have been visited.
+func (s *Schedule) Visits() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.visits.Load()
+}
+
+// Fired reports whether the schedule has injected its fault.
+func (s *Schedule) Fired() bool {
+	return s != nil && s.fired.Load()
+}
+
+// Op returns the fault the schedule injects when it fires.
+func (s *Schedule) Op() Op {
+	if s == nil {
+		return OpNone
+	}
+	return s.op
+}

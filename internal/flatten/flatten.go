@@ -51,6 +51,7 @@ type Result struct {
 
 	prob  *strcon.Problem
 	stats *engine.Stats
+	ec    *engine.Ctx
 }
 
 // OnModel is the lazy-lemma callback for lia.Options. It is a no-op
@@ -86,7 +87,7 @@ func flattenWith(prob *strcon.Problem, cons []strcon.Constraint, params Params, 
 	st.Add("calls", 1)
 	defer st.Time("time")()
 	res := &Result{R: make(map[strcon.Var]pfa.Restriction), Cuts: cuts, prob: prob,
-		stats: ec.Stats().Child("cache")}
+		stats: ec.Stats().Child("cache"), ec: ec}
 	pool := prob.Lia
 
 	numeric := make(map[strcon.Var]bool)
@@ -246,10 +247,11 @@ func (res *Result) flattenCon(c strcon.Constraint, params Params) lia.Formula {
 		var extra []lia.Formula
 		left := res.termPA(t.L, &extra)
 		right := res.termPA(t.R, &extra)
-		sync := pfa.Sync(pool, left, right, res.Cuts, res.stats)
+		sync := pfa.Sync(res.ec, pool, left, right, res.Cuts, res.stats)
 		return lia.And(append(extra, sync)...)
 
 	case *strcon.WordNeq:
+		// contract: Prepare runs before flattening.
 		panic("flatten: WordNeq must be desugared by Problem.Prepare")
 
 	case *strcon.Membership:
@@ -258,7 +260,7 @@ func (res *Result) flattenCon(c strcon.Constraint, params Params) lia.Formula {
 			return lia.False
 		}
 		pa := pfa.FromNFA(pool, a, "re")
-		return pfa.Sync(pool, res.R[t.X].PA(), pa, res.Cuts, res.stats)
+		return pfa.Sync(res.ec, pool, res.R[t.X].PA(), pa, res.Cuts, res.stats)
 
 	case *strcon.Arith:
 		return t.F
@@ -309,6 +311,7 @@ func (res *Result) flattenCon(c strcon.Constraint, params Params) lia.Formula {
 		}
 		return lia.Or(dis...)
 	}
+	// contract: the constraint set is closed.
 	panic("flatten: unknown constraint type")
 }
 
@@ -324,17 +327,25 @@ func emptyNumeric(n *pfa.Numeric) []lia.Formula {
 func mustNumeric(r pfa.Restriction) *pfa.Numeric {
 	n, ok := r.(*pfa.Numeric)
 	if !ok {
+		// contract: flattenWith assigns numeric restrictions to these variables.
 		panic("flatten: string-number constraint on a non-numeric restriction")
 	}
 	return n
 }
 
 // Decode maps a model of the flattened formula back to an assignment of
-// the string constraint (decode_R, Theorem 6.2).
-func (res *Result) Decode(m lia.Model) *strcon.Assignment {
+// the string constraint (decode_R, Theorem 6.2). Malformed models —
+// possible only for adversarial inputs or truncated encodings — return
+// an error; the decision procedure treats that as a failed candidate,
+// never as a verdict.
+func (res *Result) Decode(m lia.Model) (*strcon.Assignment, error) {
 	a := &strcon.Assignment{Str: make(map[strcon.Var]string), Int: lia.Model{}}
 	for x, r := range res.R {
-		a.Str[x] = r.Decode(m)
+		s, err := r.Decode(m)
+		if err != nil {
+			return nil, err
+		}
+		a.Str[x] = s
 	}
 	// Copy the whole integer model: the validator needs auxiliary
 	// integer variables (desugaring ords, etc.), not just user ones.
@@ -344,5 +355,5 @@ func (res *Result) Decode(m lia.Model) *strcon.Assignment {
 	for _, iv := range res.prob.IntVars {
 		a.Int[iv] = m.Value(iv)
 	}
-	return a
+	return a, nil
 }

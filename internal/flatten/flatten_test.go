@@ -18,7 +18,10 @@ func solve(t *testing.T, prob *strcon.Problem, params Params) (*strcon.Assignmen
 	if r != lia.ResSat {
 		return nil, r
 	}
-	a := res.Decode(m)
+	a, err := res.Decode(m)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
 	if !prob.Eval(a) {
 		t.Fatalf("decoded assignment fails validation: %+v", a.Str)
 	}

@@ -229,13 +229,27 @@ func (m Model) Value(v Var) *big.Int {
 }
 
 // Int64 returns the value of v as int64; it panics if the value does
-// not fit, which indicates a bug in the caller's encoding.
+// not fit. Only call it for variables whose encoding bounds the value
+// — anything a model could drive past int64 must use Int64OK instead.
 func (m Model) Int64(v Var) int64 {
 	x := m.Value(v)
 	if !x.IsInt64() {
+		// contract: the caller promised a bounded encoding.
 		panic("lia: model value does not fit in int64: " + x.String())
 	}
 	return x.Int64()
+}
+
+// Int64OK returns the value of v as int64 and whether it fits. The
+// model-decoding paths use it because solver models are input-derived:
+// a hostile script can produce values past int64, and that must
+// degrade to an error, not a panic.
+func (m Model) Int64OK(v Var) (int64, bool) {
+	x := m.Value(v)
+	if !x.IsInt64() {
+		return 0, false
+	}
+	return x.Int64(), true
 }
 
 // Eval evaluates the formula under the model.
@@ -268,6 +282,7 @@ func evalAt(f Formula, m Model, depth int) bool {
 		}
 		return false
 	}
+	// contract: the Formula node set is closed.
 	panic("lia: unknown formula node")
 }
 

@@ -11,6 +11,7 @@ const maxFormulaDepth = 1 << 14
 
 func checkFormulaDepth(depth int) {
 	if depth > maxFormulaDepth {
+		// contract: the parser bounds input nesting far below this; only runaway internal construction can reach it.
 		panic("lia: formula nesting exceeds depth budget")
 	}
 }
@@ -42,6 +43,7 @@ func nnfAt(f Formula, neg bool, depth int) Formula {
 	case *Atom:
 		return normAtom(t.E, t.Op, neg)
 	}
+	// contract: the Formula node set is closed.
 	panic("lia: unknown formula node in nnf")
 }
 
@@ -84,6 +86,7 @@ func normAtom(e *LinExpr, op Rel, neg bool) Formula {
 	case NE:
 		return Or(le(e.Clone().AddConst(1)), le(e.Clone().Neg().AddConst(1)))
 	}
+	// contract: the relation set is closed.
 	panic("lia: unknown relation")
 }
 
@@ -95,6 +98,7 @@ func normAtom(e *LinExpr, op Rel, neg bool) Formula {
 func canonAtom(e *LinExpr) (key string, def map[Var]*big.Int, bound *big.Int, upper bool) {
 	vars := e.Vars()
 	if len(vars) == 0 {
+		// contract: normalization folds constant atoms first.
 		panic("lia: constant atom reached canonAtom")
 	}
 	// gcd of |coefficients|

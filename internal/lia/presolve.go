@@ -283,6 +283,7 @@ func substituteAt(f Formula, pins map[Var]*big.Int, aliases map[Var]aliasTo, dep
 		}
 		return &Atom{E: e, Op: t.Op}
 	}
+	// contract: the Formula node set is closed.
 	panic("lia: unknown node in substitute")
 }
 

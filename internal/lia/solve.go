@@ -326,6 +326,7 @@ func (d *dpllt) coreLits(tags []int) []sat.Lit {
 		default:
 			// A tag for a bound that is not currently asserted cannot
 			// occur: simplex bounds are popped with their frames.
+			// contract: simplex bounds are popped with their frames.
 			panic("lia: conflict tag for unasserted atom")
 		}
 	}
@@ -387,6 +388,16 @@ func sortedVars(set map[Var]bool) []Var {
 // Tseitin conversion and returns the literal representing f.
 func (d *dpllt) encode(f Formula, depth int) sat.Lit {
 	checkFormulaDepth(depth)
+	// The CNF is a known blow-up site: every node allocates a SAT
+	// variable and clauses. Bill the node; on a budget trip stop
+	// descending and return a fresh unconstrained literal. Freeing a
+	// positive-polarity subformula only weakens the encoding, so an
+	// UNSAT of the truncated CNF still implies UNSAT of f — and a SAT
+	// model is validated against the original formula before being
+	// trusted, so truncation can only degrade the verdict to UNKNOWN.
+	if d.opts.Ctx.Charge("lia cnf", 1) {
+		return sat.MkLit(d.sat.NewVar(), false)
+	}
 	switch t := f.(type) {
 	case Bool:
 		v := d.sat.NewVar()
@@ -411,6 +422,7 @@ func (d *dpllt) encode(f Formula, depth int) sat.Lit {
 		}
 		return xl
 	}
+	// contract: encode is only called on NNF output.
 	panic("lia: unexpected node in encode (input not in NNF?)")
 }
 

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// containRecover flags go statements in solver/server code whose
+// goroutine does not run under a fault.Contain panic boundary: a panic
+// on such a goroutine bypasses every recover in the call stack that
+// spawned it and kills the whole process. A goroutine that provably
+// runs no solver code (pure channel plumbing, WaitGroup waiters) may
+// instead carry a "//lint:nocontain <justification>" comment.
+//
+// The check is syntactic: a go statement passes when its function
+// literal's body calls a Contain method/function (the fault package's
+// boundary) directly. Spawning a named function (`go s.worker()`)
+// cannot be inspected locally and always needs either a Contain-wrapped
+// literal or an annotation.
+var containRecover = &Analyzer{
+	Name: "containrecover",
+	Doc:  "goroutines in solver/server code without a fault.Contain panic boundary",
+	Scope: func(path string) bool {
+		return inInternal(path) || strings.Contains(path, "/cmd/")
+	},
+	Run: runContainRecover,
+}
+
+func runContainRecover(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if has, justified := p.nocontainAt(stmt.Go); has {
+				if !justified {
+					p.Report(stmt.Go, "containrecover", "//lint:nocontain needs a justification")
+				}
+				return true
+			}
+			if lit, ok := stmt.Call.Fun.(*ast.FuncLit); ok && callsContain(lit.Body) {
+				return true
+			}
+			p.Report(stmt.Go, "containrecover",
+				"goroutine has no panic boundary; run its body under fault.Contain or annotate //lint:nocontain <why no solver code runs here>")
+			return true
+		})
+	}
+}
+
+// callsContain reports whether the body calls a Contain boundary
+// directly (calls inside nested function literals do not count: the
+// nested literal may itself be handed to another goroutine).
+func callsContain(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Contain" {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if fun.Name == "Contain" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

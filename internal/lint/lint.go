@@ -11,13 +11,18 @@
 //     packages without a depth or iteration budget,
 //   - ctxpoll:   unconditional for-loops in the hot solver packages
 //     (internal/sat, internal/simplex) that never poll the engine
-//     solve context, so cancellation could not reach them.
+//     solve context, so cancellation could not reach them,
+//   - containrecover: goroutines in solver/server code without a
+//     fault.Contain panic boundary, so a contract panic would kill
+//     the process instead of degrading the verdict.
 //
 // Findings are reported as "file:line: [check] message". A
 // "//lint:ordered <justification>" comment on the line of (or the line
 // before) a range statement suppresses maporder for that loop;
 // "//lint:nopoll <justification>" likewise suppresses ctxpoll for a
-// loop whose bound is argued in the justification.
+// loop whose bound is argued in the justification, and
+// "//lint:nocontain <justification>" suppresses containrecover for a
+// goroutine that runs no solver code.
 package lint
 
 import (
@@ -51,14 +56,15 @@ type Analyzer struct {
 
 // Pass carries one package through one analyzer.
 type Pass struct {
-	Fset    *token.FileSet
-	Files   []*ast.File
-	Pkg     *types.Package
-	Info    *types.Info
-	Path    string
-	report  func(Finding)
-	ordered map[int]string // //lint:ordered line -> justification
-	nopoll  map[int]string // //lint:nopoll line -> justification
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	Info      *types.Info
+	Path      string
+	report    func(Finding)
+	ordered   map[int]string // //lint:ordered line -> justification
+	nopoll    map[int]string // //lint:nopoll line -> justification
+	nocontain map[int]string // //lint:nocontain line -> justification
 }
 
 // Report records a finding at pos.
@@ -73,7 +79,7 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 
 // All returns the analyzers in their canonical order.
 func All() []*Analyzer {
-	return []*Analyzer{bigAlias, mapOrder, errDrop, recBudget, ctxPoll}
+	return []*Analyzer{bigAlias, mapOrder, errDrop, recBudget, ctxPoll, containRecover}
 }
 
 // ByName resolves a comma-separated check list ("bigalias,errdrop");
@@ -133,14 +139,15 @@ func analyze(pkg *Package, analyzers []*Analyzer) []Finding {
 			continue
 		}
 		pass := &Pass{
-			Fset:    pkg.Fset,
-			Files:   pkg.Files,
-			Pkg:     pkg.Types,
-			Info:    pkg.Info,
-			Path:    pkg.Path,
-			ordered: directives(pkg.Fset, pkg.Files, orderedDirective),
-			nopoll:  directives(pkg.Fset, pkg.Files, nopollDirective),
-			report:  func(f Finding) { findings = append(findings, f) },
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			Info:      pkg.Info,
+			Path:      pkg.Path,
+			ordered:   directives(pkg.Fset, pkg.Files, orderedDirective),
+			nopoll:    directives(pkg.Fset, pkg.Files, nopollDirective),
+			nocontain: directives(pkg.Fset, pkg.Files, nocontainDirective),
+			report:    func(f Finding) { findings = append(findings, f) },
 		}
 		a.Run(pass)
 	}
@@ -167,6 +174,8 @@ const (
 	orderedDirective = "lint:ordered"
 	// nopollDirective suppresses ctxpoll.
 	nopollDirective = "lint:nopoll"
+	// nocontainDirective suppresses containrecover.
+	nocontainDirective = "lint:nocontain"
 )
 
 // directives collects //lint:<name> comments with the given prefix,
@@ -216,6 +225,12 @@ func (p *Pass) suppressed(pos token.Pos) (bool, bool) {
 // //lint:nopoll directive, and whether it is justified.
 func (p *Pass) nopollAt(pos token.Pos) (bool, bool) {
 	return p.covers(p.nopoll, pos)
+}
+
+// nocontainAt reports whether a go statement starting at pos carries a
+// //lint:nocontain directive, and whether it is justified.
+func (p *Pass) nocontainAt(pos token.Pos) (bool, bool) {
+	return p.covers(p.nocontain, pos)
 }
 
 // inInternal reports whether the import path is inside internal/ (the

@@ -90,10 +90,15 @@ func TestCtxPollFixtures(t *testing.T) {
 	checkFixture(t, "ctxpoll_good", ctxPoll)
 }
 
+func TestContainRecoverFixtures(t *testing.T) {
+	checkFixture(t, "containrecover_bad", containRecover)
+	checkFixture(t, "containrecover_good", containRecover)
+}
+
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 6, nil", len(all), err)
 	}
 	two, err := ByName("bigalias, errdrop")
 	if err != nil || len(two) != 2 {

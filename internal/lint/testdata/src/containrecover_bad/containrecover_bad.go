@@ -1,0 +1,46 @@
+// Package containrecover_bad holds failing fixtures for the
+// containrecover check.
+package containrecover_bad
+
+// boundary mimics the fault package's Contain surface.
+type boundary struct{}
+
+func (boundary) Contain(name string, fn func()) error {
+	fn()
+	return nil
+}
+
+var fault boundary
+
+// bare spawns solver work with no panic boundary.
+func bare(work func()) {
+	go func() { // want containrecover
+		work()
+	}()
+}
+
+// named spawns a function the check cannot inspect, unannotated.
+func named(work func()) {
+	go run(work) // want containrecover
+}
+
+func run(work func()) { work() }
+
+// nested only contains inside an inner literal that may run elsewhere;
+// the spawned goroutine itself is unprotected.
+func nested(work func()) {
+	go func() { // want containrecover
+		inner := func() {
+			_ = fault.Contain("inner", work)
+		}
+		_ = inner
+	}()
+}
+
+// unjustified has the directive but no reason.
+func unjustified(done chan struct{}) {
+	//lint:nocontain
+	go func() { // want containrecover
+		close(done)
+	}()
+}

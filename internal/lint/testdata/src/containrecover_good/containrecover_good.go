@@ -1,0 +1,38 @@
+// Package containrecover_good holds passing fixtures for the
+// containrecover check.
+package containrecover_good
+
+// boundary mimics the fault package's Contain surface.
+type boundary struct{}
+
+func (boundary) Contain(name string, fn func()) error {
+	fn()
+	return nil
+}
+
+var fault boundary
+
+// contained runs the goroutine body under a panic boundary.
+func contained(work func()) {
+	go func() {
+		_ = fault.Contain("worker", func() {
+			work()
+		})
+	}()
+}
+
+// annotated spawns plumbing that runs no solver code and says so.
+func annotated(done chan struct{}) {
+	go func() { //lint:nocontain only closes a channel, no solver code
+		close(done)
+	}()
+}
+
+// annotatedNamed spawns a named function under an annotation on the
+// preceding line.
+func annotatedNamed(done chan struct{}) {
+	//lint:nocontain channel close only
+	go closer(done)
+}
+
+func closer(done chan struct{}) { close(done) }

@@ -217,6 +217,7 @@ func (a *abstractor) abstractCon(c strcon.Constraint, topLevel bool) lia.Formula
 		}
 		return lia.Or(dis...)
 	}
+	// contract: the constraint set is closed.
 	panic("overapprox: unknown constraint type")
 }
 

@@ -39,6 +39,7 @@ type Automaton struct {
 // encoding.
 func FlowOnly(a Automaton, flow []lia.Var) lia.Formula {
 	if len(flow) != len(a.Edges) {
+		// contract: callers allocate one flow variable per edge.
 		panic("parikh: flow variable count mismatch")
 	}
 	var conj []lia.Formula

@@ -23,7 +23,7 @@ func benchSync(b *testing.B, loops, loopLen int, warm bool) {
 		x := NewFlat(pool, loops, loopLen, "x")
 		y := NewFlat(pool, loops, loopLen, "y")
 		reg := &CutRegistry{}
-		f := Sync(pool, x.PA(), y.PA(), reg, nil)
+		f := Sync(nil, pool, x.PA(), y.PA(), reg, nil)
 		if lia.FormulaSize(f) == 0 {
 			b.Fatal("empty synchronization formula")
 		}

@@ -1,0 +1,48 @@
+package pfa
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/lia"
+)
+
+// MaxDecodeBytes caps the length of any decoded witness string. A
+// model asking for more — possible only on adversarial inputs, since
+// base constraints bound counters by the input's own lengths — is
+// rejected with an error (which the decision procedure degrades to
+// UNKNOWN) instead of materializing unbounded memory.
+const MaxDecodeBytes = 1 << 20
+
+// decodeChar reads the character variable v from the model: ok is
+// false for ε. An error means the model carries a value no character
+// has; the restriction's Base constraints rule that out for genuine
+// models, so it indicates a truncated or under-constrained encoding
+// and the caller must not trust the model.
+func decodeChar(m lia.Model, v lia.Var) (b byte, ok bool, err error) {
+	c, fits := m.Int64OK(v)
+	if !fits {
+		return 0, false, fmt.Errorf("pfa: model character value for v%d does not fit in int64", v)
+	}
+	if c < 0 {
+		return 0, false, nil // ε
+	}
+	if c > int64(alphabet.MaxCode) {
+		return 0, false, fmt.Errorf("pfa: model character code %d out of range", c)
+	}
+	return alphabet.Byte(int(c)), true, nil
+}
+
+// decodeCount reads a Parikh counter from the model, clamping
+// negatives to zero (an unused loop) and rejecting counts that alone
+// would blow the decode cap.
+func decodeCount(m lia.Model, v lia.Var) (int64, error) {
+	k, fits := m.Int64OK(v)
+	if !fits || k > MaxDecodeBytes {
+		return 0, fmt.Errorf("pfa: model loop count for v%d exceeds the %d-byte decode cap", v, MaxDecodeBytes)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k, nil
+}

@@ -31,6 +31,7 @@ type Flat struct {
 // variables. All variables range over ε and the full character set.
 func NewFlat(pool *lia.Pool, numLoops, loopLen int, name string) *Flat {
 	if numLoops < 1 {
+		// contract: API misuse by a caller inside the solver.
 		panic("pfa: NewFlat requires at least one spine state")
 	}
 	f := &Flat{counts: make(map[lia.Var]lia.Var)}
@@ -181,28 +182,42 @@ func (f *Flat) Count(v lia.Var) lia.Var { return f.counts[v] }
 // Decode reconstructs the string from a model (Lemma 5.1): each cycle
 // contributes its (ε-filtered) word repeated by its counter; bridges
 // contribute their character when not ε.
-func (f *Flat) Decode(m lia.Model) string {
+func (f *Flat) Decode(m lia.Model) (string, error) {
 	var b strings.Builder
 	for i, loop := range f.Loops {
 		if len(loop) > 0 {
-			k := m.Int64(f.counts[loop[0]])
+			k, err := decodeCount(m, f.counts[loop[0]])
+			if err != nil {
+				return "", err
+			}
 			var word []byte
 			for _, v := range loop {
-				if c := m.Int64(v); c >= 0 {
-					word = append(word, alphabet.Byte(int(c)))
+				c, ok, err := decodeChar(m, v)
+				if err != nil {
+					return "", err
 				}
+				if ok {
+					word = append(word, c)
+				}
+			}
+			if int64(b.Len())+k*int64(len(word)) > MaxDecodeBytes {
+				return "", fmt.Errorf("pfa: decoded string exceeds the %d-byte cap", MaxDecodeBytes)
 			}
 			for ; k > 0; k-- {
 				b.Write(word)
 			}
 		}
 		if i < len(f.Bridges) {
-			if c := m.Int64(f.Bridges[i]); c >= 0 {
-				b.WriteByte(alphabet.Byte(int(c)))
+			c, ok, err := decodeChar(m, f.Bridges[i])
+			if err != nil {
+				return "", err
+			}
+			if ok {
+				b.WriteByte(c)
 			}
 		}
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 // MaxLength reports -1 when f has cycles, else the spine length.

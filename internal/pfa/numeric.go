@@ -27,6 +27,7 @@ type Numeric struct {
 // NewNumeric builds a numeric PFA with m chain positions.
 func NewNumeric(pool *lia.Pool, m int, name string) *Numeric {
 	if m < 1 {
+		// contract: API misuse by a caller inside the solver.
 		panic("pfa: NewNumeric requires m >= 1")
 	}
 	n := &Numeric{M: m, counts: make(map[lia.Var]lia.Var)}
@@ -163,20 +164,31 @@ func (n *Numeric) Canonical() lia.Formula {
 }
 
 // Decode reconstructs the string from a model.
-func (n *Numeric) Decode(m lia.Model) string {
+func (n *Numeric) Decode(m lia.Model) (string, error) {
 	var b strings.Builder
-	if c := m.Int64(n.V0); c >= 0 {
-		k := m.Int64(n.counts[n.V0])
+	c, ok, err := decodeChar(m, n.V0)
+	if err != nil {
+		return "", err
+	}
+	if ok {
+		k, err := decodeCount(m, n.counts[n.V0])
+		if err != nil {
+			return "", err
+		}
 		for ; k > 0; k-- {
-			b.WriteByte(alphabet.Byte(int(c)))
+			b.WriteByte(c)
 		}
 	}
 	for _, v := range n.Chain {
-		if c := m.Int64(v); c >= 0 {
-			b.WriteByte(alphabet.Byte(int(c)))
+		c, ok, err := decodeChar(m, v)
+		if err != nil {
+			return "", err
+		}
+		if ok {
+			b.WriteByte(c)
 		}
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 // MaxLength reports -1: the self-loop makes lengths unbounded.

@@ -89,6 +89,7 @@ func Concat(pool *lia.Pool, a, b *PA) *PA {
 	if a.Anonymous || b.Anonymous {
 		// Concatenating an anonymous automaton would lose its
 		// per-edge range semantics in Sync.
+		// contract: API misuse by a caller inside the solver.
 		panic("pfa: cannot concatenate anonymous automata")
 	}
 	bs := b.shift(a.NumStates)
@@ -112,6 +113,7 @@ func Concat(pool *lia.Pool, a, b *PA) *PA {
 // list (callers insert an ε constant for empty word terms).
 func ConcatAll(pool *lia.Pool, pas ...*PA) *PA {
 	if len(pas) == 0 {
+		// contract: API misuse by a caller inside the solver.
 		panic("pfa: ConcatAll of zero automata")
 	}
 	out := pas[0]
@@ -156,8 +158,12 @@ type Restriction interface {
 	// flat) Parikh-image constraints of the automaton.
 	Base() lia.Formula
 	// Decode reconstructs the string value from a model that satisfies
-	// Base and whatever flattenings reference the restriction.
-	Decode(m lia.Model) string
+	// Base and whatever flattenings reference the restriction. Models
+	// are input-derived, so malformed ones (character codes out of
+	// range, counters past int64, decoded lengths past the cap) return
+	// an error — degrading the solve to UNKNOWN — rather than panicking
+	// or materializing unbounded memory.
+	Decode(m lia.Model) (string, error)
 	// MaxLength returns an upper bound on the length of decoded strings
 	// when bounded, or -1 when the restriction contains loops.
 	MaxLength() int

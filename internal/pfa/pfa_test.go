@@ -55,7 +55,7 @@ func TestConstPFADecode(t *testing.T) {
 	if res != lia.ResSat {
 		t.Fatalf("const base unsat")
 	}
-	if got := c.Decode(m); got != "hi!" {
+	if got := decode(t, c, m); got != "hi!" {
 		t.Fatalf("Decode = %q, want %q", got, "hi!")
 	}
 	if c.MaxLength() != 3 {
@@ -86,7 +86,7 @@ func TestFlatDecodeLemma51RoundTrip(t *testing.T) {
 	if res != lia.ResSat {
 		t.Fatalf("unsat")
 	}
-	if got := f.Decode(m); got != "abab-z" {
+	if got := decode(t, f, m); got != "abab-z" {
 		t.Fatalf("Decode = %q, want abab-z", got)
 	}
 }
@@ -102,7 +102,7 @@ func TestNumericToNumValues(t *testing.T) {
 		if res != lia.ResSat {
 			t.Fatalf("value %d: unsat", want)
 		}
-		s := nu.Decode(m)
+		s := decode(t, nu, m)
 		got := new(big.Int)
 		if _, ok := got.SetString(s, 10); !ok {
 			t.Fatalf("value %d: decoded %q is not a numeral", want, s)
@@ -141,7 +141,7 @@ func TestNumericEmptyString(t *testing.T) {
 	if res != lia.ResSat {
 		t.Fatalf("empty string case unsat")
 	}
-	if s := nu.Decode(m); s != "" {
+	if s := decode(t, nu, m); s != "" {
 		t.Fatalf("decoded %q, want empty", s)
 	}
 	if m.Int64(n) != -1 {
@@ -162,7 +162,7 @@ func TestNumericNaN(t *testing.T) {
 	if m.Int64(n) != -1 {
 		t.Fatalf("n = %v, want -1", m.Value(n))
 	}
-	s := nu.Decode(m)
+	s := decode(t, nu, m)
 	if !strings.Contains(s, "z") {
 		t.Fatalf("decoded %q should contain z", s)
 	}
@@ -181,7 +181,7 @@ func TestNumericCanonical(t *testing.T) {
 	if res != lia.ResSat {
 		t.Fatalf("canonical 0 unsat")
 	}
-	if s := nu.Decode(m); s != "0" {
+	if s := decode(t, nu, m); s != "0" {
 		t.Fatalf("canonical zero decoded %q, want \"0\"", s)
 	}
 }
@@ -193,12 +193,12 @@ func TestSyncEqualWords(t *testing.T) {
 	x := NewFlat(pool, 2, 2, "x")
 	k := NewConst(pool, "abc", "k")
 	reg := &CutRegistry{}
-	sync := Sync(pool, x.PA(), k.PA(), reg, nil)
+	sync := Sync(nil, pool, x.PA(), k.PA(), reg, nil)
 	res, m := solveWith(t, reg, x.Base(), k.Base(), sync)
 	if res != lia.ResSat {
 		t.Fatalf("sync with constant unsat")
 	}
-	if got := x.Decode(m); got != "abc" {
+	if got := decode(t, x, m); got != "abc" {
 		t.Fatalf("Decode = %q, want abc", got)
 	}
 }
@@ -208,7 +208,7 @@ func TestSyncEmptyIntersection(t *testing.T) {
 	a := NewConst(pool, "ab", "a")
 	b := NewConst(pool, "cd", "b")
 	reg := &CutRegistry{}
-	sync := Sync(pool, a.PA(), b.PA(), reg, nil)
+	sync := Sync(nil, pool, a.PA(), b.PA(), reg, nil)
 	res, _ := solveWith(t, reg, a.Base(), b.Base(), sync)
 	if res != lia.ResUnsat {
 		t.Fatalf("got %v, want unsat", res)
@@ -221,13 +221,13 @@ func TestSyncWithRegexPA(t *testing.T) {
 	nfa := regex.MustCompile("(ab)+").RemoveEpsilon().Trim()
 	re := FromNFA(pool, nfa, "re")
 	reg := &CutRegistry{}
-	sync := Sync(pool, x.PA(), re, reg, nil)
+	sync := Sync(nil, pool, x.PA(), re, reg, nil)
 	// Also force length 6 via counts: loop words of x.
 	res, m := solveWith(t, reg, x.Base(), sync)
 	if res != lia.ResSat {
 		t.Fatalf("unsat")
 	}
-	got := x.Decode(m)
+	got := decode(t, x, m)
 	if !regex.Matches(regex.MustCompile("(ab)+"), got) {
 		t.Fatalf("decoded %q not in (ab)+", got)
 	}
@@ -270,4 +270,16 @@ func TestFromNFAIsLanguageEquivalent(t *testing.T) {
 	if len(pa.Trans) != 3 {
 		t.Fatalf("trans = %d", len(pa.Trans))
 	}
+}
+
+// decode is the test shim over the error-returning Decode: the models
+// built by these tests are well-formed, so a decode error is a test
+// failure.
+func decode(t testing.TB, r Restriction, m lia.Model) string {
+	t.Helper()
+	s, err := r.Decode(m)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return s
 }

@@ -52,7 +52,7 @@ func TestQuickFlatDecodeRoundTrip(t *testing.T) {
 		want += string([]byte{bridge})
 		want += fill(fl.Loops[1], loop1, k1)
 
-		return fl.Decode(m) == want
+		return decode(t, fl, m) == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -85,7 +85,7 @@ func TestQuickNumericDecode(t *testing.T) {
 				m[nu.Count(v)] = bigInt(1)
 			}
 		}
-		return nu.Decode(m) == want
+		return decode(t, nu, m) == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -109,7 +109,7 @@ func TestQuickConstPFA(t *testing.T) {
 		if res != lia.ResSat {
 			t.Fatalf("const base unsat for %q", s)
 		}
-		if got := c.Decode(m); got != s {
+		if got := decode(t, c, m); got != s {
 			t.Fatalf("decode %q != %q", got, s)
 		}
 	}

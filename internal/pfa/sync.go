@@ -68,8 +68,10 @@ func shapeKey(b []byte, p *PA) []byte {
 
 // skeleton returns the product skeleton for p and q, from the cache
 // when the shape has been built before. Hit/miss counters land on st
-// (nil-safe).
-func skeleton(p, q *PA, st *engine.Stats) *syncSkeleton {
+// (nil-safe). A build truncated by the resource governor is returned
+// as empty but never cached: the cache may only hold skeletons that
+// are correct independent of any budget.
+func skeleton(ec *engine.Ctx, p, q *PA, st *engine.Stats) *syncSkeleton {
 	key := make([]byte, 0, 64)
 	key = shapeKey(key, p)
 	key = append(key, '|')
@@ -84,7 +86,11 @@ func skeleton(p, q *PA, st *engine.Stats) *syncSkeleton {
 		return sk
 	}
 	st.Add("sync.miss", 1)
-	sk = buildSkeleton(p, q)
+	sk, truncated := buildSkeleton(ec, p, q)
+	if truncated {
+		st.Add("sync.truncated", 1)
+		return sk
+	}
 	syncCache.Lock()
 	if len(syncCache.m) < syncCacheCap {
 		syncCache.m[k] = sk
@@ -95,8 +101,12 @@ func skeleton(p, q *PA, st *engine.Stats) *syncSkeleton {
 
 // buildSkeleton constructs the asynchronous product of p and q, trimmed
 // to states reachable from (init,init) and co-reachable to
-// (final,final).
-func buildSkeleton(p, q *PA) *syncSkeleton {
+// (final,final). Product growth is charged to ec's resource budget;
+// when it trips, the build stops and returns an empty skeleton with
+// truncated set — sound only because the tripped context is stopped,
+// which forces the enclosing solve to UNKNOWN rather than trusting the
+// empty product.
+func buildSkeleton(ec *engine.Ctx, p, q *PA) (sk *syncSkeleton, truncated bool) {
 	type pair struct{ x, y int }
 	id := map[pair]int{}
 	var states []pair
@@ -121,7 +131,17 @@ func buildSkeleton(p, q *PA) *syncSkeleton {
 
 	var edges []prodEdge
 	get(pair{p.Init, q.Init})
+	billed := 0
 	for si := 0; si < len(states); si++ {
+		// Bill the states and edges materialized since the last check:
+		// the product can be quadratic in the operands, and this loop is
+		// where an adversarial instance's memory actually gets allocated.
+		if grown := len(states) + len(edges) - billed; grown > 0 || si%64 == 0 {
+			if ec.Charge("pfa product", int64(grown)) {
+				return &syncSkeleton{empty: true}, true
+			}
+			billed += grown
+		}
 		st := states[si]
 		for _, ti := range pOut[st.x] {
 			t := p.Trans[ti]
@@ -153,7 +173,7 @@ func buildSkeleton(p, q *PA) *syncSkeleton {
 	}
 	finalID, ok := id[pair{p.Final, q.Final}]
 	if !ok {
-		return &syncSkeleton{empty: true}
+		return &syncSkeleton{empty: true}, false
 	}
 
 	// Co-reachability pruning.
@@ -176,7 +196,7 @@ func buildSkeleton(p, q *PA) *syncSkeleton {
 		}
 	}
 	if !co[0] { // product initial state is id 0
-		return &syncSkeleton{empty: true}
+		return &syncSkeleton{empty: true}, false
 	}
 	// Renumber kept states; drop edges touching pruned states.
 	newID := make([]int, len(states))
@@ -189,7 +209,7 @@ func buildSkeleton(p, q *PA) *syncSkeleton {
 			newID[i] = -1
 		}
 	}
-	sk := &syncSkeleton{
+	sk = &syncSkeleton{
 		aut: parikh.Automaton{NumStates: cnt, Init: newID[0], Final: newID[finalID]},
 	}
 	for _, e := range edges {
@@ -198,7 +218,7 @@ func buildSkeleton(p, q *PA) *syncSkeleton {
 			sk.aut.Edges = append(sk.aut.Edges, parikh.Edge{From: newID[e.from], To: newID[e.to]})
 		}
 	}
-	return sk
+	return sk, false
 }
 
 // ProductFlows records one asynchronous product and its flow variables
@@ -263,9 +283,19 @@ func (r *CutRegistry) Lemmas(m lia.Model) lia.Formula {
 // empty and False is returned. The trimmed product graph is memoized
 // across calls by structural shape (see syncSkeleton); cache counters
 // are recorded on st, which may be nil.
-func Sync(pool *lia.Pool, p, q *PA, reg *CutRegistry, st *engine.Stats) lia.Formula {
-	sk := skeleton(p, q, st)
+//
+// Product growth is metered against ec's resource budget (nil ec means
+// no metering). A budget trip returns False with ec stopped, which the
+// decision procedure degrades to UNKNOWN — a truncated product is never
+// trusted for a verdict and never cached.
+func Sync(ec *engine.Ctx, pool *lia.Pool, p, q *PA, reg *CutRegistry, st *engine.Stats) lia.Formula {
+	sk := skeleton(ec, p, q, st)
 	if sk.empty {
+		return lia.False
+	}
+	// Instantiation allocates flow variables and constraints per kept
+	// edge — real memory on a cache hit too, so it is billed as well.
+	if ec.Charge("pfa product", int64(len(sk.edges))) {
 		return lia.False
 	}
 	kept := sk.edges

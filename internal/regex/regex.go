@@ -32,6 +32,7 @@ func Compile(pattern string) (*automata.NFA, error) {
 func MustCompile(pattern string) *automata.NFA {
 	n, err := Compile(pattern)
 	if err != nil {
+		// contract: Must* is for compile-time-known patterns.
 		panic(err)
 	}
 	return n

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/fault"
+	"repro/internal/smtlib"
+)
+
+// TestContainedWorkerPanicKeepsServing injects a panic at the worker
+// boundary of the first job and checks the full containment story: the
+// client gets a structured 500 with a fault id, the very next request
+// is served normally by the same (undisturbed) worker pool, /stats
+// exposes the diagnostic under that id, and no goroutine leaks.
+func TestContainedWorkerPanicKeepsServing(t *testing.T) {
+	before := fault.Snapshot()
+	s := New(Config{Workers: 1, Fault: fault.At(1, fault.OpPanic)})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	src := `(declare-fun a () String)(assert (= (str.len a) 2))(check-sat)`
+	resp, code := postSolve(t, ts.URL, solveRequest{SMTLIB: src})
+	if code != http.StatusInternalServerError {
+		t.Fatalf("panicked solve: status %d, want 500 (resp %+v)", code, resp)
+	}
+	if resp.Status != "unknown" || resp.FaultID == "" || !strings.HasPrefix(resp.Reason, "panic:") {
+		t.Fatalf("panicked solve response = %+v, want unknown with fault id and panic reason", resp)
+	}
+	if resp.Error == "" {
+		t.Fatal("500 response carries no error message")
+	}
+
+	// The schedule is one-shot, so the next request exercises the same
+	// worker goroutine — which must have survived the panic.
+	again, code := postSolve(t, ts.URL, solveRequest{SMTLIB: src})
+	if code != http.StatusOK || again.Status != "sat" {
+		t.Fatalf("request after contained panic = %q (status %d), want sat 200", again.Status, code)
+	}
+
+	// /stats surfaces the diagnostic under the id the client saw.
+	httpResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	defer httpResp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if st.Faults.Contained != 1 {
+		t.Fatalf("faults.contained = %d, want 1", st.Faults.Contained)
+	}
+	var found *fault.Diagnostic
+	for _, d := range st.Faults.Recent {
+		if d.ID == resp.FaultID {
+			found = d
+		}
+	}
+	if found == nil {
+		t.Fatalf("fault %s not in /stats recent list %+v", resp.FaultID, st.Faults.Recent)
+	}
+	if !found.Injected || found.Boundary != "server.worker" {
+		t.Fatalf("diagnostic = %+v, want injected at server.worker", found)
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	fault.CheckLeaks(t, before)
+}
+
+// TestBudgetUnitsDegradesToUnknown sends a hard instance with a tiny
+// per-request governor budget: the verdict degrades to UNKNOWN with a
+// "budget: <site>" reason instead of running to the deadline.
+func TestBudgetUnitsDegradesToUnknown(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	hard, err := smtlib.Write(bench.Luhn(8).Build())
+	if err != nil {
+		t.Fatalf("writing luhn: %v", err)
+	}
+	resp, code := postSolve(t, ts.URL, solveRequest{SMTLIB: hard, BudgetUnits: 50})
+	if code != http.StatusOK {
+		t.Fatalf("budgeted solve: status %d, want 200", code)
+	}
+	if resp.Status != "unknown" || !strings.HasPrefix(resp.Reason, "budget") {
+		t.Fatalf("budgeted solve = %q reason %q, want unknown with budget reason", resp.Status, resp.Reason)
+	}
+	if resp.FaultID != "" {
+		t.Fatalf("budget degradation is not a fault, got fault id %s", resp.FaultID)
+	}
+}
+
+// TestMemBudgetCapClampsRequests checks the server-wide cap: requests
+// without a budget inherit it, and a request cannot raise it.
+func TestMemBudgetCapClampsRequests(t *testing.T) {
+	s := New(Config{Workers: 1, MemBudget: 50})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	hard, err := smtlib.Write(bench.Luhn(8).Build())
+	if err != nil {
+		t.Fatalf("writing luhn: %v", err)
+	}
+	resp, _ := postSolve(t, ts.URL, solveRequest{SMTLIB: hard})
+	if resp.Status != "unknown" || !strings.HasPrefix(resp.Reason, "budget") {
+		t.Fatalf("default-budget solve = %q reason %q, want unknown budget", resp.Status, resp.Reason)
+	}
+	// Asking for more than the cap is clamped back to the cap.
+	resp, _ = postSolve(t, ts.URL, solveRequest{SMTLIB: hard, BudgetUnits: 1 << 40, NoCache: true})
+	if resp.Status != "unknown" || !strings.HasPrefix(resp.Reason, "budget") {
+		t.Fatalf("over-cap solve = %q reason %q, want unknown budget", resp.Status, resp.Reason)
+	}
+	// A budget-stopped verdict must never have been cached.
+	resp, _ = postSolve(t, ts.URL, solveRequest{SMTLIB: hard})
+	if resp.Cached {
+		t.Fatal("budget-degraded verdict was served from cache")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/fault"
 	"repro/internal/smtlib"
 )
 
@@ -22,6 +23,7 @@ import (
 // sanity — the real check is the race detector over the admission
 // gate, the cache, and the merged stats tree.
 func TestServerConcurrentMixedLoad(t *testing.T) {
+	before := fault.Snapshot()
 	s := New(Config{Workers: 2, QueueDepth: 2, CacheEntries: 8})
 	ts := httptest.NewServer(s)
 	defer ts.Close()
@@ -131,4 +133,6 @@ func TestServerConcurrentMixedLoad(t *testing.T) {
 	if err := s.Shutdown(ctx); err != nil {
 		t.Fatalf("Shutdown after load: %v", err)
 	}
+	// Workers, FromContext watchers, and branch racers must all be gone.
+	fault.CheckLeaks(t, before)
 }

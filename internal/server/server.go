@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/smtlib"
 	"repro/internal/strcon"
 )
@@ -37,6 +38,15 @@ type Config struct {
 	// Solve configures the engine (parallel case splits, incremental
 	// mode). Timeout inside it is ignored — deadlines are per request.
 	Solve core.Options
+	// MemBudget is the per-solve resource-governor budget in units
+	// (0 = unlimited). A request may lower it with budget_units but
+	// never raise it past this cap.
+	MemBudget int64
+	// Fault is a deterministic fault-injection schedule consulted by
+	// every solve's engine context and once per job at the worker
+	// boundary. Chaos tests and the ci smoke install one; nil (the
+	// production value) injects nothing.
+	Fault *fault.Schedule
 }
 
 func (c Config) withDefaults() Config {
@@ -81,8 +91,18 @@ type Server struct {
 	stats *engine.Stats // merged engine statistics across all solves
 	ctr   counters
 
+	// faults keeps the most recent contained-panic diagnostics for
+	// /stats, so a fault_id from an error response can be looked up.
+	faults struct {
+		sync.Mutex
+		recent []*fault.Diagnostic
+	}
+
 	start time.Time
 }
+
+// faultLogCap bounds the recent-diagnostics ring in /stats.
+const faultLogCap = 16
 
 // counters are the serving-layer metrics (cache counters live on the
 // cache itself).
@@ -95,6 +115,7 @@ type counters struct {
 	solvedUnsat    atomic.Int64
 	solvedUnknown  atomic.Int64
 	timeouts       atomic.Int64
+	faultsContain  atomic.Int64 // panics contained at any boundary
 	cacheServed    atomic.Int64 // responses answered from cache
 	revalFailures  atomic.Int64 // cached witnesses that failed Eval
 	uncacheable    atomic.Int64 // problems with no canonical form
@@ -119,7 +140,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
-		go s.worker()
+		go s.worker() //lint:nocontain — runJob contains panics per job, so the loop itself cannot panic
 	}
 	return s
 }
@@ -140,7 +161,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.admission.Unlock()
 	done := make(chan struct{})
-	go func() {
+	go func() { //lint:nocontain — waits on the pool, runs no solver code
 		s.workers.Wait()
 		close(done)
 	}()
@@ -161,6 +182,10 @@ type solveRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// NoCache bypasses the verdict cache for this request.
 	NoCache bool `json:"no_cache,omitempty"`
+	// BudgetUnits caps the solve's resource-governor budget. It can
+	// tighten the server's MemBudget but never exceed it; 0 means
+	// "use the server default".
+	BudgetUnits int64 `json:"budget_units,omitempty"`
 }
 
 // solveResponse is the POST /solve reply. Witness reports a SAT model
@@ -176,6 +201,11 @@ type solveResponse struct {
 	TimedOut  bool         `json:"timed_out,omitempty"`
 	ElapsedMS float64      `json:"elapsed_ms"`
 	Error     string       `json:"error,omitempty"`
+	// Reason explains an unknown verdict ("budget: <site>", "deadline",
+	// "panic: <value>", ...). FaultID names the contained-panic
+	// diagnostic retrievable from /stats when the solve panicked.
+	Reason  string `json:"reason,omitempty"`
+	FaultID string `json:"fault_id,omitempty"`
 }
 
 type modelJSON struct {
@@ -323,6 +353,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// engine context through r.Context().
 	ec, stop := engine.FromContext(r.Context(), timeout)
 	defer stop()
+	budget := s.cfg.MemBudget
+	if req.BudgetUnits > 0 && (budget <= 0 || req.BudgetUnits < budget) {
+		budget = req.BudgetUnits
+	}
+	if budget > 0 {
+		ec.SetBudget(budget)
+	}
+	if s.cfg.Fault != nil {
+		ec.SetSchedule(s.cfg.Fault)
+	}
 	j := &job{script: script, canon: canon, noCache: req.NoCache, ec: ec, done: make(chan jobResult, 1)}
 
 	s.admission.RLock()
@@ -353,6 +393,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			Rounds:    out.res.Rounds,
 			TimedOut:  ec.TimedOut(),
 			ElapsedMS: msSince(start),
+			Reason:    out.res.Reason,
 		}
 		if canon != nil {
 			resp.Canonical = canon.Hash
@@ -362,6 +403,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			if canon != nil {
 				resp.Witness = witnessToJSON(canon.WitnessOf(out.res.Model))
 			}
+		}
+		if out.res.Fault != nil {
+			// A contained panic is a server-side defect, not a property
+			// of the problem: report 500 with the diagnostic id so the
+			// full trace can be pulled from /stats.
+			resp.FaultID = out.res.Fault.ID
+			resp.Error = "solver panic contained (see /stats faults." + out.res.Fault.ID + ")"
+			s.writeJSON(w, http.StatusInternalServerError, resp)
+			return
 		}
 		s.writeJSON(w, http.StatusOK, resp)
 	case <-r.Context().Done():
@@ -382,12 +432,32 @@ func (s *Server) worker() {
 
 func (s *Server) runJob(j *job) {
 	var res core.Result
-	if j.ec.Expired() {
-		// Deadline or client disconnect consumed the budget while
-		// queued; report without touching the solver.
-		res = core.Result{Status: core.StatusUnknown}
-	} else {
-		res = core.SolveCtx(j.script.Problem, s.cfg.Solve, j.ec)
+	// The worker boundary: core.SolveCtx contains panics raised inside
+	// the solve, so this Contain only ever fires for faults injected at
+	// the worker's own schedule site (and is the backstop that keeps the
+	// pool alive if the pre-solve path ever panics).
+	d := fault.Contain("server.worker", func() {
+		if op := s.cfg.Fault.Visit(); op != fault.OpNone {
+			j.ec.ApplyFault(op)
+		}
+		if j.ec.Expired() {
+			// Deadline or client disconnect consumed the budget while
+			// queued; report without touching the solver.
+			reason := j.ec.BudgetReason()
+			if reason == "" {
+				reason = j.ec.Cause().String()
+			}
+			res = core.Result{Status: core.StatusUnknown, Reason: reason}
+		} else {
+			res = core.SolveCtx(j.script.Problem, s.cfg.Solve, j.ec)
+		}
+	})
+	if d != nil {
+		res = core.Result{Status: core.StatusUnknown, Reason: "panic: " + d.Value, Fault: d}
+	}
+	if res.Fault != nil {
+		s.ctr.faultsContain.Add(1)
+		s.recordFault(res.Fault)
 	}
 	switch res.Status {
 	case core.StatusSat:
@@ -418,6 +488,17 @@ func (s *Server) runJob(j *job) {
 		}
 	}
 	j.done <- jobResult{res: res}
+}
+
+// recordFault keeps the newest faultLogCap contained-panic diagnostics
+// for /stats.
+func (s *Server) recordFault(d *fault.Diagnostic) {
+	s.faults.Lock()
+	defer s.faults.Unlock()
+	s.faults.recent = append(s.faults.recent, d)
+	if n := len(s.faults.recent); n > faultLogCap {
+		s.faults.recent = s.faults.recent[n-faultLogCap:]
+	}
 }
 
 // modelOf renders an assignment under the script's declared names.
@@ -453,7 +534,16 @@ type statsResponse struct {
 	Requests requestStats     `json:"requests"`
 	Cache    cacheStats       `json:"cache"`
 	Queue    queueStats       `json:"queue"`
+	Faults   faultStats       `json:"faults"`
 	Engine   *engine.Snapshot `json:"engine"`
+}
+
+// faultStats surfaces contained panics: the total and the most recent
+// diagnostics (full trimmed stacks), keyed by the fault_id that error
+// responses carry.
+type faultStats struct {
+	Contained int64               `json:"contained"`
+	Recent    []*fault.Diagnostic `json:"recent,omitempty"`
 }
 
 type requestStats struct {
@@ -517,8 +607,16 @@ func (s *Server) snapshotStats() statsResponse {
 			Capacity: s.cfg.QueueDepth,
 			Workers:  s.cfg.Workers,
 		},
+		Faults: s.snapshotFaults(),
 		Engine: s.stats.Snapshot(),
 	}
+}
+
+func (s *Server) snapshotFaults() faultStats {
+	s.faults.Lock()
+	recent := append([]*fault.Diagnostic(nil), s.faults.recent...)
+	s.faults.Unlock()
+	return faultStats{Contained: s.ctr.faultsContain.Load(), Recent: recent}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -552,6 +650,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"queue_depth":                   float64(st.Queue.Depth),
 		"queue_capacity":                float64(st.Queue.Capacity),
 		"workers":                       float64(st.Queue.Workers),
+		"faults_contained_total":        float64(st.Faults.Contained),
 	}
 	s.writeJSON(w, http.StatusOK, m)
 }

@@ -115,6 +115,7 @@ func (s *Solver) DefineSlack(def map[int]*big.Int) int {
 	stored := make(map[int]*big.Int, len(def))
 	for v, c := range def {
 		if _, isSlack := s.defs[v]; isSlack {
+			// contract: lia defines slacks over problem variables only.
 			panic("simplex: slack definition may not reference another slack")
 		}
 		stored[v] = new(big.Int).Set(c)
@@ -149,6 +150,11 @@ func (s *Solver) DefineSlack(def map[int]*big.Int) int {
 	s.beta = append(s.beta, new(big.Rat).Set(val))
 	s.rows[id] = row
 	s.baseTerms += len(stored)
+	// Bill the new row against the resource budget: tableau growth is a
+	// known memory blow-up site. A trip stops the Ctx; the next Check
+	// observes it and returns a budget conflict, so the caller unwinds
+	// with UNKNOWN rather than growing the tableau further.
+	s.Ctx.Charge("simplex tableau", int64(len(row)+len(stored)))
 	return id
 }
 
@@ -387,6 +393,9 @@ func (s *Solver) pivot(i, j int) {
 	s.colDel(j, i)
 	delete(s.rows, i)
 	s.rows[j] = newRow
+	// Pivot fill-in is the other way the tableau grows; bill the cells
+	// so dense instances trip the budget instead of exhausting memory.
+	s.Ctx.Charge("simplex tableau", int64(len(newRow)))
 
 	// Substitute x_j's definition into every other row containing j.
 	tmp := new(big.Rat)

@@ -24,8 +24,17 @@ type Script struct {
 	Logic string
 }
 
-// Parse reads an SMT-LIB script in the supported fragment.
-func Parse(src string) (*Script, error) {
+// Parse reads an SMT-LIB script in the supported fragment. The parse
+// paths are error-based throughout; the deferred recover is the
+// backstop of that policy — parsing is the most input-exposed code in
+// the tree, and a panic slipping through must become a parse error,
+// never kill a serving process.
+func Parse(src string) (script *Script, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			script, err = nil, fmt.Errorf("smtlib: internal parse failure: %v", v)
+		}
+	}()
 	forms, err := parseSExprs(src)
 	if err != nil {
 		return nil, err

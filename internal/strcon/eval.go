@@ -87,5 +87,6 @@ func (p *Problem) evalCon(c Constraint, a *Assignment, m lia.Model) bool {
 		}
 		return false
 	}
+	// contract: the constraint set is closed.
 	panic("strcon: unknown constraint type")
 }

@@ -201,6 +201,7 @@ func InRegex(x StrVar, pattern string) (Constraint, error) {
 func MustInRegex(x StrVar, pattern string) Constraint {
 	c, err := InRegex(x, pattern)
 	if err != nil {
+		// contract: Must* is for compile-time-known patterns.
 		panic(err)
 	}
 	return c
