@@ -21,7 +21,15 @@ echo "==> go build"
 go build ./...
 
 echo "==> traulint"
-go run ./cmd/traulint ./...
+# Gate on the machine-readable report: the run must exit 0 AND render a
+# literal empty findings array, so a formatting regression in the JSON
+# encoder cannot silently stop the gate from seeing findings.
+go run ./cmd/traulint -json ./... >/tmp/traulint.json
+if ! grep -q '"findings": \[\]' /tmp/traulint.json; then
+    echo "traulint findings:" >&2
+    cat /tmp/traulint.json >&2
+    exit 1
+fi
 
 echo "==> cancellation and equivalence tests (-race)"
 # The cooperative-cancellation paths are the raciest code in the tree:

@@ -1,15 +1,17 @@
 // Command traulint runs the repository's static-analysis suite
 // (package repro/internal/lint) over the module. Usage:
 //
-//	traulint [-checks bigalias,maporder,errdrop,recbudget] [packages]
+//	traulint [-checks pollpath,cachetaint,...] [-json] [packages]
 //
 // The only package patterns understood are "./..." (the whole module,
 // the default) and plain directories. Findings are printed one per
-// line as "file:line: [check] message"; the exit status is 1 when
-// findings exist, 2 on usage or load errors.
+// line as "file:line: [check] message"; with -json a machine-readable
+// report with per-check timing is emitted instead. The exit status is
+// 1 when findings exist, 2 on usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,10 +23,32 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonReport is the -json output shape. Findings is never null so
+// consumers can gate on `"findings": []`.
+type jsonReport struct {
+	Packages int           `json:"packages"`
+	Findings []jsonFinding `json:"findings"`
+	Checks   []jsonCheck   `json:"checks"`
+}
+
+type jsonFinding struct {
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Check string `json:"check"`
+	Msg   string `json:"msg"`
+}
+
+type jsonCheck struct {
+	Name      string  `json:"name"`
+	Findings  int     `json:"findings"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("traulint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	checks := fs.String("checks", "", "comma-separated checks to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit a JSON report with per-check timing")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -48,16 +72,38 @@ func run(args []string, stdout, stderr *os.File) int {
 		dirs = append(dirs, pat)
 	}
 
-	findings, err := lint.Run(root, dirs, analyzers)
+	rep, err := lint.RunReport(root, dirs, analyzers)
 	if err != nil {
 		fmt.Fprintln(stderr, "traulint:", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	if *asJSON {
+		out := jsonReport{Packages: rep.Packages, Findings: []jsonFinding{}}
+		for _, f := range rep.Findings {
+			out.Findings = append(out.Findings, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Check: f.Check, Msg: f.Msg,
+			})
+		}
+		for _, c := range rep.Checks {
+			out.Checks = append(out.Checks, jsonCheck{
+				Name:      c.Name,
+				Findings:  c.Findings,
+				ElapsedMS: float64(c.Elapsed.Microseconds()) / 1000,
+			})
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "traulint:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(data))
+	} else {
+		for _, f := range rep.Findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(stderr, "traulint: %d finding(s)\n", len(findings))
+	if len(rep.Findings) > 0 {
+		fmt.Fprintf(stderr, "traulint: %d finding(s)\n", len(rep.Findings))
 		return 1
 	}
 	return 0

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runAt invokes run from the module root, capturing stdout.
+func runAt(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(filepath.Join(wd, "..", "..")); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	out, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	code := run(args, out, devnull)
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), code
+}
+
+const goodFixture = "internal/lint/testdata/src/pollpath_good"
+const badFixture = "internal/lint/testdata/src/pollpath_bad"
+
+// TestJSONShapeClean pins the JSON contract ci.sh gates on: a clean
+// run exits 0 and renders a literal empty findings array, with every
+// requested check listed with its timing.
+func TestJSONShapeClean(t *testing.T) {
+	out, code := runAt(t, "-json", goodFixture)
+	if code != 0 {
+		t.Fatalf("exit %d on clean fixture, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "\"findings\": []") {
+		t.Fatalf("clean JSON must contain a literal `\"findings\": []`:\n%s", out)
+	}
+	var rep struct {
+		Packages int `json:"packages"`
+		Findings []struct {
+			File  string `json:"file"`
+			Line  int    `json:"line"`
+			Check string `json:"check"`
+			Msg   string `json:"msg"`
+		} `json:"findings"`
+		Checks []struct {
+			Name      string  `json:"name"`
+			Findings  int     `json:"findings"`
+			ElapsedMS float64 `json:"elapsed_ms"`
+		} `json:"checks"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if rep.Packages != 1 || len(rep.Findings) != 0 {
+		t.Fatalf("packages=%d findings=%d, want 1 and 0", rep.Packages, len(rep.Findings))
+	}
+	if len(rep.Checks) != 10 {
+		t.Fatalf("checks=%d, want all 10", len(rep.Checks))
+	}
+	for _, c := range rep.Checks {
+		if c.Name == "" {
+			t.Fatalf("check with empty name: %+v", rep.Checks)
+		}
+	}
+}
+
+func TestJSONFindings(t *testing.T) {
+	out, code := runAt(t, "-json", "-checks", "pollpath", badFixture)
+	if code != 1 {
+		t.Fatalf("exit %d on bad fixture, want 1; output:\n%s", code, out)
+	}
+	var rep struct {
+		Findings []struct {
+			Check string `json:"check"`
+			Line  int    `json:"line"`
+		} `json:"findings"`
+		Checks []struct {
+			Name     string `json:"name"`
+			Findings int    `json:"findings"`
+		} `json:"checks"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("bad fixture produced no findings")
+	}
+	for _, f := range rep.Findings {
+		if f.Check != "pollpath" || f.Line == 0 {
+			t.Fatalf("unexpected finding: %+v", f)
+		}
+	}
+	if len(rep.Checks) != 1 || rep.Checks[0].Name != "pollpath" ||
+		rep.Checks[0].Findings != len(rep.Findings) {
+		t.Fatalf("check stats do not match findings: %+v", rep.Checks)
+	}
+}
+
+func TestTextFindings(t *testing.T) {
+	out, code := runAt(t, "-checks", "pollpath", badFixture)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "[pollpath]") {
+		t.Fatalf("text output missing [pollpath]:\n%s", out)
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	if _, code := runAt(t, "-checks", "nosuch"); code != 2 {
+		t.Fatalf("exit %d on unknown check, want 2", code)
+	}
+}

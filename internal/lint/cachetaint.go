@@ -1,0 +1,280 @@
+package lint
+
+// cachetaint proves the verdict-cache soundness invariant of
+// internal/server: a cached verdict must hold for the problem itself,
+// not for the budget or fault environment of the run that produced
+// it. Concretely, no value data- or control-dependent on budget or
+// fault diagnostics (BudgetReason/Cause/TimedOut, Reason/Fault
+// fields, fault.Diagnostic values) may reach a verdict-cache put, and
+// every cached verdict must be provably settled — its status a
+// constant SAT/UNSAT or guarded by an equality test against one. The
+// sanctioned pattern `if !ec.Expired() { cache.put(...) }` stays
+// clean: Expired and Poll are boolean guards, not diagnostic data.
+//
+// The analysis is field-sensitive (a Result with a tainted Reason
+// does not taint its Status or Model) and one level interprocedural:
+// a package function returning a source-derived value taints its call
+// sites.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var cacheTaint = &Analyzer{
+	Name:  "cachetaint",
+	Doc:   "budget- or fault-dependent values reaching the verdict cache",
+	Scope: scopeFor("cachetaint", "internal/server"),
+	Run:   runCacheTaint,
+}
+
+// cachetaintSourceMethods yield budget/fault diagnostics.
+var cachetaintSourceMethods = map[string]bool{
+	"BudgetReason":    true,
+	"BudgetRemaining": true,
+	"Cause":           true,
+	"TimedOut":        true,
+}
+
+// cachetaintSourceFields are diagnostic struct fields.
+var cachetaintSourceFields = map[string]bool{"Reason": true, "Fault": true}
+
+// cachetaintCleanMethods are the sanctioned boolean guards.
+var cachetaintCleanMethods = map[string]bool{"Expired": true, "Poll": true}
+
+// cachetaintSourceTypes are diagnostic value types by name.
+var cachetaintSourceTypes = map[string]bool{"Diagnostic": true, "Cause": true}
+
+func runCacheTaint(p *Pass) {
+	sourceFuncs := cachetaintSummaries(p)
+	isSource := func(e ast.Expr) bool { return cachetaintIsSource(p, sourceFuncs, e) }
+	for _, u := range p.Prog.unitsOf(p.Path) {
+		ts := taintFunc(p, u.body, isSource, cachetaintCleanMethods)
+		inspectUnit(u.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isCachePut(p, call) {
+				return true
+			}
+			var msgs []string
+			for _, a := range call.Args {
+				if ts.valueTainted(a) {
+					msgs = append(msgs,
+						"budget/fault-tainted value flows into the verdict cache; cache only settled verdicts")
+					break
+				}
+			}
+			for _, cond := range condStackAt(u.body, call.Pos()) {
+				if ts.exprTainted(cond) {
+					msgs = append(msgs,
+						"verdict cached under a budget/fault-dependent condition; the cached entry would encode this run's budget, not the problem")
+					break
+				}
+			}
+			if msg := unsettledStatus(p, ts, u, call); msg != "" {
+				msgs = append(msgs, msg)
+			}
+			if len(msgs) == 0 {
+				return true
+			}
+			if has, justified := p.suppression(cachesafeDirective, call.Pos()); has {
+				if !justified {
+					p.Report(call.Pos(), "cachetaint", "//lint:cachesafe needs a justification")
+				}
+				return true
+			}
+			for _, m := range msgs {
+				p.Report(call.Pos(), "cachetaint", m)
+			}
+			return true
+		})
+	}
+}
+
+// cachetaintSummaries finds package functions whose return values are
+// source-derived (one level: summaries use only direct sources).
+func cachetaintSummaries(p *Pass) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	base := func(e ast.Expr) bool { return cachetaintIsSource(p, nil, e) }
+	for _, u := range p.Prog.unitsOf(p.Path) {
+		if u.decl == nil {
+			continue
+		}
+		obj, ok := p.Info.Defs[u.decl.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		ts := taintFunc(p, u.body, base, cachetaintCleanMethods)
+		tainted := false
+		inspectUnit(u.body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || tainted {
+				return !tainted
+			}
+			for _, r := range ret.Results {
+				if ts.exprTainted(r) {
+					tainted = true
+				}
+			}
+			return true
+		})
+		if tainted {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+func cachetaintIsSource(p *Pass, sourceFuncs map[*types.Func]bool, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok && cachetaintSourceMethods[sel.Sel.Name] {
+			return true
+		}
+		if sourceFuncs != nil {
+			if f := staticCallee(p.Info, e); f != nil && sourceFuncs[f] {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		if !cachetaintSourceFields[e.Sel.Name] {
+			return false
+		}
+		if v, ok := p.Info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			return true
+		}
+	case *ast.Ident, *ast.ParenExpr:
+		// fall through to the type check below
+	default:
+		return false
+	}
+	if t := p.TypeOf(e); t != nil {
+		if named, ok := derefType(t).(*types.Named); ok {
+			if cachetaintSourceTypes[named.Obj().Name()] && named.Obj().Pkg() != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func derefType(t types.Type) types.Type {
+	if ptr, ok := t.(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// isCachePut matches a put/Put method call on a cache-named receiver
+// type.
+func isCachePut(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "put" && sel.Sel.Name != "Put") {
+		return false
+	}
+	return typeNameContains(p.TypeOf(sel.X), "cache")
+}
+
+// unsettledStatus checks that the verdict argument of a cache put
+// carries a provably settled status: the composite literal (given
+// directly or via a single local assignment) sets its status field to
+// StatusSat/StatusUnsat, or the put is guarded by an equality or
+// switch case against one of them. Returns a finding message, or "".
+func unsettledStatus(p *Pass, ts *taintState, u *funcUnit, call *ast.CallExpr) string {
+	var statusVal ast.Expr
+	found := false
+	for _, a := range call.Args {
+		comp := compositeFor(p, u, a)
+		if comp == nil {
+			continue
+		}
+		for _, elt := range comp.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || !strings.Contains(strings.ToLower(key.Name), "status") {
+				continue
+			}
+			found = true
+			statusVal = kv.Value
+		}
+	}
+	if !found {
+		return ""
+	}
+	if settledName(statusVal) {
+		return ""
+	}
+	for _, cond := range condStackAt(u.body, call.Pos()) {
+		if be, ok := cond.(*ast.BinaryExpr); ok {
+			if settledName(be.X) || settledName(be.Y) {
+				return ""
+			}
+		}
+		if settledName(cond) { // case StatusSat:
+			return ""
+		}
+	}
+	return "cached verdict status is not provably settled; only constant SAT/UNSAT verdicts (or ones guarded by an equality test against them) may enter the cache"
+}
+
+// compositeFor resolves an argument to a struct composite literal:
+// directly, or through the single assignment of a local variable.
+func compositeFor(p *Pass, u *funcUnit, e ast.Expr) *ast.CompositeLit {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		if _, ok := derefType(p.TypeOf(e)).Underlying().(*types.Struct); ok {
+			return e
+		}
+	case *ast.Ident:
+		obj := p.Info.Uses[e]
+		if obj == nil {
+			return nil
+		}
+		var comp *ast.CompositeLit
+		count := 0
+		inspectUnit(u.body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if p.Info.Defs[id] != obj && p.Info.Uses[id] != obj {
+					continue
+				}
+				count++
+				if i < len(as.Rhs) {
+					if c, ok := ast.Unparen(as.Rhs[i]).(*ast.CompositeLit); ok {
+						comp = c
+					}
+				}
+			}
+			return true
+		})
+		if count == 1 {
+			return comp
+		}
+	}
+	return nil
+}
+
+// settledName reports whether the expression names a settled verdict
+// constant (StatusSat / StatusUnsat, possibly package-qualified).
+func settledName(e ast.Expr) bool {
+	var name string
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return false
+	}
+	return name == "StatusSat" || name == "StatusUnsat"
+}

@@ -1,0 +1,177 @@
+package lint
+
+// The module-wide call graph. The loader type-checks every module-
+// internal package in one shared FileSet and object universe, so a
+// *types.Func identifies the same function no matter which package
+// mentions it; the Program built on top indexes every function body
+// (declarations and function literals alike) as an analysis unit,
+// resolves static call sites, and caches one CFG per unit for the
+// flow-aware checks.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// funcUnit is one analysable function body: a declared function or
+// method, or a function literal.
+type funcUnit struct {
+	pkg  *Package
+	decl *ast.FuncDecl // non-nil for declarations
+	lit  *ast.FuncLit  // non-nil for literals
+	encl *ast.FuncDecl // enclosing declaration (== decl for declarations)
+	body *ast.BlockStmt
+}
+
+// callSite is one static call of a resolved function.
+type callSite struct {
+	unit *funcUnit
+	call *ast.CallExpr
+}
+
+// Program is the whole-module view shared by interprocedural checks.
+type Program struct {
+	pkgs       map[string]*Package
+	units      []*funcUnit
+	unitsByPkg map[string][]*funcUnit
+	byFunc     map[*types.Func]*funcUnit
+	callers    map[*types.Func][]callSite
+	cfgs       map[*funcUnit]*funcCFG
+	pollMemo   map[*funcUnit]bool // alwaysPolls summaries
+}
+
+// newProgram indexes every loaded package.
+func newProgram(pkgs map[string]*Package) *Program {
+	pr := &Program{
+		pkgs:       pkgs,
+		unitsByPkg: map[string][]*funcUnit{},
+		byFunc:     map[*types.Func]*funcUnit{},
+		callers:    map[*types.Func][]callSite{},
+		cfgs:       map[*funcUnit]*funcCFG{},
+		pollMemo:   map[*funcUnit]bool{},
+	}
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		pkg := pkgs[path]
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				u := &funcUnit{pkg: pkg, decl: fn, encl: fn, body: fn.Body}
+				pr.addUnit(path, u)
+				if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+					pr.byFunc[obj] = u
+				}
+				// Nested literals are their own units.
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						pr.addUnit(path, &funcUnit{pkg: pkg, lit: lit, encl: fn, body: lit.Body})
+					}
+					return true
+				})
+			}
+		}
+	}
+	for _, u := range pr.units {
+		unit := u
+		inspectUnit(unit.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if f := staticCallee(unit.pkg.Info, call); f != nil {
+				pr.callers[f] = append(pr.callers[f], callSite{unit, call})
+			}
+			return true
+		})
+	}
+	return pr
+}
+
+func (pr *Program) addUnit(path string, u *funcUnit) {
+	pr.units = append(pr.units, u)
+	pr.unitsByPkg[path] = append(pr.unitsByPkg[path], u)
+}
+
+// unitsOf returns the analysis units of one package, declaration and
+// literal alike, in source order.
+func (pr *Program) unitsOf(path string) []*funcUnit {
+	return pr.unitsByPkg[path]
+}
+
+// unitFor returns the body of a resolved function when it is part of
+// the module, nil otherwise.
+func (pr *Program) unitFor(f *types.Func) *funcUnit {
+	return pr.byFunc[f]
+}
+
+// callersOf returns the static call sites of f across the module.
+func (pr *Program) callersOf(f *types.Func) []callSite {
+	return pr.callers[f]
+}
+
+// cfgOf builds (once) and returns the CFG of a unit.
+func (pr *Program) cfgOf(u *funcUnit) *funcCFG {
+	if g, ok := pr.cfgs[u]; ok {
+		return g
+	}
+	g := buildCFG(u.body)
+	pr.cfgs[u] = g
+	return g
+}
+
+// staticCallee resolves a call expression to the function or method it
+// statically invokes: package-level functions, methods on concrete
+// receivers, and qualified identifiers. Interface method calls, calls
+// of function-typed values, conversions, and builtins resolve to nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return concreteOnly(f)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return concreteOnly(f)
+			}
+			return nil
+		}
+		// Package-qualified: pkg.F.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return concreteOnly(f)
+		}
+	}
+	return nil
+}
+
+// concreteOnly filters out interface methods: their call sites are
+// dynamic.
+func concreteOnly(f *types.Func) *types.Func {
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return nil
+		}
+	}
+	return f
+}
+
+// inspectUnit walks n in source order without descending into nested
+// function literals: a literal's body belongs to its own unit and may
+// never run on the enclosing path.
+func inspectUnit(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if lit, ok := m.(*ast.FuncLit); ok && m != n {
+			_ = lit
+			return false
+		}
+		return f(m)
+	})
+}

@@ -1,0 +1,533 @@
+package lint
+
+// Statement-granularity control-flow graphs. Each block holds the
+// statements and condition expressions evaluated in it, in order; a
+// loop header block remembers the For/Range statement it heads so the
+// flow checks can classify the loop. Function literals are NOT inlined:
+// a literal's body is a separate analysis unit with its own CFG, and
+// the literal value itself appears inside whatever node mentions it.
+//
+// The graphs are built once per function body and shared by every
+// flow-aware check (pollpath, chargecover, lockorder): back edges via
+// depth-first search, dominators with the iterative Cooper-Harvey-
+// Kennedy algorithm, and natural loops from back edges.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// block is one CFG node.
+type block struct {
+	id    int
+	nodes []ast.Node // statements and condition expressions, in order
+	succs []*block
+	preds []*block
+	// loop is the For/Range statement this block heads, when the block
+	// is a loop header created by the builder (nil for headers reached
+	// only by goto).
+	loop ast.Stmt
+}
+
+// funcCFG is the graph of one function body.
+type funcCFG struct {
+	entry  *block
+	exit   *block
+	blocks []*block
+}
+
+// backEdge is a DFS back edge: from -> to where to is an ancestor on
+// the DFS stack, i.e. the edge that closes a cycle.
+type backEdge struct {
+	from, to *block
+}
+
+type cfgBuilder struct {
+	g   *funcCFG
+	cur *block
+	// breaks/conts are stacks of branch targets; label is "" for the
+	// plain innermost target.
+	breaks []branchTarget
+	conts  []branchTarget
+	// pendingLabel is set while building the statement wrapped by a
+	// LabeledStmt so loops and switches register labeled targets.
+	pendingLabel string
+	labels       map[string]*block
+	gotos        []gotoPatch
+}
+
+type branchTarget struct {
+	label string
+	blk   *block
+}
+
+type gotoPatch struct {
+	from  *block
+	label string
+}
+
+// buildCFG constructs the CFG of one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{
+		g:      &funcCFG{},
+		labels: map[string]*block{},
+	}
+	b.g.entry = b.newBlock()
+	b.g.exit = b.newBlock()
+	b.cur = b.g.entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.g.exit)
+	for _, p := range b.gotos {
+		if target, ok := b.labels[p.label]; ok {
+			b.edge(p.from, target)
+		}
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{id: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+	to.preds = append(to.preds, from)
+}
+
+// add appends a node to the current block, materialising an
+// unreachable block after a terminator so every statement has a home.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for a breakable construct.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushTargets(label string, brk, cont *block) {
+	b.breaks = append(b.breaks, branchTarget{"", brk})
+	if label != "" {
+		b.breaks = append(b.breaks, branchTarget{label, brk})
+	}
+	if cont != nil {
+		b.conts = append(b.conts, branchTarget{"", cont})
+		if label != "" {
+			b.conts = append(b.conts, branchTarget{label, cont})
+		}
+	}
+}
+
+func (b *cfgBuilder) popTargets(label string, hasCont bool) {
+	n := 1
+	if label != "" {
+		n = 2
+	}
+	b.breaks = b.breaks[:len(b.breaks)-n]
+	if hasCont {
+		b.conts = b.conts[:len(b.conts)-n]
+	}
+}
+
+func findTarget(stack []branchTarget, label string) *block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label {
+			return stack[i].blk
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		header := b.newBlock()
+		header.loop = s
+		if label != "" {
+			b.labels[label] = header
+		}
+		b.edge(b.cur, header)
+		b.cur = header
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(header, body)
+		if s.Cond != nil {
+			b.edge(header, after)
+		}
+		cont := header
+		var post *block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.nodes = append(post.nodes, s.Post)
+			b.edge(post, header)
+			cont = post
+		}
+		b.pushTargets(label, after, cont)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, cont)
+		b.popTargets(label, true)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X)
+		header := b.newBlock()
+		header.loop = s
+		if label != "" {
+			b.labels[label] = header
+		}
+		b.edge(b.cur, header)
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(header, body)
+		b.edge(header, after)
+		b.pushTargets(label, after, header)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, header)
+		b.popTargets(label, true)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(label, s.Body.List, true)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(label, s.Body.List, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		sel := b.cur
+		after := b.newBlock()
+		b.pushTargets(label, after, nil)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			if cc.Comm != nil {
+				blk.nodes = append(blk.nodes, cc.Comm)
+			}
+			b.edge(sel, blk)
+			b.cur = blk
+			b.stmtList(cc.Body)
+			b.edge(b.cur, after)
+		}
+		if len(s.Body.List) == 0 {
+			b.edge(sel, after)
+		}
+		b.popTargets(label, false)
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			b.edge(b.cur, findTarget(b.breaks, labelName(s.Label)))
+			b.cur = nil
+		case token.CONTINUE:
+			b.edge(b.cur, findTarget(b.conts, labelName(s.Label)))
+			b.cur = nil
+		case token.GOTO:
+			if b.cur == nil {
+				b.cur = b.newBlock()
+			}
+			b.gotos = append(b.gotos, gotoPatch{b.cur, labelName(s.Label)})
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by caseClauses; a stray fallthrough is a no-op.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.exit)
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.edge(b.cur, b.g.exit)
+			b.cur = nil
+		}
+
+	case nil:
+		// no statement (e.g. empty else)
+
+	default:
+		// Decl, Assign, IncDec, Send, Go, Defer, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+// caseClauses builds the clause blocks of a switch or type switch.
+// The tag block branches to every clause (and past them when there is
+// no default); fallthrough chains a clause into the next one.
+func (b *cfgBuilder) caseClauses(label string, clauses []ast.Stmt, allowFallthrough bool) {
+	tag := b.cur
+	after := b.newBlock()
+	b.pushTargets(label, after, nil)
+	blks := make([]*block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		blks[i] = b.newBlock()
+		for _, e := range cc.List {
+			blks[i].nodes = append(blks[i].nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(tag, blks[i])
+	}
+	if !hasDefault {
+		b.edge(tag, after)
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		body := cc.Body
+		fallsThrough := false
+		if allowFallthrough && len(body) > 0 {
+			if br, ok := body[len(body)-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = i+1 < len(blks)
+				body = body[:len(body)-1]
+			}
+		}
+		b.cur = blks[i]
+		b.stmtList(body)
+		if fallsThrough {
+			b.edge(b.cur, blks[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	b.popTargets(label, false)
+	b.cur = after
+}
+
+func labelName(l *ast.Ident) string {
+	if l == nil {
+		return ""
+	}
+	return l.Name
+}
+
+// isPanicCall reports whether e is a direct call to the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// backEdges returns the DFS back edges of g, reachable from entry.
+func backEdges(g *funcCFG) []backEdge {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(g.blocks))
+	var out []backEdge
+	var dfs func(b *block)
+	dfs = func(b *block) {
+		color[b.id] = grey
+		for _, s := range b.succs {
+			switch color[s.id] {
+			case white:
+				dfs(s)
+			case grey:
+				out = append(out, backEdge{b, s})
+			}
+		}
+		color[b.id] = black
+	}
+	dfs(g.entry)
+	return out
+}
+
+// domTree holds immediate dominators of the blocks reachable from
+// entry.
+type domTree struct {
+	idom map[*block]*block
+	post map[*block]int // postorder number
+}
+
+// dominators computes the dominator tree with the iterative algorithm
+// of Cooper, Harvey and Kennedy, over the reachable subgraph.
+func dominators(g *funcCFG) *domTree {
+	// Postorder over reachable blocks.
+	var order []*block
+	seen := make([]bool, len(g.blocks))
+	var dfs func(b *block)
+	dfs = func(b *block) {
+		seen[b.id] = true
+		for _, s := range b.succs {
+			if !seen[s.id] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(g.entry)
+	d := &domTree{idom: map[*block]*block{}, post: map[*block]int{}}
+	for i, b := range order {
+		d.post[b] = i
+	}
+	d.idom[g.entry] = g.entry
+	intersect := func(a, b *block) *block {
+		for a != b {
+			for d.post[a] < d.post[b] {
+				a = d.idom[a]
+			}
+			for d.post[b] < d.post[a] {
+				b = d.idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Reverse postorder, skipping entry.
+		for i := len(order) - 1; i >= 0; i-- {
+			b := order[i]
+			if b == g.entry {
+				continue
+			}
+			var newIdom *block
+			for _, p := range b.preds {
+				if _, ok := d.idom[p]; !ok {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// dominates reports whether a dominates b (reflexively).
+func (d *domTree) dominates(a, b *block) bool {
+	if _, ok := d.idom[b]; !ok {
+		return false // b unreachable
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := d.idom[b]
+		if next == b {
+			return false // reached entry
+		}
+		b = next
+	}
+}
+
+// naturalLoop returns the natural loop of back edge e: every block
+// that can reach e.from without passing through e.to, plus e.to.
+func naturalLoop(e backEdge) map[*block]bool {
+	loop := map[*block]bool{e.to: true}
+	stack := []*block{e.from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if loop[b] {
+			continue
+		}
+		loop[b] = true
+		stack = append(stack, b.preds...)
+	}
+	return loop
+}
+
+// blockContaining returns the block whose node list covers pos, or nil.
+// Positions inside nested function literals resolve to the node that
+// mentions the literal; callers analysing literal bodies must use the
+// literal's own CFG.
+func blockContaining(g *funcCFG, pos token.Pos) *block {
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			if n.Pos() <= pos && pos <= n.End() {
+				return b
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFromSource parses src and returns the CFG of the first function
+// declaration together with its AST.
+func buildFromSource(t *testing.T, src string) (*funcCFG, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			return buildCFG(fn.Body), fn
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+func TestCFGCountedLoop(t *testing.T) {
+	g, fn := buildFromSource(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	bes := backEdges(g)
+	if len(bes) != 1 {
+		t.Fatalf("back edges = %d, want 1", len(bes))
+	}
+	var loop *ast.ForStmt
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if fs, ok := n.(*ast.ForStmt); ok {
+			loop = fs
+		}
+		return true
+	})
+	header := bes[0].to
+	if header.loop != loop {
+		t.Fatalf("back edge target is not the loop header (loop=%v)", header.loop)
+	}
+	d := dominators(g)
+	if !d.dominates(g.entry, header) {
+		t.Error("entry must dominate the loop header")
+	}
+	if !d.dominates(header, bes[0].from) {
+		t.Error("loop header must dominate the back-edge source")
+	}
+	nl := naturalLoop(bes[0])
+	if !nl[header] || !nl[bes[0].from] {
+		t.Error("natural loop must contain header and latch")
+	}
+	if nl[g.entry] {
+		t.Error("natural loop must not contain the function entry")
+	}
+}
+
+func TestCFGNestedLoops(t *testing.T) {
+	g, fn := buildFromSource(t, `package p
+func f(n int) {
+	for {
+		for j := 0; j < n; j++ {
+			_ = j
+		}
+	}
+}`)
+	bes := backEdges(g)
+	if len(bes) != 2 {
+		t.Fatalf("back edges = %d, want 2", len(bes))
+	}
+	var outer, inner *ast.ForStmt
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if fs, ok := n.(*ast.ForStmt); ok {
+			if outer == nil {
+				outer = fs
+			} else {
+				inner = fs
+			}
+		}
+		return true
+	})
+	var outerHdr, innerHdr *block
+	for _, b := range g.blocks {
+		switch b.loop {
+		case outer:
+			outerHdr = b
+		case inner:
+			innerHdr = b
+		}
+	}
+	if outerHdr == nil || innerHdr == nil {
+		t.Fatal("missing loop header blocks")
+	}
+	d := dominators(g)
+	if !d.dominates(outerHdr, innerHdr) {
+		t.Error("outer header must dominate inner header")
+	}
+	if d.dominates(innerHdr, outerHdr) {
+		t.Error("inner header must not dominate outer header")
+	}
+}
+
+func TestCFGGotoCycle(t *testing.T) {
+	g, _ := buildFromSource(t, `package p
+func f(n int) {
+	i := 0
+L:
+	i++
+	if i < n {
+		goto L
+	}
+}`)
+	bes := backEdges(g)
+	if len(bes) != 1 {
+		t.Fatalf("back edges = %d, want 1", len(bes))
+	}
+	if bes[0].to.loop != nil {
+		t.Error("goto cycle header must have no loop statement")
+	}
+}
+
+func TestCFGBranchesDoNotDominate(t *testing.T) {
+	g, fn := buildFromSource(t, `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`)
+	var ret *ast.ReturnStmt
+	var thenAssign ast.Stmt
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			ret = n
+		case *ast.IfStmt:
+			thenAssign = n.Body.List[0]
+		}
+		return true
+	})
+	retBlk := blockContaining(g, ret.Pos())
+	thenBlk := blockContaining(g, thenAssign.Pos())
+	if retBlk == nil || thenBlk == nil {
+		t.Fatal("statement blocks not found")
+	}
+	d := dominators(g)
+	if d.dominates(thenBlk, retBlk) {
+		t.Error("then-branch must not dominate the merge point")
+	}
+	if !d.dominates(g.entry, retBlk) {
+		t.Error("entry must dominate the return")
+	}
+	if len(backEdges(g)) != 0 {
+		t.Error("acyclic function must have no back edges")
+	}
+}
+
+func TestCFGBreakAndSwitch(t *testing.T) {
+	g, _ := buildFromSource(t, `package p
+func f(xs []int) int {
+	s := 0
+outer:
+	for _, x := range xs {
+		switch {
+		case x < 0:
+			break outer
+		case x == 0:
+			continue
+		default:
+			s += x
+		}
+	}
+	return s
+}`)
+	bes := backEdges(g)
+	if len(bes) == 0 {
+		t.Fatal("range loop with continue must have back edges")
+	}
+	for _, be := range bes {
+		if _, ok := be.to.loop.(*ast.RangeStmt); !ok {
+			t.Errorf("back edge target must be the range header, got %T", be.to.loop)
+		}
+	}
+}

@@ -33,13 +33,15 @@ func runContainRecover(p *Pass) {
 			if !ok {
 				return true
 			}
-			if has, justified := p.nocontainAt(stmt.Go); has {
+			if lit, ok := stmt.Call.Fun.(*ast.FuncLit); ok && callsContain(lit.Body) {
+				return true
+			}
+			// Finding imminent: only now consult (and use up) the
+			// directive, so stale ones surface via stalesupp.
+			if has, justified := p.suppression(nocontainDirective, stmt.Go); has {
 				if !justified {
 					p.Report(stmt.Go, "containrecover", "//lint:nocontain needs a justification")
 				}
-				return true
-			}
-			if lit, ok := stmt.Call.Fun.(*ast.FuncLit); ok && callsContain(lit.Body) {
 				return true
 			}
 			p.Report(stmt.Go, "containrecover",

@@ -5,10 +5,26 @@ import "testing"
 // TestRepoIsLintClean runs every analyzer over the whole module and
 // fails on any finding: this is the tier-1 enforcement gate that keeps
 // the repo free of nondeterministic map iteration, big-number aliasing
-// bugs, dropped errors, and unbounded recursion. Fixture packages under
-// testdata/ are excluded by the directory walker.
+// bugs, dropped errors, unbounded recursion, unpollable or unmetered
+// solver cycles, budget-tainted cache entries, lock-order inversions,
+// and stale suppressions. Fixture packages under testdata/ are
+// excluded by the directory walker.
 func TestRepoIsLintClean(t *testing.T) {
-	findings, err := Run("../..", nil, All())
+	all := All()
+	// The flow-aware soundness checks must be part of the gate: dropping
+	// one from All() would silently stop enforcing its invariant.
+	for _, name := range []string{"pollpath", "chargecover", "cachetaint", "lockorder", "stalesupp"} {
+		found := false
+		for _, a := range all {
+			if a.Name == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("soundness check %q missing from All()", name)
+		}
+	}
+	findings, err := Run("../..", nil, all)
 	if err != nil {
 		t.Fatalf("lint run failed: %v", err)
 	}
@@ -16,6 +32,6 @@ func TestRepoIsLintClean(t *testing.T) {
 		t.Errorf("%s", f)
 	}
 	if len(findings) > 0 {
-		t.Fatalf("%d lint finding(s); fix them or add a justified //lint:ordered", len(findings))
+		t.Fatalf("%d lint finding(s); fix them or add a justified //lint:<check> suppression", len(findings))
 	}
 }

@@ -1,6 +1,7 @@
 // Package lint is a stdlib-only static-analysis suite for this
 // repository. It type-checks packages with go/parser + go/types and
-// runs repo-specific analyzers guarding solver correctness:
+// runs repo-specific analyzers guarding solver correctness. The
+// syntactic checks walk the AST:
 //
 //   - bigalias:  big.Int/big.Rat values mutated after escaping into a
 //     container, and in-place results stored under an alias,
@@ -9,20 +10,41 @@
 //   - errdrop:   discarded error returns inside internal/,
 //   - recbudget: recursive functions in the parser/normalizer
 //     packages without a depth or iteration budget,
-//   - ctxpoll:   unconditional for-loops in the hot solver packages
-//     (internal/sat, internal/simplex) that never poll the engine
-//     solve context, so cancellation could not reach them,
 //   - containrecover: goroutines in solver/server code without a
-//     fault.Contain panic boundary, so a contract panic would kill
-//     the process instead of degrading the verdict.
+//     fault.Contain panic boundary.
 //
-// Findings are reported as "file:line: [check] message". A
-// "//lint:ordered <justification>" comment on the line of (or the line
-// before) a range statement suppresses maporder for that loop;
-// "//lint:nopoll <justification>" likewise suppresses ctxpoll for a
-// loop whose bound is argued in the justification, and
-// "//lint:nocontain <justification>" suppresses containrecover for a
-// goroutine that runs no solver code.
+// The flow-aware checks build per-function CFGs and a module-wide call
+// graph (cfg.go, callgraph.go) and prove the solver's soundness
+// invariants:
+//
+//   - pollpath:    every unbounded CFG cycle in the hot packages
+//     (internal/sat, internal/simplex) reaches an engine-context poll
+//     (Poll/Expired/Charge) on every path through the cycle, including
+//     via one level of statically resolved callees,
+//   - chargecover: every growth site (append, non-constant make)
+//     inside an unbounded cycle of the amplifier packages (pfa, sat,
+//     simplex, baseline) is metered by an engine.Ctx.Charge,
+//   - cachetaint:  no value data- or control-dependent on budget or
+//     fault diagnostics reaches a verdict-cache put in internal/server,
+//     and cached verdicts are provably settled (SAT/UNSAT),
+//   - lockorder:   mutex acquisition order is consistent across
+//     internal/server and internal/engine, via the call graph,
+//   - stalesupp:   suppression directives that no longer suppress any
+//     finding are themselves reported, so suppressions cannot rot.
+//
+// Findings are reported as "file:line: [check] message". Suppression
+// directives carry a mandatory justification and annotate the line of
+// (or the line before) the flagged statement:
+//
+//	//lint:ordered <why>    suppresses maporder
+//	//lint:nopoll <why>     suppresses pollpath (argue the loop bound)
+//	//lint:nocontain <why>  suppresses containrecover
+//	//lint:nocharge <why>   suppresses chargecover (line or function)
+//	//lint:cachesafe <why>  suppresses cachetaint
+//	//lint:locks <why>      suppresses lockorder
+//
+// A directive that does not suppress anything is reported by
+// stalesupp.
 package lint
 
 import (
@@ -32,6 +54,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one diagnostic.
@@ -56,15 +79,15 @@ type Analyzer struct {
 
 // Pass carries one package through one analyzer.
 type Pass struct {
-	Fset      *token.FileSet
-	Files     []*ast.File
-	Pkg       *types.Package
-	Info      *types.Info
-	Path      string
-	report    func(Finding)
-	ordered   map[int]string // //lint:ordered line -> justification
-	nopoll    map[int]string // //lint:nopoll line -> justification
-	nocontain map[int]string // //lint:nocontain line -> justification
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Pkg    *types.Package
+	Info   *types.Info
+	Path   string
+	Prog   *Program
+	report func(Finding)
+	dirs   *directiveSet
+	active []*Analyzer // the analyzers running in this pass's batch
 }
 
 // Report records a finding at pos.
@@ -77,9 +100,13 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Info.TypeOf(e)
 }
 
-// All returns the analyzers in their canonical order.
+// All returns the analyzers in their canonical order. stalesupp must
+// run last: it reports the directives the other checks left unused.
 func All() []*Analyzer {
-	return []*Analyzer{bigAlias, mapOrder, errDrop, recBudget, ctxPoll, containRecover}
+	return []*Analyzer{
+		bigAlias, mapOrder, errDrop, recBudget, containRecover,
+		pollPath, chargeCover, cacheTaint, lockOrder, staleSupp,
+	}
 }
 
 // ByName resolves a comma-separated check list ("bigalias,errdrop");
@@ -104,11 +131,36 @@ func ByName(list string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// CheckStat is the per-analyzer summary of one run.
+type CheckStat struct {
+	Name     string
+	Findings int
+	Elapsed  time.Duration
+}
+
+// Report is the outcome of one lint run.
+type Report struct {
+	Findings []Finding
+	Checks   []CheckStat // in analyzer order
+	Packages int         // packages analyzed (dependencies excluded)
+}
+
 // Run type-checks every package under modRoot and runs the analyzers,
 // returning the findings sorted by position. Dirs, when non-empty,
 // restricts analysis to those package directories (they must be inside
 // the module); dependencies are still loaded as needed.
 func Run(modRoot string, dirs []string, analyzers []*Analyzer) ([]Finding, error) {
+	rep, err := RunReport(modRoot, dirs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Findings, nil
+}
+
+// RunReport is Run with per-check timing and counts. All requested
+// packages are loaded before any analyzer runs, so interprocedural
+// checks see the whole module through Pass.Prog.
+func RunReport(modRoot string, dirs []string, analyzers []*Analyzer) (*Report, error) {
 	l, err := newLoader(modRoot)
 	if err != nil {
 		return nil, err
@@ -119,40 +171,52 @@ func Run(modRoot string, dirs []string, analyzers []*Analyzer) ([]Finding, error
 			return nil, err
 		}
 	}
-	var findings []Finding
+	pkgs := make([]*Package, 0, len(dirs))
 	for _, dir := range dirs {
 		pkg, err := l.LoadDir(dir)
 		if err != nil {
 			return nil, err
 		}
-		findings = append(findings, analyze(pkg, analyzers)...)
+		pkgs = append(pkgs, pkg)
 	}
-	sortFindings(findings)
-	return findings, nil
-}
-
-// analyze runs the analyzers over one loaded package.
-func analyze(pkg *Package, analyzers []*Analyzer) []Finding {
-	var findings []Finding
+	prog := newProgram(l.pkgs)
+	rep := &Report{Packages: len(pkgs)}
+	elapsed := make(map[string]time.Duration, len(analyzers))
+	for _, pkg := range pkgs {
+		ds := collectDirectives(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			if a.Scope != nil && !a.Scope(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Fset:   pkg.Fset,
+				Files:  pkg.Files,
+				Pkg:    pkg.Types,
+				Info:   pkg.Info,
+				Path:   pkg.Path,
+				Prog:   prog,
+				dirs:   ds,
+				active: analyzers,
+				report: func(f Finding) { rep.Findings = append(rep.Findings, f) },
+			}
+			start := time.Now()
+			a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
+		}
+	}
+	sortFindings(rep.Findings)
+	counts := map[string]int{}
+	for _, f := range rep.Findings {
+		counts[f.Check]++
+	}
 	for _, a := range analyzers {
-		if a.Scope != nil && !a.Scope(pkg.Path) {
-			continue
-		}
-		pass := &Pass{
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			Info:      pkg.Info,
-			Path:      pkg.Path,
-			ordered:   directives(pkg.Fset, pkg.Files, orderedDirective),
-			nopoll:    directives(pkg.Fset, pkg.Files, nopollDirective),
-			nocontain: directives(pkg.Fset, pkg.Files, nocontainDirective),
-			report:    func(f Finding) { findings = append(findings, f) },
-		}
-		a.Run(pass)
+		rep.Checks = append(rep.Checks, CheckStat{
+			Name:     a.Name,
+			Findings: counts[a.Name],
+			Elapsed:  elapsed[a.Name],
+		})
 	}
-	sortFindings(findings)
-	return findings
+	return rep, nil
 }
 
 func sortFindings(fs []Finding) {
@@ -172,65 +236,113 @@ func sortFindings(fs []Finding) {
 const (
 	// orderedDirective suppresses maporder.
 	orderedDirective = "lint:ordered"
-	// nopollDirective suppresses ctxpoll.
+	// nopollDirective suppresses pollpath.
 	nopollDirective = "lint:nopoll"
 	// nocontainDirective suppresses containrecover.
 	nocontainDirective = "lint:nocontain"
+	// nochargeDirective suppresses chargecover.
+	nochargeDirective = "lint:nocharge"
+	// cachesafeDirective suppresses cachetaint.
+	cachesafeDirective = "lint:cachesafe"
+	// locksDirective suppresses lockorder.
+	locksDirective = "lint:locks"
 )
 
-// directives collects //lint:<name> comments with the given prefix,
-// keyed by the line they annotate (the comment's own line; a directive
-// on line N suppresses a statement starting on line N or N+1). The
-// value is the justification text after the directive.
-func directives(fset *token.FileSet, files []*ast.File, prefix string) map[int]string {
-	out := map[int]string{}
+// directiveChecks maps each directive kind to the check it suppresses;
+// stalesupp uses it to decide which unused directives to report.
+var directiveChecks = map[string]string{
+	orderedDirective:   "maporder",
+	nopollDirective:    "pollpath",
+	nocontainDirective: "containrecover",
+	nochargeDirective:  "chargecover",
+	cachesafeDirective: "cachetaint",
+	locksDirective:     "lockorder",
+}
+
+// directive is one suppression comment. used records whether any
+// analyzer consulted it while swallowing a finding; stalesupp reports
+// the leftovers.
+type directive struct {
+	pos  token.Pos
+	just string
+	used bool
+}
+
+// directiveSet indexes the suppression comments of one package by kind
+// and by the line they annotate. One set is shared by every analyzer
+// running over the package so usage marks accumulate.
+type directiveSet struct {
+	byKind map[string]map[int]*directive
+}
+
+// collectDirectives scans the comments of a package for //lint:<kind>
+// directives. A directive on line N annotates a statement starting on
+// line N or N+1; the text after the kind is the justification.
+func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	ds := &directiveSet{byKind: map[string]map[int]*directive{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimPrefix(text, "/*")
 				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
-				if rest, ok := strings.CutPrefix(text, prefix); ok {
+				for kind := range directiveChecks {
+					rest, ok := strings.CutPrefix(text, kind)
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue
+					}
+					m := ds.byKind[kind]
+					if m == nil {
+						m = map[int]*directive{}
+						ds.byKind[kind] = m
+					}
 					line := fset.Position(c.Pos()).Line
-					out[line] = strings.TrimSpace(rest)
+					m[line] = &directive{pos: c.Pos(), just: strings.TrimSpace(rest)}
 				}
 			}
 		}
 	}
-	return out
+	return ds
 }
 
-// covers reports whether a statement starting at pos is covered by a
-// directive in m with a non-empty justification, on either its own line
-// or the line above.
-func (p *Pass) covers(m map[int]string, pos token.Pos) (bool, bool) {
-	line := p.Fset.Position(pos).Line
-	if just, ok := m[line]; ok {
-		return true, just != ""
+// lookup finds a directive of kind covering line (the directive's own
+// line or the line above the statement).
+func (ds *directiveSet) lookup(kind string, line int) *directive {
+	m := ds.byKind[kind]
+	if m == nil {
+		return nil
 	}
-	if just, ok := m[line-1]; ok {
-		return true, just != ""
+	if d, ok := m[line]; ok {
+		return d
 	}
-	return false, false
+	if d, ok := m[line-1]; ok {
+		return d
+	}
+	return nil
 }
 
-// suppressed reports whether a statement starting at pos is covered by
-// a //lint:ordered directive with a non-empty justification, on either
-// its own line or the line above.
-func (p *Pass) suppressed(pos token.Pos) (bool, bool) {
-	return p.covers(p.ordered, pos)
+// suppression consults a directive of kind for the statement at pos,
+// marking it used. Checks must call this only once a finding is
+// otherwise certain: consulting a directive that suppresses nothing
+// would hide it from stalesupp.
+func (p *Pass) suppression(kind string, pos token.Pos) (found, justified bool) {
+	d := p.dirs.lookup(kind, p.Fset.Position(pos).Line)
+	if d == nil {
+		return false, false
+	}
+	d.used = true
+	return true, d.just != ""
 }
 
-// nopollAt reports whether a loop starting at pos carries a
-// //lint:nopoll directive, and whether it is justified.
-func (p *Pass) nopollAt(pos token.Pos) (bool, bool) {
-	return p.covers(p.nopoll, pos)
-}
-
-// nocontainAt reports whether a go statement starting at pos carries a
-// //lint:nocontain directive, and whether it is justified.
-func (p *Pass) nocontainAt(pos token.Pos) (bool, bool) {
-	return p.covers(p.nocontain, pos)
+// analyzerRan reports whether the named check ran over this package in
+// the current batch.
+func (p *Pass) analyzerRan(name string) bool {
+	for _, a := range p.active {
+		if a.Name == name {
+			return a.Scope == nil || a.Scope(p.Path)
+		}
+	}
+	return false
 }
 
 // inInternal reports whether the import path is inside internal/ (the
@@ -238,4 +350,19 @@ func (p *Pass) nocontainAt(pos token.Pos) (bool, bool) {
 func inInternal(pkgPath string) bool {
 	return strings.Contains(pkgPath, "internal/") || strings.HasSuffix(pkgPath, "internal") ||
 		strings.Contains(pkgPath, "/testdata/")
+}
+
+// scopeFor builds a Scope function matching packages whose import path
+// ends with one of the suffixes, plus fixture packages whose path
+// contains the check's own name (so fixtures of other checks do not
+// trip it).
+func scopeFor(check string, suffixes ...string) func(string) bool {
+	return func(path string) bool {
+		for _, s := range suffixes {
+			if strings.HasSuffix(path, s) {
+				return true
+			}
+		}
+		return strings.Contains(path, "/testdata/") && strings.Contains(path, check)
+	}
 }

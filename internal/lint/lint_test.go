@@ -42,9 +42,16 @@ func expectations(t *testing.T, dir string) map[string]bool {
 // the findings against the // want markers.
 func checkFixture(t *testing.T, pkg string, a *Analyzer) {
 	t.Helper()
+	checkFixtureAll(t, pkg, []*Analyzer{a})
+}
+
+// checkFixtureAll is checkFixture with a batch of analyzers, for
+// checks (stalesupp) that only make sense alongside others.
+func checkFixtureAll(t *testing.T, pkg string, analyzers []*Analyzer) {
+	t.Helper()
 	dir := filepath.Join("testdata", "src", pkg)
 	want := expectations(t, dir)
-	findings, err := Run("../..", []string{dir}, []*Analyzer{a})
+	findings, err := Run("../..", []string{dir}, analyzers)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,9 +92,32 @@ func TestRecBudgetFixtures(t *testing.T) {
 	checkFixture(t, "recbudget_good", recBudget)
 }
 
-func TestCtxPollFixtures(t *testing.T) {
-	checkFixture(t, "ctxpoll_bad", ctxPoll)
-	checkFixture(t, "ctxpoll_good", ctxPoll)
+func TestPollPathFixtures(t *testing.T) {
+	checkFixture(t, "pollpath_bad", pollPath)
+	checkFixture(t, "pollpath_good", pollPath)
+}
+
+func TestChargeCoverFixtures(t *testing.T) {
+	checkFixture(t, "chargecover_bad", chargeCover)
+	checkFixture(t, "chargecover_good", chargeCover)
+}
+
+func TestCacheTaintFixtures(t *testing.T) {
+	checkFixture(t, "cachetaint_bad", cacheTaint)
+	checkFixture(t, "cachetaint_good", cacheTaint)
+}
+
+func TestLockOrderFixtures(t *testing.T) {
+	checkFixture(t, "lockorder_bad", lockOrder)
+	checkFixture(t, "lockorder_good", lockOrder)
+}
+
+func TestStaleSuppFixtures(t *testing.T) {
+	// stalesupp needs the owning checks in the batch: it only judges
+	// directives whose check actually ran over the package. The nopoll
+	// directive in the fixture stays unreported because pollpath's
+	// scope excludes the package even though it is in the batch.
+	checkFixtureAll(t, "stalesupp_bad", []*Analyzer{mapOrder, pollPath, staleSupp})
 }
 
 func TestContainRecoverFixtures(t *testing.T) {
@@ -97,8 +127,11 @@ func TestContainRecoverFixtures(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 6 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 6, nil", len(all), err)
+	if err != nil || len(all) != 10 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 10, nil", len(all), err)
+	}
+	if all[len(all)-1].Name != "stalesupp" {
+		t.Fatalf("stalesupp must run last, got %s", all[len(all)-1].Name)
 	}
 	two, err := ByName("bigalias, errdrop")
 	if err != nil || len(two) != 2 {

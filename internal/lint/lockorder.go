@@ -1,0 +1,366 @@
+package lint
+
+// lockorder proves that internal/server and internal/engine acquire
+// their mutexes in one consistent order, so the service layer cannot
+// deadlock no matter how requests, shutdown, and stats merging
+// interleave. Lock identity is the declared mutex variable or struct
+// field (instances of the same field share a class). Per function, a
+// may-hold set flows forward over the CFG: Lock/RLock adds, an inline
+// Unlock/RUnlock removes, a deferred unlock holds to function exit.
+// Acquiring B while holding A records the order edge A->B; calling a
+// function that (transitively, via the call graph) acquires B while
+// holding A records the same edge. A cycle in the resulting order
+// graph — including a self-edge, an exclusive re-acquisition — is a
+// potential deadlock and is reported.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+var lockOrder = &Analyzer{
+	Name:  "lockorder",
+	Doc:   "inconsistent mutex acquisition order across server and engine",
+	Scope: scopeFor("lockorder", "internal/server"),
+	Run:   runLockOrder,
+}
+
+// lockEdge is "to acquired while holding from".
+type lockEdge struct {
+	from, to types.Object
+}
+
+type lockGraph struct {
+	p     *Pass
+	edges map[lockEdge]token.Pos // first example site
+	self  map[types.Object]token.Pos
+}
+
+func runLockOrder(p *Pass) {
+	// Universe: the fixture package when analysing testdata, otherwise
+	// server + engine together (the check's Scope anchors it to the
+	// server package so the pair is analysed exactly once per run).
+	var paths []string
+	if strings.Contains(p.Path, "/testdata/") {
+		paths = []string{p.Path}
+	} else {
+		for path := range p.Prog.pkgs {
+			if strings.HasSuffix(path, "internal/server") || strings.HasSuffix(path, "internal/engine") {
+				paths = append(paths, path)
+			}
+		}
+	}
+	sort.Strings(paths)
+
+	lg := &lockGraph{p: p, edges: map[lockEdge]token.Pos{}, self: map[types.Object]token.Pos{}}
+
+	// Pass 1: direct acquire sets per declared function, then the
+	// transitive closure over the call graph.
+	acq := map[*types.Func]map[types.Object]bool{}
+	var units []*funcUnit
+	objOfUnit := map[*funcUnit]*types.Func{}
+	for _, path := range paths {
+		for _, u := range p.Prog.unitsOf(path) {
+			units = append(units, u)
+			if u.decl != nil {
+				if f, ok := u.pkg.Info.Defs[u.decl.Name].(*types.Func); ok {
+					objOfUnit[u] = f
+					acq[f] = directAcquires(u)
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range units {
+			f := objOfUnit[u]
+			if f == nil {
+				continue
+			}
+			inspectUnit(u.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := staticCallee(u.pkg.Info, call)
+				if callee == nil {
+					return true
+				}
+				for l := range acq[callee] {
+					if !acq[f][l] {
+						acq[f][l] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: flow the may-hold set through each unit, recording order
+	// edges at direct acquires and at calls into acquiring functions.
+	for _, u := range units {
+		lg.flowUnit(u, acq)
+	}
+
+	lg.report()
+}
+
+// lockTarget resolves a Lock/RLock/Unlock/RUnlock call to the mutex's
+// declared object, requiring a *Mutex*-named receiver type.
+func lockTarget(pkg *Package, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	t := pkg.Info.TypeOf(sel.X)
+	if !typeNameContains(t, "mutex") {
+		return nil, ""
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[x], name
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[x.Sel], name
+	}
+	return nil, ""
+}
+
+// directAcquires collects the mutexes a unit locks anywhere in its
+// body.
+func directAcquires(u *funcUnit) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	inspectUnit(u.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj, kind := lockTarget(u.pkg, call); obj != nil && (kind == "Lock" || kind == "RLock") {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// flowUnit runs the may-hold dataflow over one unit's CFG.
+func (lg *lockGraph) flowUnit(u *funcUnit, acq map[*types.Func]map[types.Object]bool) {
+	g := lg.p.Prog.cfgOf(u)
+	in := map[*block]map[types.Object]string{} // lock -> acquire kind
+	in[g.entry] = map[types.Object]string{}
+	work := []*block{g.entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		held := map[types.Object]string{}
+		for l, k := range in[b] {
+			held[l] = k
+		}
+		lg.transferBlock(u, b, held, acq)
+		for _, s := range b.succs {
+			if merged, grew := mergeHeld(in[s], held, in[s] == nil); grew {
+				in[s] = merged
+				work = append(work, s)
+			}
+		}
+	}
+}
+
+// mergeHeld unions src into dst (may-hold), reporting growth.
+func mergeHeld(dst, src map[types.Object]string, fresh bool) (map[types.Object]string, bool) {
+	if fresh {
+		out := map[types.Object]string{}
+		for l, k := range src {
+			out[l] = k
+		}
+		return out, true
+	}
+	grew := false
+	for l, k := range src {
+		if _, ok := dst[l]; !ok {
+			dst[l] = k
+			grew = true
+		}
+	}
+	return dst, grew
+}
+
+// transferBlock walks a block's nodes in order, mutating held and
+// recording order edges.
+func (lg *lockGraph) transferBlock(u *funcUnit, b *block, held map[types.Object]string, acq map[*types.Func]map[types.Object]bool) {
+	for _, n := range b.nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			// Deferred unlocks run at return: the lock stays held for
+			// the rest of the function, which is exactly what may-hold
+			// models. Deferred locks are not a pattern we accept.
+			continue
+		}
+		walkCalls(n, func(call *ast.CallExpr) {
+			if obj, kind := lockTarget(u.pkg, call); obj != nil {
+				switch kind {
+				case "Lock", "RLock":
+					for h, hk := range held {
+						if h == obj {
+							// Re-acquisition: a write lock involved on
+							// either side self-deadlocks.
+							if kind == "Lock" || hk == "Lock" {
+								lg.addSelf(obj, call.Pos())
+							}
+							continue
+						}
+						lg.addEdge(h, obj, call.Pos())
+					}
+					held[obj] = kind
+				case "Unlock", "RUnlock":
+					delete(held, obj)
+				}
+				return
+			}
+			if len(held) == 0 {
+				return
+			}
+			callee := staticCallee(u.pkg.Info, call)
+			if callee == nil {
+				return
+			}
+			for l := range acq[callee] {
+				for h, hk := range held {
+					if h == l {
+						if hk == "Lock" {
+							lg.addSelf(l, call.Pos())
+						}
+						continue
+					}
+					lg.addEdge(h, l, call.Pos())
+				}
+			}
+		})
+	}
+}
+
+func (lg *lockGraph) addEdge(from, to types.Object, pos token.Pos) {
+	e := lockEdge{from, to}
+	if _, ok := lg.edges[e]; !ok {
+		lg.edges[e] = pos
+	}
+}
+
+func (lg *lockGraph) addSelf(l types.Object, pos token.Pos) {
+	if _, ok := lg.self[l]; !ok {
+		lg.self[l] = pos
+	}
+}
+
+// report emits self-deadlocks and order-graph cycles, deterministically.
+func (lg *lockGraph) report() {
+	var selfs []types.Object
+	for l := range lg.self {
+		selfs = append(selfs, l)
+	}
+	sort.Slice(selfs, func(i, j int) bool { return lg.lockName(selfs[i]) < lg.lockName(selfs[j]) })
+	for _, l := range selfs {
+		pos := lg.self[l]
+		if has, justified := lg.p.suppression(locksDirective, pos); has {
+			if !justified {
+				lg.p.Report(pos, "lockorder", "//lint:locks needs a justification")
+			}
+			continue
+		}
+		lg.p.Report(pos, "lockorder",
+			fmt.Sprintf("%s is re-acquired while already held: self-deadlock", lg.lockName(l)))
+	}
+
+	// succ adjacency for reachability.
+	succs := map[types.Object][]types.Object{}
+	for e := range lg.edges {
+		succs[e.from] = append(succs[e.from], e.to)
+	}
+	reaches := func(from, to types.Object) bool {
+		seen := map[types.Object]bool{from: true}
+		stack := []types.Object{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range succs[n] {
+				if s == to {
+					return true
+				}
+				if !seen[s] {
+					seen[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+		return false
+	}
+	var cyclic []lockEdge
+	for e := range lg.edges {
+		if reaches(e.to, e.from) {
+			cyclic = append(cyclic, e)
+		}
+	}
+	sort.Slice(cyclic, func(i, j int) bool {
+		a := lg.lockName(cyclic[i].from) + "->" + lg.lockName(cyclic[i].to)
+		b := lg.lockName(cyclic[j].from) + "->" + lg.lockName(cyclic[j].to)
+		return a < b
+	})
+	reported := map[string]bool{}
+	for _, e := range cyclic {
+		a, b := lg.lockName(e.from), lg.lockName(e.to)
+		key := a + "|" + b
+		if a > b {
+			key = b + "|" + a
+		}
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		pos := lg.edges[e]
+		if has, justified := lg.p.suppression(locksDirective, pos); has {
+			if !justified {
+				lg.p.Report(pos, "lockorder", "//lint:locks needs a justification")
+			}
+			continue
+		}
+		lg.p.Report(pos, "lockorder",
+			fmt.Sprintf("inconsistent lock order: %s acquired while holding %s, but the reverse order also occurs; pick one order", b, a))
+	}
+}
+
+// lockName renders a lock class readably: pkg.Struct.field for struct
+// fields, pkg.var for package-level mutexes.
+func (lg *lockGraph) lockName(obj types.Object) string {
+	pkgName := "?"
+	if obj.Pkg() != nil {
+		pkgName = obj.Pkg().Name()
+	}
+	if v, ok := obj.(*types.Var); ok && v.IsField() && obj.Pkg() != nil {
+		scope := obj.Pkg().Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == v {
+					return fmt.Sprintf("%s.%s.%s", pkgName, name, obj.Name())
+				}
+			}
+		}
+	}
+	return fmt.Sprintf("%s.%s", pkgName, obj.Name())
+}

@@ -47,18 +47,29 @@ func checkMapOrderFunc(p *Pass, fn *ast.FuncDecl) {
 		if _, isMap := t.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		if has, justified := p.suppressed(rs.For); has {
+		// Decide first, suppress second: a directive is consulted (and
+		// marked used) only when it actually swallows a finding, so
+		// stalesupp can report the ones that rot.
+		findings := checkMapRange(p, fn, rs)
+		if len(findings) == 0 {
+			return true
+		}
+		if has, justified := p.suppression(orderedDirective, rs.For); has {
 			if !justified {
 				p.Report(rs.For, "maporder", "//lint:ordered needs a justification")
 			}
 			return true
 		}
-		checkMapRange(p, fn, rs)
+		for _, msg := range findings {
+			p.Report(rs.For, "maporder", msg)
+		}
 		return true
 	})
 }
 
-func checkMapRange(p *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) {
+// checkMapRange returns the finding messages the loop would produce.
+func checkMapRange(p *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) []string {
+	var msgs []string
 	appended := map[types.Object]bool{}
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -73,7 +84,7 @@ func checkMapRange(p *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) {
 			return true
 		}
 		if name, isOut := outputCall(p, call); isOut {
-			p.Report(rs.For, "maporder",
+			msgs = append(msgs,
 				fmt.Sprintf("%s writes output in map iteration order; iterate sorted keys instead", name))
 		}
 		return true
@@ -85,11 +96,12 @@ func checkMapRange(p *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) {
 	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
 	for _, obj := range objs {
 		if !sortedAfter(p, fn, rs.End(), obj) {
-			p.Report(rs.For, "maporder",
+			msgs = append(msgs,
 				fmt.Sprintf("appends to %q in map iteration order without a subsequent sort; "+
 					"sort the result or iterate sorted keys (//lint:ordered <why> suppresses)", obj.Name()))
 		}
 	}
+	return msgs
 }
 
 // appendTarget returns the object being appended to when call is

@@ -1,0 +1,48 @@
+package lint
+
+// stalesupp keeps the suppression inventory honest: every //lint:*
+// directive must still be suppressing a finding. The other checks
+// consult a directive only at the moment a finding is otherwise
+// certain (marking it used), so any directive left unused after they
+// ran is dead weight — the hazard it once excused was fixed, or the
+// flow-aware analysis got precise enough to prove it never existed.
+// Rotten suppressions are dangerous: they silently swallow the NEXT
+// real finding at that line.
+//
+// stalesupp must run last in the batch (All() orders it so) and only
+// judges directives whose owning check actually ran over the package.
+
+import "sort"
+
+var staleSupp = &Analyzer{
+	Name: "stalesupp",
+	Doc:  "suppression directives that no longer suppress any finding",
+	Run:  runStaleSupp,
+}
+
+func runStaleSupp(p *Pass) {
+	kinds := make([]string, 0, len(p.dirs.byKind))
+	for kind := range p.dirs.byKind {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		check := directiveChecks[kind]
+		if !p.analyzerRan(check) {
+			continue
+		}
+		lines := make([]int, 0, len(p.dirs.byKind[kind]))
+		for line := range p.dirs.byKind[kind] {
+			lines = append(lines, line)
+		}
+		sort.Ints(lines)
+		for _, line := range lines {
+			d := p.dirs.byKind[kind][line]
+			if d.used {
+				continue
+			}
+			p.Report(d.pos, "stalesupp",
+				"stale //"+kind+": no "+check+" finding here needs suppressing; delete the directive")
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package lint
+
+// A small field-sensitive taint engine for intra-function data-flow.
+// Taint is tracked per object and per object.field, so a struct with
+// one tainted field (a Result whose Reason came from BudgetReason)
+// does not taint its sibling fields (the Status the cache is allowed
+// to see). Propagation iterates the function's assignments to a
+// fixpoint; the source predicate is supplied by the check.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+type taintKey string
+
+func keyOf(obj types.Object) taintKey {
+	return taintKey(fmt.Sprintf("%s@%d", obj.Name(), obj.Pos()))
+}
+
+func fieldKeyOf(obj types.Object, field string) taintKey {
+	return keyOf(obj) + taintKey("."+field)
+}
+
+type taintState struct {
+	p        *Pass
+	isSource func(ast.Expr) bool
+	// clean names short-circuit call taint: a call of a method with
+	// one of these names is never tainted (the sanctioned negative
+	// guards like Expired/Poll).
+	cleanMethods map[string]bool
+	tainted      map[taintKey]bool
+}
+
+// taintFunc runs the fixpoint over one function body (nested literals
+// excluded — they are separate units).
+func taintFunc(p *Pass, body ast.Node, isSource func(ast.Expr) bool, clean map[string]bool) *taintState {
+	ts := &taintState{p: p, isSource: isSource, cleanMethods: clean, tainted: map[taintKey]bool{}}
+	for changed := true; changed; {
+		changed = false
+		inspectUnit(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					var rhs ast.Expr
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					} else if len(n.Rhs) == 1 {
+						rhs = n.Rhs[0]
+					}
+					if rhs == nil {
+						continue
+					}
+					if ts.assign(lhs, rhs) {
+						changed = true
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) && ts.assign(name, vs.Values[i]) {
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if ts.exprTainted(n.X) {
+					for _, e := range []ast.Expr{n.Key, n.Value} {
+						if id, ok := e.(*ast.Ident); ok && e != nil {
+							if obj := ts.objOf(id); obj != nil && !ts.tainted[keyOf(obj)] {
+								ts.tainted[keyOf(obj)] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return ts
+}
+
+func (ts *taintState) objOf(id *ast.Ident) types.Object {
+	if obj := ts.p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return ts.p.Info.Uses[id]
+}
+
+// assign propagates taint from rhs into the lhs target, returning
+// whether new taint was recorded. Composite literals assign
+// field-sensitively.
+func (ts *taintState) assign(lhs, rhs ast.Expr) bool {
+	obj, field := ts.target(lhs)
+	if obj == nil {
+		return false
+	}
+	mark := func(k taintKey) bool {
+		if ts.tainted[k] {
+			return false
+		}
+		ts.tainted[k] = true
+		return true
+	}
+	if comp, ok := ast.Unparen(rhs).(*ast.CompositeLit); ok && field == "" {
+		changed := false
+		for _, elt := range comp.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					if ts.exprTainted(kv.Value) && mark(fieldKeyOf(obj, key.Name)) {
+						changed = true
+					}
+					continue
+				}
+			}
+			// Positional or keyless element: lose field precision.
+			if ts.exprTainted(elt) && mark(keyOf(obj)) {
+				changed = true
+			}
+		}
+		return changed
+	}
+	if !ts.exprTainted(rhs) {
+		return false
+	}
+	if field != "" {
+		return mark(fieldKeyOf(obj, field))
+	}
+	return mark(keyOf(obj))
+}
+
+// target resolves an assignment destination to (object, field): x ->
+// (x, ""), x.f -> (x, "f"), anything deeper or indexed taints the base
+// object wholly.
+func (ts *taintState) target(lhs ast.Expr) (types.Object, string) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return ts.objOf(lhs), ""
+	case *ast.SelectorExpr:
+		if id, ok := lhs.X.(*ast.Ident); ok {
+			return ts.objOf(id), lhs.Sel.Name
+		}
+		if obj := objOfExpr(ts.p, lhs.X); obj != nil {
+			return obj, ""
+		}
+	case *ast.IndexExpr:
+		if obj := objOfExpr(ts.p, lhs.X); obj != nil {
+			return obj, ""
+		}
+	case *ast.StarExpr:
+		if obj := objOfExpr(ts.p, lhs.X); obj != nil {
+			return obj, ""
+		}
+	}
+	return nil, ""
+}
+
+// exprTainted reports whether evaluating e can produce a
+// source-derived value.
+func (ts *taintState) exprTainted(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if ts.isSource(e) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := ts.objOf(e)
+		return obj != nil && ts.tainted[keyOf(obj)]
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			if obj := ts.objOf(id); obj != nil {
+				if ts.tainted[fieldKeyOf(obj, e.Sel.Name)] || ts.tainted[keyOf(obj)] {
+					return true
+				}
+			}
+			return false
+		}
+		return ts.exprTainted(e.X)
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if ts.cleanMethods[sel.Sel.Name] {
+				return false
+			}
+			if ts.exprTainted(sel.X) {
+				return true
+			}
+		}
+		for _, a := range e.Args {
+			if ts.exprTainted(a) {
+				return true
+			}
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if ts.exprTainted(kv.Value) {
+					return true
+				}
+				continue
+			}
+			if ts.exprTainted(elt) {
+				return true
+			}
+		}
+		return false
+	case *ast.BinaryExpr:
+		return ts.exprTainted(e.X) || ts.exprTainted(e.Y)
+	case *ast.UnaryExpr:
+		return ts.exprTainted(e.X)
+	case *ast.ParenExpr:
+		return ts.exprTainted(e.X)
+	case *ast.StarExpr:
+		return ts.exprTainted(e.X)
+	case *ast.IndexExpr:
+		return ts.exprTainted(e.X) || ts.exprTainted(e.Index)
+	case *ast.SliceExpr:
+		return ts.exprTainted(e.X)
+	case *ast.TypeAssertExpr:
+		return ts.exprTainted(e.X)
+	case *ast.KeyValueExpr:
+		return ts.exprTainted(e.Value)
+	}
+	return false
+}
+
+// valueTainted is exprTainted plus field transport: passing a struct
+// variable by value carries its tainted fields along, so at a sink an
+// identifier with any tainted field counts as tainted.
+func (ts *taintState) valueTainted(e ast.Expr) bool {
+	if ts.exprTainted(e) {
+		return true
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := ts.objOf(id); obj != nil {
+			prefix := string(keyOf(obj)) + "."
+			for k := range ts.tainted {
+				if strings.HasPrefix(string(k), prefix) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condStackAt collects the condition expressions the statement at pos
+// is control-dependent on: enclosing if conditions (either branch),
+// switch tags, case-clause expression lists, and loop conditions.
+func condStackAt(root ast.Node, pos token.Pos) []ast.Expr {
+	var out []ast.Expr
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if n.Cond.End() < pos && pos <= n.End() {
+				out = append(out, n.Cond)
+			}
+		case *ast.SwitchStmt:
+			if n.Body.Pos() <= pos && pos <= n.Body.End() && n.Tag != nil {
+				out = append(out, n.Tag)
+			}
+		case *ast.CaseClause:
+			if n.Pos() <= pos && pos <= n.End() {
+				out = append(out, n.List...)
+			}
+		case *ast.ForStmt:
+			if n.Body.Pos() <= pos && pos <= n.Body.End() && n.Cond != nil {
+				out = append(out, n.Cond)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// typeNameContains reports whether the (possibly pointer) type's name
+// contains the substring, case-insensitively.
+func typeNameContains(t types.Type, sub string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return strings.Contains(strings.ToLower(named.Obj().Name()), sub)
+}

@@ -1,0 +1,58 @@
+// Package cachetaint_bad holds verdict-cache puts that depend on the
+// run's budget diagnostics — the soundness bug cachetaint exists to
+// catch: a budget-truncated UNKNOWN cached as if it held for the
+// problem itself.
+package cachetaint_bad
+
+type status int
+
+const (
+	StatusUnknown status = iota
+	StatusSat
+	StatusUnsat
+)
+
+type verdict struct {
+	status status
+	reason string
+}
+
+type cache struct{ m map[string]verdict }
+
+func (c *cache) put(k string, v verdict) { c.m[k] = v }
+
+type ectx struct{}
+
+func (e *ectx) BudgetReason() string { return "budget: propagation budget exhausted" }
+func (e *ectx) Expired() bool        { return false }
+
+// Data dependence: the cached verdict carries the "budget:" reason of
+// this run — the acceptance case.
+func cacheBudgetReason(c *cache, e *ectx, key string) {
+	reason := e.BudgetReason()
+	c.put(key, verdict{status: StatusUnknown, reason: reason}) // want cachetaint
+}
+
+// Control dependence: whether to cache is decided by budget data.
+func cacheUnderBudgetGuard(c *cache, e *ectx, key string) {
+	reason := e.BudgetReason()
+	if len(reason) > 0 {
+		c.put(key, verdict{status: StatusSat}) // want cachetaint
+	}
+}
+
+// Unsettled: nothing proves the status is SAT or UNSAT.
+func cacheUnsettled(c *cache, key string, st status) {
+	c.put(key, verdict{status: st}) // want cachetaint
+}
+
+// Interprocedural: a helper launders the budget reason through its
+// return value.
+func describe(e *ectx) string {
+	return e.BudgetReason()
+}
+
+func cacheLaundered(c *cache, e *ectx, key string) {
+	v := verdict{status: StatusSat, reason: describe(e)}
+	c.put(key, v) // want cachetaint
+}

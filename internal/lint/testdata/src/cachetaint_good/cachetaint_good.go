@@ -1,0 +1,73 @@
+// Package cachetaint_good holds the sanctioned caching patterns:
+// field-sensitive separation of diagnostics from verdicts, boolean
+// Expired/Poll guards, settled-status proofs, and a justified
+// suppression.
+package cachetaint_good
+
+type status int
+
+const (
+	StatusUnknown status = iota
+	StatusSat
+	StatusUnsat
+)
+
+type witness struct{ s string }
+
+type verdict struct {
+	status  status
+	witness *witness
+}
+
+type cache struct{ m map[string]verdict }
+
+func (c *cache) put(k string, v verdict) { c.m[k] = v }
+
+type result struct {
+	Status status
+	Reason string
+	Model  []int
+}
+
+type ectx struct{}
+
+func (e *ectx) BudgetReason() string { return "budget: x" }
+func (e *ectx) Expired() bool        { return false }
+
+// The sanctioned pattern: the Reason field is budget-tainted but never
+// reaches the cache; Status does, under a clean Expired guard and a
+// settled switch.
+func cacheSettled(c *cache, e *ectx, key string, res result) {
+	if e.Expired() {
+		res = result{Status: StatusUnknown, Reason: e.BudgetReason()}
+	}
+	if !e.Expired() {
+		switch res.Status {
+		case StatusSat:
+			c.put(key, verdict{status: StatusSat, witness: &witness{s: "w"}})
+		case StatusUnsat:
+			c.put(key, verdict{status: StatusUnsat})
+		}
+	}
+}
+
+// Witness material derived from the model, not from diagnostics.
+func stringify(m []int) string {
+	s := ""
+	for range m {
+		s += "x"
+	}
+	return s
+}
+
+func cacheModel(c *cache, key string, res result) {
+	if res.Status == StatusSat {
+		c.put(key, verdict{status: StatusSat, witness: &witness{s: stringify(res.Model)}})
+	}
+}
+
+// A justified suppression stays silent.
+func cacheSuppressed(c *cache, key string, st status) {
+	//lint:cachesafe st is proven settled by the caller's contract
+	c.put(key, verdict{status: st})
+}

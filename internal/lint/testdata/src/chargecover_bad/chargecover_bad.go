@@ -1,0 +1,59 @@
+// Package chargecover_bad holds growth sites in unbounded cycles with
+// no Charge metering them.
+package chargecover_bad
+
+type ctx struct{}
+
+func (c *ctx) Poll() bool                       { return false }
+func (c *ctx) Charge(site string, n int64) bool { return false }
+
+// Growth in an unbounded cycle with no Charge anywhere; Poll does not
+// meter.
+func grow(c *ctx, n int) []int {
+	var out []int
+	for len(out) < n {
+		out = append(out, len(out)) // want chargecover
+		if c.Poll() {
+			break
+		}
+	}
+	return out
+}
+
+// A worklist: the counted bound grows inside the loop, so the append
+// amplifies and must be metered.
+func worklist(xs []int) []int {
+	for i := 0; i < len(xs); i++ {
+		if xs[i] > 0 {
+			xs = append(xs, xs[i]-1) // want chargecover
+		}
+	}
+	return xs
+}
+
+// Non-constant makes amplify too.
+func alloc(n int) [][]int {
+	var out [][]int
+	i := 0
+	for {
+		if i >= n {
+			return out
+		}
+		row := make([]int, i)  // want chargecover
+		out = append(out, row) // want chargecover
+		i++
+	}
+}
+
+// Interprocedural: the caller rule does not rescue fill because its
+// only call site is uncharged.
+func fill(xs []int, n int) []int {
+	for len(xs) < n {
+		xs = append(xs, 0) // want chargecover
+	}
+	return xs
+}
+
+func useFill(xs []int) []int {
+	return fill(xs, 10)
+}

@@ -1,0 +1,85 @@
+// Package chargecover_good holds metered or bounded growth: amortised
+// in-cycle charges, dominating charges, bounded loops, the one-level
+// caller rule, and a justified suppression.
+package chargecover_good
+
+type ctx struct{}
+
+func (c *ctx) Charge(site string, n int64) bool { return false }
+
+// Amortised billing: a Charge anywhere in the same cycle covers the
+// growth.
+func amortised(c *ctx, n int) []int {
+	var out []int
+	for len(out) < n {
+		out = append(out, len(out))
+		if len(out)%64 == 0 {
+			if c.Charge("amortised", 64) {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// A Charge dominating the site covers it.
+func dominated(c *ctx, n int) [][]int {
+	var out [][]int
+	i := 0
+	for {
+		if i >= n {
+			return out
+		}
+		if c.Charge("rows", int64(i)) {
+			return out
+		}
+		out = append(out, make([]int, i))
+		i++
+	}
+}
+
+// Bounded loops are input-linear and exempt.
+func bounded(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	for i := 0; i < 10; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// One level up the call graph: every static call site of fill is
+// charge-covered, so fill's own growth is billed by its callers.
+func fill(xs []int, n int) []int {
+	for len(xs) < n {
+		xs = append(xs, 0)
+	}
+	return xs
+}
+
+func useFill(c *ctx, m int) []int {
+	var xs []int
+	i := 0
+	for {
+		if i >= m {
+			return xs
+		}
+		if c.Charge("fill", int64(m)) {
+			return xs
+		}
+		xs = fill(xs, i)
+		i++
+	}
+}
+
+// A justified function-level suppression stays silent.
+//
+//lint:nocharge pos grows to the allocated variable count only
+func grow(pos []int, v int) []int {
+	for len(pos) <= v {
+		pos = append(pos, -1)
+	}
+	return pos
+}

@@ -1,0 +1,56 @@
+// Package lockorder_bad holds lock-order inversions: a direct AB/BA
+// cycle, an exclusive re-acquisition, and a cycle that only appears
+// through the call graph.
+package lockorder_bad
+
+import "sync"
+
+type s struct {
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+	d sync.Mutex
+}
+
+// Direct inversion: ab takes a then b, ba takes b then a.
+func ab(x *s) {
+	x.a.Lock()
+	x.b.Lock() // want lockorder
+	x.b.Unlock()
+	x.a.Unlock()
+}
+
+func ba(x *s) {
+	x.b.Lock()
+	x.a.Lock()
+	x.a.Unlock()
+	x.b.Unlock()
+}
+
+// Exclusive re-acquisition self-deadlocks.
+func rec(x *s) {
+	x.c.Lock()
+	x.c.Lock() // want lockorder
+	x.c.Unlock()
+	x.c.Unlock()
+}
+
+// The d->a edge exists only through the call graph: viaCall holds d
+// across a call into helper, which takes a.
+func viaCall(x *s) {
+	x.d.Lock()
+	defer x.d.Unlock()
+	helper(x)
+}
+
+func helper(x *s) {
+	x.a.Lock()
+	x.a.Unlock()
+}
+
+func inverse(x *s) {
+	x.a.Lock()
+	x.d.Lock() // want lockorder
+	x.d.Unlock()
+	x.a.Unlock()
+}

@@ -1,0 +1,41 @@
+// Package lockorder_good holds consistent lock usage: one global
+// order, hand-over-hand release, and read-lock nesting.
+package lockorder_good
+
+import "sync"
+
+type s struct {
+	a sync.Mutex
+	b sync.RWMutex
+}
+
+// One consistent order everywhere: a before b.
+func one(x *s) {
+	x.a.Lock()
+	x.b.Lock()
+	x.b.Unlock()
+	x.a.Unlock()
+}
+
+func two(x *s) {
+	x.a.Lock()
+	defer x.a.Unlock()
+	x.b.RLock()
+	defer x.b.RUnlock()
+}
+
+// Hand-over-hand: release before the next acquire creates no edge.
+func three(x *s) {
+	x.b.Lock()
+	x.b.Unlock()
+	x.a.Lock()
+	x.a.Unlock()
+}
+
+// Read locks may nest with themselves.
+func four(x *s) {
+	x.b.RLock()
+	x.b.RLock()
+	x.b.RUnlock()
+	x.b.RUnlock()
+}

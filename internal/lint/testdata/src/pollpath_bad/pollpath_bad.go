@@ -1,0 +1,90 @@
+// Package pollpath_bad holds unbounded cycles with at least one path
+// that never observes the solve context.
+package pollpath_bad
+
+type ctx struct{ n int }
+
+func (c *ctx) Poll() bool                       { return false }
+func (c *ctx) Charge(site string, n int64) bool { return false }
+
+type solver struct {
+	trail []int
+	qhead int
+}
+
+// Unconditional loop with no poll anywhere.
+func spin(n int) int {
+	s := 0
+	for { // want pollpath
+		s += n
+		if s > 1000 {
+			return s
+		}
+	}
+}
+
+// Polls on one path only: the odd iterations close the cycle without
+// touching the context.
+func partial(c *ctx, n int) int {
+	s := 0
+	for { // want pollpath
+		if s%2 == 0 {
+			if c.Poll() {
+				return s
+			}
+		}
+		s += n
+		if s > 1000 {
+			return s
+		}
+	}
+}
+
+// A counted loop whose bound grows inside the body is a worklist, not
+// a bounded loop.
+func worklist(xs []int) int {
+	out := 0
+	for i := 0; i < len(xs); i++ { // want pollpath
+		if xs[i] > 0 {
+			xs = append(xs, xs[i]-1)
+		}
+		out++
+	}
+	return out
+}
+
+// Condition-only loops are unbounded-class.
+func drain(s *solver) {
+	for s.qhead < len(s.trail) { // want pollpath
+		s.qhead++
+	}
+}
+
+// Interprocedural: the callee polls on only some of its own paths, so
+// calling it does not cover the cycle.
+func maybePoll(c *ctx, b bool) {
+	if b {
+		c.Poll()
+	}
+}
+
+func viaBadCallee(c *ctx) {
+	x := 0
+	for { // want pollpath
+		maybePoll(c, x%2 == 0)
+		x++
+		if x > 10 {
+			return
+		}
+	}
+}
+
+// A directive without a justification is itself a finding.
+func unjustified(n int) int {
+	s := 0
+	//lint:nopoll
+	for s < n*n { // want pollpath
+		s++
+	}
+	return s
+}

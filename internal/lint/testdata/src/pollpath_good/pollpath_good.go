@@ -1,0 +1,85 @@
+// Package pollpath_good holds cycles that poll on every path, bounded
+// loops that need no poll, and a justified suppression.
+package pollpath_good
+
+type ctx struct{ n int }
+
+func (c *ctx) Poll() bool                       { return false }
+func (c *ctx) Expired() bool                    { return false }
+func (c *ctx) Charge(site string, n int64) bool { return false }
+
+type solver struct {
+	c     *ctx
+	props int
+	trail []int
+	qhead int
+}
+
+// The strided-poll idiom: the condition containing the Poll sits on
+// every path through the cycle.
+func strided(s *solver) {
+	for s.qhead < len(s.trail) {
+		if s.props%64 == 0 && s.c.Poll() {
+			return
+		}
+		s.props++
+		s.qhead++
+	}
+}
+
+// Bounded loops are exempt: ranges and counted loops whose bound does
+// not grow.
+func bounded(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	for i := 0; i < 100; i++ {
+		t++
+	}
+	return t
+}
+
+// Charge polls as part of billing.
+func charged(s *solver, n int) {
+	x := 0
+	for {
+		if s.c.Charge("site", 1) {
+			return
+		}
+		x++
+		if x > n {
+			return
+		}
+	}
+}
+
+// Interprocedural: the callee polls on every one of its own paths, so
+// the call covers the cycle.
+func alwaysPoll(c *ctx) bool {
+	if c.n%2 == 0 {
+		return c.Poll()
+	}
+	return c.Expired()
+}
+
+func viaGoodCallee(c *ctx) {
+	x := 0
+	for {
+		if alwaysPoll(c) {
+			return
+		}
+		x++
+	}
+}
+
+// A justified suppression stays silent.
+func suppressed(n int) int {
+	i := 0
+	//lint:nopoll halving terminates in log2(n) iterations
+	for n > 1 {
+		n /= 2
+		i++
+	}
+	return i
+}

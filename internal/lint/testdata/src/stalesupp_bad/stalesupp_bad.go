@@ -1,0 +1,32 @@
+// Package stalesupp_bad exercises the stale-suppression check: the
+// first directive suppresses a real maporder finding and is kept, the
+// second suppresses nothing and is reported, and the third belongs to
+// a check whose scope excludes this package, so it is left alone.
+package stalesupp_bad
+
+func used(m map[int]int) []int {
+	var out []int
+	//lint:ordered fixture emits keys unordered on purpose
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func stale(m map[int]int) int {
+	t := 0
+	//lint:ordered keys are pre-sorted // want stalesupp
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+func notRun(n int) int {
+	s := 0
+	//lint:nopoll bounded by the caller's contract
+	for s < n {
+		s++
+	}
+	return s
+}

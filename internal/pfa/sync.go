@@ -176,7 +176,12 @@ func buildSkeleton(ec *engine.Ctx, p, q *PA) (sk *syncSkeleton, truncated bool) 
 		return &syncSkeleton{empty: true}, false
 	}
 
-	// Co-reachability pruning.
+	// Co-reachability pruning. The reverse index and the visited set are
+	// the allocations; bill them before the traversal so the worklist
+	// below runs under an already-debited budget.
+	if ec.Charge("pfa coreach", int64(len(states))) {
+		return &syncSkeleton{empty: true}, true
+	}
 	rev := make([][]int, len(states)) // state -> incoming edge indices
 	for i, e := range edges {
 		rev[e.to] = append(rev[e.to], i)

@@ -267,6 +267,8 @@ func (s *Solver) enqueue(l Lit, from *clause) bool {
 // or nil. When the context stops mid-propagation it sets s.stopped and
 // bails between watch-list scans (the trail stays consistent; the
 // unpropagated suffix is simply re-examined by the next propagate).
+//
+//lint:nocharge watch entries move between lists, never multiply: kept reuses ws's backing array and the new-watch append removes the clause from the scanned list
 func (s *Solver) propagate() *clause {
 	for s.qhead < len(s.trail) {
 		if s.propags%64 == 0 && s.Ctx.Poll() {
@@ -401,6 +403,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 		// Find next literal to resolve on. Resolved variables keep
 		// their seen flag so later reason clauses cannot re-introduce
 		// them; idx only moves down, so they are never revisited.
+		//lint:nopoll bounded: idx moves strictly down a trail this loop does not extend
 		for !s.seen[s.trail[idx].Var()] {
 			idx--
 		}
@@ -476,6 +479,7 @@ func (s *Solver) redundant(l Lit, learnt []Lit) bool {
 // Assumptions already implied true get an empty decision level so level
 // i always corresponds to Assumptions[i-1].
 func (s *Solver) assumeMore() (p Lit, failed, made bool) {
+	//lint:nopoll bounded: every iteration installs an assumption level or returns
 	for len(s.lim) < len(s.Assumptions) {
 		p = s.Assumptions[len(s.lim)]
 		switch s.litValue(p) {
@@ -664,6 +668,10 @@ func (s *Solver) Solve() Result {
 			c := &clause{lits: learnt, learnt: true, act: s.claInc}
 			s.attach(c)
 			s.clauses = append(s.clauses, c)
+			// Learnt clauses are the solver's only unbounded memory
+			// amplifier; bill them as they enter the database. A budget
+			// trip surfaces at the next loop-head Poll.
+			s.Ctx.Charge("sat learnt", int64(len(learnt)))
 			s.enqueue(learnt[0], c)
 		}
 		s.varInc /= 0.95
@@ -686,6 +694,7 @@ func (s *Solver) Solve() Result {
 // fixpoint check, converting any reported conflict into a clause.
 func (s *Solver) theorySync() *clause {
 	advanced := false
+	//lint:nopoll bounded: theoryHead advances to a trail this loop does not extend
 	for s.theoryHead < len(s.trail) {
 		l := s.trail[s.theoryHead]
 		s.theoryHead++
@@ -784,8 +793,9 @@ func (h *varHeap) contains(v int) bool {
 }
 
 func (h *varHeap) push(v int, act []float64) {
+	//lint:nopoll bounded: pos grows to the variable count, then the loop exits
 	for len(h.pos) <= v {
-		h.pos = append(h.pos, -1)
+		h.pos = append(h.pos, -1) //lint:nocharge pos grows to the variable count only
 	}
 	if h.pos[v] >= 0 {
 		return
@@ -819,6 +829,7 @@ func (h *varHeap) update(v int, act []float64) {
 
 func (h *varHeap) up(i int, act []float64) {
 	v := h.heap[i]
+	//lint:nopoll bounded by the heap depth
 	for i > 0 {
 		p := (i - 1) / 2
 		if act[h.heap[p]] >= act[v] {

@@ -95,12 +95,16 @@ func (s *Solver) NumVars() int { return s.n }
 // variables are unbounded with value 0. Intended for callers that add
 // constraints incrementally (lazy lemmas).
 func (s *Solver) EnsureVars(n int) {
-	for s.n < n {
+	if n <= s.n {
+		return
+	}
+	s.Ctx.Charge("simplex tableau", int64(n-s.n))
+	for i := s.n; i < n; i++ {
 		s.beta = append(s.beta, new(big.Rat))
 		s.lower = append(s.lower, bound{})
 		s.upper = append(s.upper, bound{})
-		s.n++
 	}
+	s.n = n
 }
 
 // DefineSlack introduces a new variable constrained to equal
