@@ -40,10 +40,10 @@ echo "==> cancellation and equivalence tests (-race)"
 # hazard, and the trauserve mixed-load test exercises the admission
 # gate, verdict cache, and merged stats tree under concurrent clients.
 # Run them first and explicitly so a hang here is attributed correctly.
-go test -race -run 'Cancel|Deadline|Timeout|Parallel|Incremental|Concurrent' \
+go test -race -run 'Cancel|Deadline|Timeout|Parallel|Incremental|Concurrent|Portfolio' \
     ./internal/sat ./internal/simplex ./internal/lia \
     ./internal/core ./internal/baseline ./internal/bench \
-    ./internal/server
+    ./internal/server ./internal/portfolio ./internal/backend
 
 echo "==> chaos: fault-injection sweep (-race)"
 # Deterministic fault injection over the containment boundaries: panics,
@@ -84,6 +84,31 @@ curl -sf "$url/stats" | grep -q '"cache"'
 kill -TERM "$trauserve_pid"
 wait "$trauserve_pid"
 grep -q 'trauserve: drained' /tmp/trauserve.log
+
+echo "==> trauserve portfolio smoke"
+# Same boot, -portfolio: the solve response must name the backend that
+# won the race and /stats must expose the portfolio's win history.
+/tmp/trauserve -addr 127.0.0.1:0 -portfolio >/tmp/trauserve_pf.log 2>&1 &
+trauserve_pid=$!
+url=""
+for _ in $(seq 1 100); do
+    url=$(sed -n 's/^trauserve: listening on //p' /tmp/trauserve_pf.log)
+    [ -n "$url" ] && break
+    sleep 0.1
+done
+if [ -z "$url" ]; then
+    echo "trauserve (portfolio smoke) did not announce its address" >&2
+    cat /tmp/trauserve_pf.log >&2
+    kill "$trauserve_pid" 2>/dev/null || true
+    exit 1
+fi
+curl -sf -X POST -d "$payload" "$url/solve" >/tmp/trauserve_pf_body.json
+grep -q '"status": "sat"' /tmp/trauserve_pf_body.json
+grep -q '"backend"' /tmp/trauserve_pf_body.json
+curl -sf "$url/stats" | grep -q '"portfolio"'
+kill -TERM "$trauserve_pid"
+wait "$trauserve_pid"
+grep -q 'trauserve: drained' /tmp/trauserve_pf.log
 
 echo "==> trauserve fault smoke"
 # Containment end-to-end: boot with -faultseed 3072 (panic at the first

@@ -42,8 +42,8 @@ func run(args []string) int {
 	timeout := fs.Duration("timeout", 5*time.Second, "per-instance timeout")
 	workers := fs.Int("j", 1, "instance-level worker goroutines per suite")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report instead of text tables")
-	incremental := fs.Bool("incremental", true, "use the incremental refinement engine (trau-go solver)")
-	only := fs.String("solvers", "", "comma-separated solver names to run (default all)")
+	incremental := fs.Bool("incremental", true, "use the incremental refinement engine (refine solver)")
+	only := fs.String("solvers", "", "comma-separated solver names to run: any backend registry name or portfolio (default: refine, enum, split, portfolio)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -66,15 +66,21 @@ func run(args []string) int {
 
 	solvers := bench.SolversWith(bench.Config{Incremental: *incremental})
 	if *only != "" {
-		keep := make(map[string]bool)
-		for _, name := range strings.Split(*only, ",") {
-			keep[strings.TrimSpace(name)] = true
-		}
+		// Resolve each requested name from the shared backend registry
+		// (plus the portfolio row), keeping the flag's order.
 		var sel []bench.Solver
-		for _, s := range solvers {
-			if keep[s.Name] {
-				sel = append(sel, s)
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
 			}
+			s, ok := bench.SolverByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchtab: unknown solver %q (have %s)\n",
+					name, strings.Join(bench.SolverNames(), ", "))
+				return 2
+			}
+			sel = append(sel, s)
 		}
 		if len(sel) == 0 {
 			fmt.Fprintf(os.Stderr, "benchtab: no solver matches -solvers %q\n", *only)

@@ -8,6 +8,7 @@
 //	          [-timeout d] [-max-timeout d] [-parallel N]
 //	          [-incremental=false] [-drain d]
 //	          [-membudget N] [-faultseed N]
+//	          [-portfolio [-backends refine,enum,...]]
 //
 // The process listens until SIGINT/SIGTERM, then drains: the listener
 // stops accepting, in-flight solves finish (bounded by -drain), and the
@@ -26,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/server"
@@ -55,11 +57,22 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	drain := fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight solves")
 	memBudget := fs.Int64("membudget", 0, "resource-governor budget units per solve (0 = unlimited)")
 	faultSeed := fs.Int64("faultseed", 0, "deterministic fault-injection seed for chaos testing (0 = off)")
+	usePortfolio := fs.Bool("portfolio", false, "race scheduled backends from the registry per solve")
+	backends := fs.String("backends", "", "comma-separated backend subset for -portfolio (default: the whole registry)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 0 {
-		fmt.Fprintln(stderr, "usage: trauserve [-addr host:port] [-workers n] [-queue n] [-cache n] [-timeout d] [-max-timeout d] [-parallel n] [-incremental=false] [-drain d] [-membudget n] [-faultseed n]")
+		fmt.Fprintln(stderr, "usage: trauserve [-addr host:port] [-workers n] [-queue n] [-cache n] [-timeout d] [-max-timeout d] [-parallel n] [-incremental=false] [-drain d] [-membudget n] [-faultseed n] [-portfolio [-backends a,b]]")
+		return 2
+	}
+	if *backends != "" && !*usePortfolio {
+		fmt.Fprintln(stderr, "trauserve: -backends requires -portfolio")
+		return 2
+	}
+	pool, err := backend.Select(*backends)
+	if err != nil {
+		fmt.Fprintln(stderr, "trauserve:", err)
 		return 2
 	}
 
@@ -75,6 +88,8 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		MaxTimeout:      *maxTimeout,
 		MaxRequestBytes: *maxBody,
 		Solve:           core.Options{Parallel: *parallel, Incremental: mode},
+		Portfolio:       *usePortfolio,
+		Backends:        pool,
 		MemBudget:       *memBudget,
 		Fault:           fault.NewSchedule(*faultSeed),
 	})

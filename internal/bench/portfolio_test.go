@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/portfolio"
+	"repro/internal/strcon"
+)
+
+// portfolioInstances is the differential corpus: every generator of
+// the benchmark tables plus the small end of the checkLuhn family
+// (kept smaller than equivInstances — the portfolio compares against
+// all five registry backends, not two modes).
+func portfolioInstances() []*Instance {
+	var insts []*Instance
+	for _, s := range Table1Suites(3) {
+		insts = append(insts, s.Instances...)
+	}
+	for _, s := range Table2Suites(3) {
+		insts = append(insts, s.Instances...)
+	}
+	for k := 2; k <= 4; k++ {
+		insts = append(insts, Luhn(k))
+	}
+	return insts
+}
+
+// TestPortfolioDifferential solves every generator instance with the
+// portfolio and with each registry backend individually. Settled
+// verdicts must agree everywhere (modulo UNKNOWN/deadline — an
+// incomplete or timed-out engine legitimately answers UNKNOWN where
+// another decided), and every SAT model, from the portfolio or any
+// single backend, must validate against a fresh build of the problem.
+func TestPortfolioDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite solves the full corpus once per backend")
+	}
+	const budget = 20 * time.Second
+	for _, inst := range portfolioInstances() {
+		inst := inst
+		t.Run(inst.Name, func(t *testing.T) {
+			pec := engine.WithTimeout(budget)
+			pres := portfolio.New(portfolio.Config{}).Solve(inst.Build(), backend.Options{}, pec)
+			checkVerdict(t, inst, "portfolio", pres)
+
+			for _, b := range backend.All() {
+				ec := engine.WithTimeout(budget)
+				res := b.Solve(inst.Build(), backend.Options{}, ec)
+				checkVerdict(t, inst, b.Name(), res)
+				settled := func(s core.Status) bool { return s == core.StatusSat || s == core.StatusUnsat }
+				if settled(res.Status) && settled(pres.Status) && res.Status != pres.Status {
+					t.Fatalf("%s: backend %s says %v, portfolio says %v",
+						inst.Name, b.Name(), res.Status, pres.Status)
+				}
+				if res.Backend != b.Name() {
+					t.Fatalf("%s: backend %s labeled its result %q", inst.Name, b.Name(), res.Backend)
+				}
+			}
+		})
+	}
+}
+
+// checkVerdict asserts one result against the instance's ground truth
+// and validates any model on a fresh build.
+func checkVerdict(t *testing.T, inst *Instance, who string, res core.Result) {
+	t.Helper()
+	if inst.Expected == ExpectSat && res.Status == core.StatusUnsat ||
+		inst.Expected == ExpectUnsat && res.Status == core.StatusSat {
+		t.Fatalf("%s: %s verdict %v contradicts ground truth %v", inst.Name, who, res.Status, inst.Expected)
+	}
+	if res.Status == core.StatusSat {
+		if res.Model == nil {
+			t.Fatalf("%s: %s sat without model", inst.Name, who)
+		}
+		if !inst.Build().Eval(res.Model) {
+			t.Fatalf("%s: %s model fails validation", inst.Name, who)
+		}
+	}
+}
+
+// TestPortfolioVerdictsDeterministic is the acceptance check for the
+// racing determinism rule: repeated portfolio runs over the same
+// inputs produce byte-identical verdict vectors — both across fresh
+// schedulers and across repeated solves on ONE scheduler, whose win
+// history has by then biased its backend selection.
+func TestPortfolioVerdictsDeterministic(t *testing.T) {
+	insts := portfolioInstances()
+	verdicts := func(p *portfolio.Solver) string {
+		var sb strings.Builder
+		for _, inst := range insts {
+			res := p.Solve(inst.Build(), backend.Options{}, engine.WithTimeout(20*time.Second))
+			fmt.Fprintf(&sb, "%s=%v\n", inst.Name, res.Status)
+		}
+		return sb.String()
+	}
+	shared := portfolio.New(portfolio.Config{})
+	first := verdicts(shared)
+	biased := verdicts(shared) // second pass: history-biased scheduling
+	fresh := verdicts(portfolio.New(portfolio.Config{}))
+	if first != biased {
+		t.Fatalf("verdicts changed once the scheduler had history:\n%s\nvs\n%s", first, biased)
+	}
+	if first != fresh {
+		t.Fatalf("verdicts differ between fresh schedulers:\n%s\nvs\n%s", first, fresh)
+	}
+}
+
+// TestPortfolioDominatesLuhn is the Table 3 acceptance criterion: on
+// the checkLuhn family the portfolio settles at least every instance
+// that any single backend settles within the same budget.
+func TestPortfolioDominatesLuhn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves the Luhn family once per backend")
+	}
+	const budget = 15 * time.Second
+	for k := 2; k <= 6; k++ {
+		inst := Luhn(k)
+		pres := portfolio.New(portfolio.Config{}).Solve(inst.Build(), backend.Options{}, engine.WithTimeout(budget))
+		for _, b := range backend.All() {
+			res := b.Solve(inst.Build(), backend.Options{}, engine.WithTimeout(budget))
+			if (res.Status == core.StatusSat || res.Status == core.StatusUnsat) &&
+				pres.Status == core.StatusUnknown {
+				t.Errorf("luhn-%02d: backend %s settled %v but the portfolio answered unknown (%s)",
+					k, b.Name(), res.Status, pres.Reason)
+			}
+		}
+	}
+}
+
+// panicBackend is a fully-capable backend that always panics: raced
+// into the portfolio, it stands in for a crashing engine. Its caps
+// make it the scheduler's anchor, so the test also proves a crashed
+// anchor cannot take the race down with it.
+type panicBackend struct{}
+
+func (panicBackend) Name() string { return "panicker" }
+func (panicBackend) Caps() backend.Caps {
+	return backend.Caps{ProvesSat: true, ProvesUnsat: true, Conversion: true, Regex: true, CostHint: 1}
+}
+func (panicBackend) Solve(_ *strcon.Problem, _ backend.Options, _ *engine.Ctx) core.Result {
+	panic("injected backend crash")
+}
+
+// TestPortfolioChaosBackendPanic is the containment half of the
+// differential satellite: a backend that panics mid-race degrades only
+// itself. The race still settles with the ground-truth verdict from a
+// surviving backend, the crash is contained (counted in the stats
+// tree), and no goroutine leaks.
+func TestPortfolioChaosBackendPanic(t *testing.T) {
+	pool := append([]backend.Backend{panicBackend{}}, backend.All()...)
+	for _, inst := range chaosInstances() {
+		before := fault.Snapshot()
+		ec := engine.WithTimeout(20 * time.Second)
+		res := portfolio.New(portfolio.Config{Backends: pool}).Solve(inst.Build(), backend.Options{}, ec)
+		want := core.StatusSat
+		if inst.Expected == ExpectUnsat {
+			want = core.StatusUnsat
+		}
+		if res.Status != want {
+			t.Errorf("%s: verdict %v (reason %q), want %v despite one crashing backend",
+				inst.Name, res.Status, res.Reason, want)
+		}
+		if res.Backend == "" || res.Backend == "panicker" {
+			t.Errorf("%s: winning backend = %q", inst.Name, res.Backend)
+		}
+		if got := ec.Stats().Total("fault.contained"); got < 1 {
+			t.Errorf("%s: contained-fault count = %d, want >= 1", inst.Name, got)
+		}
+		fault.CheckLeaks(t, before)
+	}
+}
+
+// TestPortfolioChaosInjectionSweep runs the deterministic fault
+// schedule over whole portfolio solves: a counting pass learns how
+// many injectable sites a race visits, then panic/cancel/budget faults
+// are injected at the first, middle, and last site. Whichever racing
+// backend the fault lands in, the verdict never flips SAT<->UNSAT and
+// no goroutine outlives its solve.
+func TestPortfolioChaosInjectionSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is slow; skipped with -short")
+	}
+	for _, inst := range chaosInstances() {
+		counting := fault.Counting()
+		ec := engine.Background()
+		ec.SetSchedule(counting)
+		baseline := portfolio.New(portfolio.Config{}).Solve(inst.Build(), backend.Options{}, ec)
+		if inst.Expected == ExpectSat && baseline.Status != core.StatusSat ||
+			inst.Expected == ExpectUnsat && baseline.Status != core.StatusUnsat {
+			t.Fatalf("%s: baseline = %v, want %v", inst.Name, baseline.Status, inst.Expected)
+		}
+		n := counting.Visits()
+		if n == 0 {
+			t.Fatalf("%s: counting pass saw no injectable sites", inst.Name)
+		}
+		for _, k := range []uint64{1, n/2 + 1, n} {
+			for _, op := range []fault.Op{fault.OpPanic, fault.OpCancel, fault.OpBudget} {
+				before := fault.Snapshot()
+				ec := engine.Background()
+				ec.SetSchedule(fault.At(k, op))
+				res := portfolio.New(portfolio.Config{}).Solve(inst.Build(), backend.Options{}, ec)
+				if res.Status != core.StatusUnknown && res.Status != baseline.Status {
+					t.Errorf("%s inject %v@%d: verdict flipped %v -> %v",
+						inst.Name, op, k, baseline.Status, res.Status)
+				}
+				if res.Status == core.StatusUnknown && res.Reason == "" {
+					t.Errorf("%s inject %v@%d: unknown verdict with no reason", inst.Name, op, k)
+				}
+				fault.CheckLeaks(t, before)
+			}
+		}
+	}
+}
+
+// TestPortfolioOverBudgetDegrades pins the budget-slice path: a hard
+// instance under a tiny tree-wide budget makes every raced backend
+// exhaust its slice, and the portfolio reports the governor's
+// "budget: <site>" reason instead of a bare unknown.
+func TestPortfolioOverBudgetDegrades(t *testing.T) {
+	before := fault.Snapshot()
+	ec := engine.Background()
+	ec.SetBudget(300)
+	res := portfolio.New(portfolio.Config{}).Solve(Luhn(8).Build(), backend.Options{}, ec)
+	if res.Status != core.StatusUnknown {
+		t.Fatalf("over-budget portfolio solve = %v, want unknown", res.Status)
+	}
+	if !strings.HasPrefix(res.Reason, "budget: ") {
+		t.Fatalf("over-budget reason = %q, want \"budget: <site>\"", res.Reason)
+	}
+	if ec.Cause() != engine.CauseNone {
+		t.Fatalf("root context stopped (%v); budget slices must be confined to the attempts", ec.Cause())
+	}
+	fault.CheckLeaks(t, before)
+}

@@ -7,9 +7,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/baseline"
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/portfolio"
 	"repro/internal/strcon"
 )
 
@@ -24,8 +25,18 @@ type Solver struct {
 // Config selects how the solvers under comparison are configured.
 type Config struct {
 	// Incremental toggles the incremental refinement engine of the
-	// trau-go solver (the baselines are unaffected).
+	// refine solver (the baselines are unaffected).
 	Incremental bool
+}
+
+// FromBackend adapts a registry backend (or the portfolio solver) to a
+// comparison row. This is the only bridge between the registry and the
+// bench tables — the per-solver closures the package used to rebuild
+// on every call are gone.
+func FromBackend(b backend.Backend, opts backend.Options) Solver {
+	return Solver{Name: b.Name(), Run: func(p *strcon.Problem, ec *engine.Ctx) core.Status {
+		return b.Solve(p, opts, ec).Status
+	}}
 }
 
 // Solvers returns the engines of the evaluation with the default
@@ -34,25 +45,45 @@ func Solvers() []Solver {
 	return SolversWith(Config{Incremental: true})
 }
 
-// SolversWith returns the engines of the evaluation: the paper's solver
-// (Z3-Trau reproduction) and the two baseline families standing in for
-// the closed competitor tools (see package doc of internal/baseline).
+// SolversWith returns the engines of the evaluation: the paper's
+// refinement solver (Z3-Trau reproduction), the two baseline families
+// standing in for the closed competitor tools (see package doc of
+// internal/baseline), and the portfolio racing the whole registry —
+// all resolved from the backend registry. The portfolio row carries
+// fresh scheduling state per call, so repeated table runs start from
+// the same unbiased schedule.
 func SolversWith(cfg Config) []Solver {
-	mode := core.IncrementalOn
+	refine := "refine"
 	if !cfg.Incremental {
-		mode = core.IncrementalOff
+		refine = "refine-fresh"
 	}
-	return []Solver{
-		{Name: "trau-go", Run: func(p *strcon.Problem, ec *engine.Ctx) core.Status {
-			return core.SolveCtx(p, core.Options{Incremental: mode}, ec).Status
-		}},
-		{Name: "enum", Run: func(p *strcon.Problem, ec *engine.Ctx) core.Status {
-			return baseline.SolveEnum(p, baseline.EnumOptions{}, ec).Status
-		}},
-		{Name: "split", Run: func(p *strcon.Problem, ec *engine.Ctx) core.Status {
-			return baseline.SolveSplit(p, baseline.SplitOptions{}, ec).Status
-		}},
+	out := make([]Solver, 0, 4)
+	for _, name := range []string{refine, "enum", "split"} {
+		b, ok := backend.Get(name)
+		if !ok {
+			panic("bench: backend missing from registry: " + name) // contract: registry is fixed
+		}
+		out = append(out, FromBackend(b, backend.Options{}))
 	}
+	return append(out, FromBackend(portfolio.New(portfolio.Config{}), backend.Options{}))
+}
+
+// SolverByName resolves one comparison row: any registry backend by
+// name, or "portfolio" for a fresh portfolio over the whole registry.
+func SolverByName(name string) (Solver, bool) {
+	if name == "portfolio" {
+		return FromBackend(portfolio.New(portfolio.Config{}), backend.Options{}), true
+	}
+	b, ok := backend.Get(name)
+	if !ok {
+		return Solver{}, false
+	}
+	return FromBackend(b, backend.Options{}), true
+}
+
+// SolverNames lists every name SolverByName resolves.
+func SolverNames() []string {
+	return append(backend.Names(), "portfolio")
 }
 
 // Counts are the per-suite result counters, with the same rows as the

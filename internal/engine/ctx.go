@@ -207,14 +207,19 @@ func (c *Ctx) BudgetReason() string {
 	return ""
 }
 
-// tripBudget marks the budget exhausted at site and stops the whole
-// tree: ancestors are marked too (the pool is global to the solve), so
-// sibling branches observe the stop through cancelRequested.
+// tripBudget marks the budget exhausted at site and stops the subtree
+// that owns the tripped meter: ancestors are marked too for as long as
+// they share the same governor pointer (the pool is global to that
+// subtree), so sibling branches observe the stop through
+// cancelRequested. Where an ancestor carries a different meter — a
+// portfolio attempt running under its own budget slice via SetBudget —
+// the walk stops, confining the trip to the attempt and leaving the
+// other racing attempts (and the race's parent) running.
 func (c *Ctx) tripBudget(site string) {
 	if c.gov != nil {
 		c.gov.trip(site)
 	}
-	for p := c; p != nil; p = p.parent {
+	for p := c; p != nil && p.gov == c.gov; p = p.parent {
 		p.markStopped(CauseBudget)
 	}
 }

@@ -49,6 +49,39 @@ func TestBudgetTripStopsTreeWithReason(t *testing.T) {
 	}
 }
 
+// TestBudgetSliceConfinedToSubtree pins the portfolio contract: when a
+// child installs its own budget slice via SetBudget, exhausting the
+// slice stops only that child's subtree. The parent and the sibling
+// attempts (racing the same problem under their own slices) keep
+// running.
+func TestBudgetSliceConfinedToSubtree(t *testing.T) {
+	root := Background()
+	a := root.Child("try.a")
+	a.SetBudget(5)
+	b := root.Child("try.b")
+	b.SetBudget(5)
+	inner := a.Child("round0")
+
+	if !inner.Charge("pfa product", 9) {
+		t.Fatal("slice did not trip")
+	}
+	if a.Cause() != CauseBudget {
+		t.Fatalf("slice owner cause = %v, want budget", a.Cause())
+	}
+	if got := a.BudgetReason(); got != "budget: pfa product" {
+		t.Fatalf("BudgetReason = %q", got)
+	}
+	if root.Cause() != CauseNone || root.Expired() {
+		t.Fatal("parent stopped by a child's budget slice")
+	}
+	if b.Poll() {
+		t.Fatal("sibling attempt stopped by another attempt's slice")
+	}
+	if b.Charge("simplex tableau", 3) {
+		t.Fatal("sibling's own slice charged by another attempt's trip")
+	}
+}
+
 func TestBudgetFirstSiteSticks(t *testing.T) {
 	c := Background()
 	c.SetBudget(1)

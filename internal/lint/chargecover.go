@@ -23,7 +23,8 @@ var chargeCover = &Analyzer{
 	Name: "chargecover",
 	Doc:  "growth sites in unbounded cycles not metered by an engine.Ctx.Charge",
 	Scope: scopeFor("chargecover",
-		"internal/pfa", "internal/sat", "internal/simplex", "internal/baseline"),
+		"internal/pfa", "internal/sat", "internal/simplex", "internal/baseline",
+		"internal/portfolio"),
 	Run: runChargeCover,
 }
 

@@ -123,6 +123,10 @@ func TestStaleSuppFixtures(t *testing.T) {
 func TestContainRecoverFixtures(t *testing.T) {
 	checkFixture(t, "containrecover_bad", containRecover)
 	checkFixture(t, "containrecover_good", containRecover)
+	// The portfolio pair: racing backend goroutines outside/inside a
+	// fault.Contain boundary.
+	checkFixture(t, "containrecover_race_bad", containRecover)
+	checkFixture(t, "containrecover_race_good", containRecover)
 }
 
 func TestByName(t *testing.T) {

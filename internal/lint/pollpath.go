@@ -25,7 +25,7 @@ import (
 var pollPath = &Analyzer{
 	Name:  "pollpath",
 	Doc:   "unbounded solver cycles with a path that never polls the engine context",
-	Scope: scopeFor("pollpath", "internal/sat", "internal/simplex"),
+	Scope: scopeFor("pollpath", "internal/sat", "internal/simplex", "internal/portfolio"),
 	Run:   runPollPath,
 }
 

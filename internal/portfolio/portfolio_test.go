@@ -1,0 +1,181 @@
+package portfolio
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/lia"
+	"repro/internal/strcon"
+)
+
+// convProblem builds n = toNum(x), n = 42, len(x) = 4 — the
+// quickstart instance, with a conversion-heavy feature vector.
+func convProblem() *strcon.Problem {
+	p := strcon.NewProblem()
+	x := p.NewStrVar("x")
+	n := p.NewIntVar("n")
+	p.Add(&strcon.ToNum{X: x, N: n})
+	p.Add(&strcon.Arith{F: lia.EqConst(n, 42)})
+	p.Add(&strcon.Arith{F: lia.EqConst(p.LenVar(x), 4)})
+	return p
+}
+
+func TestExtractFeatures(t *testing.T) {
+	p := convProblem()
+	p.Prepare()
+	f := Extract(p)
+	if f.Conversions != 1 {
+		t.Fatalf("Conversions = %d, want 1", f.Conversions)
+	}
+	if f.LengthCons != 2 {
+		t.Fatalf("LengthCons = %d, want 2", f.LengthCons)
+	}
+	if f.StrVars != 1 {
+		t.Fatalf("StrVars = %d, want 1", f.StrVars)
+	}
+	if f.Constraints != 3 {
+		t.Fatalf("Constraints = %d, want 3", f.Constraints)
+	}
+	b := f.Bucket()
+	if b != "conv1 re0 len1 eq0 sz0 loop2" {
+		t.Fatalf("Bucket = %q", b)
+	}
+	if b != Extract(p).Bucket() {
+		t.Fatal("Bucket not deterministic")
+	}
+}
+
+// TestScheduleDeterministicAndAnchored pins the scheduler: identical
+// features and history produce an identical selection, in registry
+// order, and the fully-capable anchor backend survives any history
+// bias against it.
+func TestScheduleDeterministicAndAnchored(t *testing.T) {
+	s := New(Config{})
+	p := convProblem()
+	p.Prepare()
+	f := Extract(p)
+	first := names(s.schedule(f, f.Bucket()))
+	if !reflect.DeepEqual(first, names(s.schedule(f, f.Bucket()))) {
+		t.Fatalf("schedule not deterministic: %v", first)
+	}
+	anchored := false
+	for _, n := range first {
+		if n == "refine" {
+			anchored = true
+		}
+	}
+	if !anchored {
+		t.Fatalf("selection %v lacks the anchor backend", first)
+	}
+
+	// Poison the history: enum, split and overapprox-only win
+	// overwhelmingly in this bucket. The bias must reorder the race,
+	// yet the anchor stays in.
+	bucket := f.Bucket()
+	s.hist[bucket] = map[string]*record{
+		"enum":            {picks: 100, wins: 100},
+		"split":           {picks: 100, wins: 100},
+		"overapprox-only": {picks: 100, wins: 100},
+		"refine":          {picks: 100, losses: 100},
+	}
+	biased := names(s.schedule(f, bucket))
+	anchored = false
+	for _, n := range biased {
+		if n == "refine" {
+			anchored = true
+		}
+	}
+	if !anchored {
+		t.Fatalf("biased selection %v dropped the anchor backend", biased)
+	}
+}
+
+func names(bs []backend.Backend) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name()
+	}
+	return out
+}
+
+// TestSolveRecordsHistoryAndStats solves one instance and checks the
+// full bookkeeping chain: win recorded in the bucket history, stats
+// tree counters under portfolio/<bucket>, and a Snapshot exposing the
+// win rate and the decision.
+func TestSolveRecordsHistoryAndStats(t *testing.T) {
+	s := New(Config{})
+	ec := engine.WithTimeout(10 * time.Second)
+	res := s.Solve(convProblem(), backend.Options{}, ec)
+	if res.Status != core.StatusSat {
+		t.Fatalf("solve = %v (%s), want sat", res.Status, res.Reason)
+	}
+	if res.Backend == "" || res.Backend == "portfolio" {
+		t.Fatalf("winner backend = %q, want a concrete engine", res.Backend)
+	}
+	if res.Model == nil || !convProblem().Eval(res.Model) {
+		t.Fatal("winner model missing or invalid on the original problem")
+	}
+
+	snap := s.Snapshot()
+	if snap.Races != 1 {
+		t.Fatalf("Races = %d, want 1", snap.Races)
+	}
+	agg, ok := snap.Backends[res.Backend]
+	if !ok || agg.Wins != 1 || agg.WinRate != 1 {
+		t.Fatalf("winner counters = %+v (present %v)", agg, ok)
+	}
+	if len(snap.Recent) != 1 || snap.Recent[0].Winner != res.Backend {
+		t.Fatalf("Recent = %+v", snap.Recent)
+	}
+	bucket := snap.Recent[0].Bucket
+	if _, ok := snap.Buckets[bucket][res.Backend]; !ok {
+		t.Fatalf("bucket %q missing winner entry: %+v", bucket, snap.Buckets)
+	}
+
+	if got := ec.Stats().Total("races"); got != 1 {
+		t.Fatalf("stats races = %d, want 1", got)
+	}
+	if got := ec.Stats().Total(res.Backend + ".win"); got != 1 {
+		t.Fatalf("stats tree win counter = %d, want 1", got)
+	}
+}
+
+// TestCapsUnion checks the portfolio's capability report is the union
+// of its pool.
+func TestCapsUnion(t *testing.T) {
+	c := New(Config{}).Caps()
+	if !c.ProvesSat || !c.ProvesUnsat || !c.Conversion || !c.Regex {
+		t.Fatalf("Caps() = %+v, want the full union", c)
+	}
+	only, err := backend.Select("overapprox-only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = New(Config{Backends: only}).Caps()
+	if c.ProvesSat {
+		t.Fatalf("refutation-only pool reports ProvesSat: %+v", c)
+	}
+}
+
+// TestBackendsSubsetRespected pins -backends: with a restricted pool
+// the race never consults engines outside it.
+func TestBackendsSubsetRespected(t *testing.T) {
+	pool, err := backend.Select("refine,enum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Backends: pool})
+	res := s.Solve(convProblem(), backend.Options{}, engine.WithTimeout(10*time.Second))
+	if res.Status != core.StatusSat {
+		t.Fatalf("solve = %v, want sat", res.Status)
+	}
+	for name := range s.Snapshot().Backends {
+		if name != "refine" && name != "enum" {
+			t.Fatalf("backend %q raced outside the configured pool", name)
+		}
+	}
+}

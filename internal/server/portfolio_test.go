@@ -1,0 +1,94 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestPortfolioEndToEnd boots the server in portfolio mode and checks
+// the full surface: solve responses name the winning backend, cache
+// hits replay the annotation, and /stats exposes the scheduler's win
+// rates.
+func TestPortfolioEndToEnd(t *testing.T) {
+	s := New(Config{Workers: 2, Portfolio: true})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	src := readExample(t, "quickstart.smt2")
+	resp, code := postSolve(t, ts.URL, solveRequest{SMTLIB: src})
+	if code != http.StatusOK {
+		t.Fatalf("status code = %d, want 200", code)
+	}
+	if resp.Status != "sat" || resp.Cached {
+		t.Fatalf("first solve = %q cached=%v, want cold sat", resp.Status, resp.Cached)
+	}
+	if resp.Backend == "" || resp.Backend == "portfolio" {
+		t.Fatalf("winning backend = %q, want a concrete engine name", resp.Backend)
+	}
+	if resp.Model == nil || resp.Model.Ints["n"] != "42" {
+		t.Fatalf("model missing or wrong: %+v", resp.Model)
+	}
+
+	// Cache hit replays the stored winner annotation.
+	again, _ := postSolve(t, ts.URL, solveRequest{SMTLIB: src})
+	if !again.Cached {
+		t.Fatal("repeat request not served from cache")
+	}
+	if again.Backend != resp.Backend {
+		t.Fatalf("cached backend = %q, want %q", again.Backend, resp.Backend)
+	}
+
+	// /stats carries the portfolio section with the race history.
+	httpResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	defer httpResp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if stats.Portfolio == nil {
+		t.Fatal("stats response has no portfolio section")
+	}
+	if stats.Portfolio.Races < 1 {
+		t.Fatalf("portfolio races = %d, want >= 1", stats.Portfolio.Races)
+	}
+	agg, ok := stats.Portfolio.Backends[resp.Backend]
+	if !ok {
+		t.Fatalf("stats lack counters for winning backend %q: %+v", resp.Backend, stats.Portfolio.Backends)
+	}
+	if agg.Wins < 1 || agg.WinRate <= 0 {
+		t.Fatalf("winning backend counters = %+v, want a recorded win", agg)
+	}
+	if len(stats.Portfolio.Recent) == 0 || stats.Portfolio.Recent[0].Winner == "" {
+		t.Fatalf("scheduler decisions missing: %+v", stats.Portfolio.Recent)
+	}
+}
+
+// TestPortfolioOffOmitsSection pins the default: without -portfolio
+// the stats response has no portfolio section and responses carry the
+// single-engine backend label.
+func TestPortfolioOffOmitsSection(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	httpResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	defer httpResp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if stats.Portfolio != nil {
+		t.Fatalf("portfolio section present on a non-portfolio server: %+v", stats.Portfolio)
+	}
+}

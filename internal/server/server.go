@@ -11,9 +11,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/portfolio"
 	"repro/internal/smtlib"
 	"repro/internal/strcon"
 )
@@ -38,6 +40,12 @@ type Config struct {
 	// Solve configures the engine (parallel case splits, incremental
 	// mode). Timeout inside it is ignored — deadlines are per request.
 	Solve core.Options
+	// Portfolio routes solves through the racing portfolio scheduler
+	// instead of the single refinement engine. Backends selects its
+	// candidate pool (nil = the whole backend registry); it is ignored
+	// when Portfolio is false.
+	Portfolio bool
+	Backends  []backend.Backend
 	// MemBudget is the per-solve resource-governor budget in units
 	// (0 = unlimited). A request may lower it with budget_units but
 	// never raise it past this cap.
@@ -78,6 +86,11 @@ type Server struct {
 	cfg   Config
 	cache *lruCache
 	mux   *http.ServeMux
+
+	// portfolio is the shared racing scheduler (nil unless
+	// Config.Portfolio): its win/loss history accumulates across
+	// requests, so the server's scheduling improves as it serves.
+	portfolio *portfolio.Solver
 
 	// admission gates senders against close(jobs): senders hold the
 	// read lock and check draining before attempting a queue send;
@@ -132,6 +145,9 @@ func New(cfg Config) *Server {
 		jobs:  make(chan *job, cfg.QueueDepth),
 		stats: engine.NewStats(),
 		start: time.Now(),
+	}
+	if cfg.Portfolio {
+		s.portfolio = portfolio.New(portfolio.Config{Backends: cfg.Backends})
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /solve", s.handleSolve)
@@ -196,11 +212,15 @@ type solveResponse struct {
 	Model     *modelJSON   `json:"model,omitempty"`
 	Witness   *witnessJSON `json:"witness,omitempty"`
 	Canonical string       `json:"canonical_hash,omitempty"`
-	Cached    bool         `json:"cached"`
-	Rounds    int          `json:"rounds,omitempty"`
-	TimedOut  bool         `json:"timed_out,omitempty"`
-	ElapsedMS float64      `json:"elapsed_ms"`
-	Error     string       `json:"error,omitempty"`
+	// Backend names the engine that produced the verdict (the race
+	// winner under -portfolio; on cache hits, the engine that settled
+	// the cached entry). Empty for a direct core solve.
+	Backend   string  `json:"backend,omitempty"`
+	Cached    bool    `json:"cached"`
+	Rounds    int     `json:"rounds,omitempty"`
+	TimedOut  bool    `json:"timed_out,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Error     string  `json:"error,omitempty"`
 	// Reason explains an unknown verdict ("budget: <site>", "deadline",
 	// "panic: <value>", ...). FaultID names the contained-panic
 	// diagnostic retrievable from /stats when the solve panicked.
@@ -325,6 +345,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 				s.writeJSON(w, http.StatusOK, solveResponse{
 					Status:    "unsat",
 					Canonical: canon.Hash,
+					Backend:   v.backend,
 					Cached:    true,
 					ElapsedMS: msSince(start),
 				})
@@ -337,6 +358,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 						Model:     modelOf(script, a),
 						Witness:   witnessToJSON(v.witness),
 						Canonical: canon.Hash,
+						Backend:   v.backend,
 						Cached:    true,
 						ElapsedMS: msSince(start),
 					})
@@ -390,6 +412,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case out := <-j.done:
 		resp := solveResponse{
 			Status:    out.res.Status.String(),
+			Backend:   out.res.Backend,
 			Rounds:    out.res.Rounds,
 			TimedOut:  ec.TimedOut(),
 			ElapsedMS: msSince(start),
@@ -448,6 +471,11 @@ func (s *Server) runJob(j *job) {
 				reason = j.ec.Cause().String()
 			}
 			res = core.Result{Status: core.StatusUnknown, Reason: reason}
+		} else if s.portfolio != nil {
+			res = s.portfolio.Solve(j.script.Problem, backend.Options{
+				Parallel:  s.cfg.Solve.Parallel,
+				MaxRounds: s.cfg.Solve.MaxRounds,
+			}, j.ec)
 		} else {
 			res = core.SolveCtx(j.script.Problem, s.cfg.Solve, j.ec)
 		}
@@ -482,9 +510,10 @@ func (s *Server) runJob(j *job) {
 			s.cache.put(j.canon.Hash, verdict{
 				status:  core.StatusSat,
 				witness: j.canon.WitnessOf(res.Model),
+				backend: res.Backend,
 			})
 		case core.StatusUnsat:
-			s.cache.put(j.canon.Hash, verdict{status: core.StatusUnsat})
+			s.cache.put(j.canon.Hash, verdict{status: core.StatusUnsat, backend: res.Backend})
 		}
 	}
 	j.done <- jobResult{res: res}
@@ -530,12 +559,15 @@ func msSince(start time.Time) float64 {
 
 // statsResponse is the GET /stats body.
 type statsResponse struct {
-	UptimeMS float64          `json:"uptime_ms"`
-	Requests requestStats     `json:"requests"`
-	Cache    cacheStats       `json:"cache"`
-	Queue    queueStats       `json:"queue"`
-	Faults   faultStats       `json:"faults"`
-	Engine   *engine.Snapshot `json:"engine"`
+	UptimeMS float64      `json:"uptime_ms"`
+	Requests requestStats `json:"requests"`
+	Cache    cacheStats   `json:"cache"`
+	Queue    queueStats   `json:"queue"`
+	Faults   faultStats   `json:"faults"`
+	// Portfolio reports the racing scheduler's cumulative win rates and
+	// recent decisions; absent unless the server runs with -portfolio.
+	Portfolio *portfolio.Snapshot `json:"portfolio,omitempty"`
+	Engine    *engine.Snapshot    `json:"engine"`
 }
 
 // faultStats surfaces contained panics: the total and the most recent
@@ -607,9 +639,18 @@ func (s *Server) snapshotStats() statsResponse {
 			Capacity: s.cfg.QueueDepth,
 			Workers:  s.cfg.Workers,
 		},
-		Faults: s.snapshotFaults(),
-		Engine: s.stats.Snapshot(),
+		Faults:    s.snapshotFaults(),
+		Portfolio: s.snapshotPortfolio(),
+		Engine:    s.stats.Snapshot(),
 	}
+}
+
+func (s *Server) snapshotPortfolio() *portfolio.Snapshot {
+	if s.portfolio == nil {
+		return nil
+	}
+	snap := s.portfolio.Snapshot()
+	return &snap
 }
 
 func (s *Server) snapshotFaults() faultStats {
