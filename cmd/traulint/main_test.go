@@ -75,8 +75,8 @@ func TestJSONShapeClean(t *testing.T) {
 	if rep.Packages != 1 || len(rep.Findings) != 0 {
 		t.Fatalf("packages=%d findings=%d, want 1 and 0", rep.Packages, len(rep.Findings))
 	}
-	if len(rep.Checks) != 10 {
-		t.Fatalf("checks=%d, want all 10", len(rep.Checks))
+	if len(rep.Checks) != 11 {
+		t.Fatalf("checks=%d, want all 11", len(rep.Checks))
 	}
 	for _, c := range rep.Checks {
 		if c.Name == "" {

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// SuiteDelta is the drift of one (table, suite, solver) row between a
+// baseline report and a current run.
+type SuiteDelta struct {
+	Table  string
+	Suite  string
+	Solver string
+
+	BaseMeanMS float64
+	CurMeanMS  float64
+	DeltaPct   float64 // (cur-base)/base * 100; 0 when base is 0
+
+	// Regression marks a slowdown beyond the tolerance AND beyond the
+	// absolute noise floor. VerdictChange marks any difference in the
+	// sat/unsat/unknown/timeout/incorrect counts, which on identical
+	// configs means the solver's answers moved, not just its speed.
+	Regression    bool
+	VerdictChange bool
+
+	// Missing marks a baseline row with no counterpart in the current
+	// report (suite renamed or dropped); New marks the converse. Either
+	// way the row carries no delta.
+	Missing bool
+	New     bool
+}
+
+// Comparison is the outcome of Compare: per-suite deltas in baseline
+// order plus configuration notes explaining why deltas may not be
+// meaningful.
+type Comparison struct {
+	ConfigNotes []string
+	Deltas      []SuiteDelta
+}
+
+// Regressions counts the rows flagged as perf regressions.
+func (c *Comparison) Regressions() int {
+	n := 0
+	for _, d := range c.Deltas {
+		if d.Regression {
+			n++
+		}
+	}
+	return n
+}
+
+// VerdictChanges counts the rows whose verdict counts moved.
+func (c *Comparison) VerdictChanges() int {
+	n := 0
+	for _, d := range c.Deltas {
+		if d.VerdictChange {
+			n++
+		}
+	}
+	return n
+}
+
+// meanFloorMS is the absolute slowdown a suite must exhibit before the
+// percentage tolerance is even consulted: sub-5ms drift on a fast suite
+// is scheduler noise, not a regression, at any percentage.
+const meanFloorMS = 5.0
+
+// Compare matches the suites of two reports by (table, suite, solver)
+// and computes mean_ms drift. A row regresses when it slowed down by
+// more than tolerancePct percent AND more than meanFloorMS absolute.
+// Rows are emitted in baseline order; current-only rows are appended
+// after them as informational (no baseline, no delta).
+func Compare(base, cur *JSONReport, tolerancePct float64) *Comparison {
+	c := &Comparison{ConfigNotes: configNotes(base.Config, cur.Config)}
+	type key struct{ table, suite, solver string }
+	curBy := map[key]*JSONSuite{}
+	for i := range cur.Suites {
+		s := &cur.Suites[i]
+		curBy[key{s.Table, s.Suite, s.Solver}] = s
+	}
+	seen := map[key]bool{}
+	for i := range base.Suites {
+		b := &base.Suites[i]
+		k := key{b.Table, b.Suite, b.Solver}
+		seen[k] = true
+		d := SuiteDelta{Table: b.Table, Suite: b.Suite, Solver: b.Solver, BaseMeanMS: b.MeanMS}
+		s, ok := curBy[k]
+		if !ok {
+			d.Missing = true
+			c.Deltas = append(c.Deltas, d)
+			continue
+		}
+		d.CurMeanMS = s.MeanMS
+		if b.MeanMS > 0 {
+			d.DeltaPct = math.Round((s.MeanMS-b.MeanMS)/b.MeanMS*1000) / 10
+		}
+		d.Regression = s.MeanMS-b.MeanMS > meanFloorMS &&
+			b.MeanMS > 0 && (s.MeanMS-b.MeanMS)/b.MeanMS*100 > tolerancePct
+		d.VerdictChange = b.Sat != s.Sat || b.Unsat != s.Unsat ||
+			b.Unknown != s.Unknown || b.Timeout != s.Timeout || b.Incorrect != s.Incorrect
+		c.Deltas = append(c.Deltas, d)
+	}
+	for i := range cur.Suites {
+		s := &cur.Suites[i]
+		k := key{s.Table, s.Suite, s.Solver}
+		if seen[k] {
+			continue
+		}
+		c.Deltas = append(c.Deltas, SuiteDelta{
+			Table: s.Table, Suite: s.Suite, Solver: s.Solver, CurMeanMS: s.MeanMS, New: true,
+		})
+	}
+	return c
+}
+
+// configNotes explains config drift between the runs: deltas computed
+// across different workloads or deadlines compare apples to oranges, so
+// the mismatch is surfaced rather than silently tolerated.
+func configNotes(base, cur JSONConfig) []string {
+	var notes []string
+	note := func(format string, args ...any) {
+		notes = append(notes, fmt.Sprintf(format, args...))
+	}
+	if fmt.Sprint(base.Tables) != fmt.Sprint(cur.Tables) {
+		note("tables differ: baseline %v, current %v", base.Tables, cur.Tables)
+	}
+	if base.PerSuite != cur.PerSuite {
+		note("per-suite instance counts differ: baseline %d, current %d", base.PerSuite, cur.PerSuite)
+	}
+	if base.MaxLoops != cur.MaxLoops {
+		note("max checkLuhn loops differ: baseline %d, current %d", base.MaxLoops, cur.MaxLoops)
+	}
+	if base.TimeoutMS != cur.TimeoutMS {
+		note("per-instance timeouts differ: baseline %dms, current %dms", base.TimeoutMS, cur.TimeoutMS)
+	}
+	return notes
+}
+
+// ReadJSONFile loads a benchtab -json report (e.g. the checked-in
+// BENCH_BASELINE.json).
+func ReadJSONFile(path string) (*JSONReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep JSONReport
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// WriteComparison renders a comparison as an aligned text table with
+// one trailing summary line ("ok" or the regression count), so a CI log
+// reader can grep the verdict without parsing the rows.
+func WriteComparison(w io.Writer, c *Comparison) {
+	for _, n := range c.ConfigNotes {
+		fmt.Fprintf(w, "warning: %s\n", n)
+	}
+	for _, d := range c.Deltas {
+		name := fmt.Sprintf("T%s/%s/%s", d.Table, d.Suite, d.Solver)
+		switch {
+		case d.Missing:
+			fmt.Fprintf(w, "%-36s baseline %8.1f ms   missing from current run\n", name, d.BaseMeanMS)
+			continue
+		case d.New:
+			fmt.Fprintf(w, "%-36s new suite            now %8.1f ms\n", name, d.CurMeanMS)
+			continue
+		}
+		flags := ""
+		if d.Regression {
+			flags += "  REGRESSION"
+		}
+		if d.VerdictChange {
+			flags += "  VERDICTS-CHANGED"
+		}
+		fmt.Fprintf(w, "%-36s baseline %8.1f ms   now %8.1f ms   %+6.1f%%%s\n",
+			name, d.BaseMeanMS, d.CurMeanMS, d.DeltaPct, flags)
+	}
+	if r, v := c.Regressions(), c.VerdictChanges(); r > 0 || v > 0 {
+		fmt.Fprintf(w, "compare: %d regression(s), %d verdict change(s)\n", r, v)
+	} else {
+		fmt.Fprintln(w, "compare: ok")
+	}
+}

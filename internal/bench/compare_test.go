@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func row(table, suite, solver string, mean float64, sat, unknown int) JSONSuite {
+	return JSONSuite{Table: table, Suite: suite, Solver: solver, MeanMS: mean,
+		Instances: sat + unknown, Sat: sat, Unknown: unknown}
+}
+
+func TestCompareFlagsRegressionsAndVerdicts(t *testing.T) {
+	base := &JSONReport{
+		Config: JSONConfig{Tables: []string{"3"}, MaxLoops: 8, TimeoutMS: 5000, Workers: 1},
+		Suites: []JSONSuite{
+			row("3", "checkLuhn", "refine", 200, 7, 0),
+			row("3", "checkLuhn", "enum", 2600, 0, 7),
+			row("3", "checkLuhn", "split", 80, 0, 7),
+			row("3", "checkLuhn", "gone", 50, 7, 0),
+		},
+	}
+	cur := &JSONReport{
+		Config: base.Config,
+		Suites: []JSONSuite{
+			row("3", "checkLuhn", "refine", 90, 7, 0), // 55% faster: fine
+			row("3", "checkLuhn", "enum", 3600, 0, 7), // +38%: regression
+			row("3", "checkLuhn", "split", 84, 1, 6),  // +4ms: under floor, but verdicts moved
+			row("3", "checkLuhn", "fresh", 10, 7, 0),  // new suite
+		},
+	}
+	c := Compare(base, cur, 25)
+	if len(c.ConfigNotes) != 0 {
+		t.Fatalf("unexpected config notes: %v", c.ConfigNotes)
+	}
+	if got := c.Regressions(); got != 1 {
+		t.Fatalf("Regressions() = %d, want 1", got)
+	}
+	if got := c.VerdictChanges(); got != 1 {
+		t.Fatalf("VerdictChanges() = %d, want 1", got)
+	}
+	byName := map[string]SuiteDelta{}
+	for _, d := range c.Deltas {
+		byName[d.Solver] = d
+	}
+	if d := byName["refine"]; d.Regression || d.VerdictChange || d.DeltaPct != -55.0 {
+		t.Fatalf("refine delta wrong: %+v", d)
+	}
+	if d := byName["enum"]; !d.Regression {
+		t.Fatalf("enum +38%% not flagged as regression: %+v", d)
+	}
+	if d := byName["split"]; d.Regression || !d.VerdictChange {
+		t.Fatalf("split: want verdict change without regression, got %+v", d)
+	}
+	if d := byName["gone"]; !d.Missing {
+		t.Fatalf("dropped baseline suite not marked missing: %+v", d)
+	}
+	if d := byName["fresh"]; !d.New || d.Regression {
+		t.Fatalf("current-only suite not marked new: %+v", d)
+	}
+
+	var sb strings.Builder
+	WriteComparison(&sb, c)
+	out := sb.String()
+	for _, want := range []string{"REGRESSION", "VERDICTS-CHANGED", "missing from current run",
+		"new suite", "compare: 1 regression(s), 1 verdict change(s)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("comparison output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareAbsoluteFloor(t *testing.T) {
+	// 3ms -> 6ms is +100% but under the 5ms absolute floor: noise on a
+	// fast suite, never a regression.
+	base := &JSONReport{Suites: []JSONSuite{row("1", "digits", "refine", 3, 5, 0)}}
+	cur := &JSONReport{Suites: []JSONSuite{row("1", "digits", "refine", 6, 5, 0)}}
+	if c := Compare(base, cur, 25); c.Regressions() != 0 {
+		t.Fatalf("sub-floor slowdown flagged as regression: %+v", c.Deltas)
+	}
+	// 300 -> 306 clears the floor but not the 25% tolerance.
+	base.Suites[0].MeanMS, cur.Suites[0].MeanMS = 300, 306
+	if c := Compare(base, cur, 25); c.Regressions() != 0 {
+		t.Fatalf("sub-tolerance slowdown flagged as regression: %+v", c.Deltas)
+	}
+	// 300 -> 400 clears both.
+	cur.Suites[0].MeanMS = 400
+	if c := Compare(base, cur, 25); c.Regressions() != 1 {
+		t.Fatalf("33%% slowdown not flagged: %+v", c.Deltas)
+	}
+}
+
+func TestCompareConfigNotes(t *testing.T) {
+	base := &JSONReport{Config: JSONConfig{Tables: []string{"3"}, MaxLoops: 8, TimeoutMS: 5000}}
+	cur := &JSONReport{Config: JSONConfig{Tables: []string{"3"}, MaxLoops: 10, TimeoutMS: 4000}}
+	c := Compare(base, cur, 25)
+	if len(c.ConfigNotes) != 2 {
+		t.Fatalf("config notes = %v, want loop and timeout mismatches", c.ConfigNotes)
+	}
+	var sb strings.Builder
+	WriteComparison(&sb, c)
+	if got := sb.String(); !strings.Contains(got, "warning:") || !strings.Contains(got, "compare: ok") {
+		t.Fatalf("comparison output = %q", got)
+	}
+}

@@ -79,6 +79,14 @@ type atomRec struct {
 	bound   *big.Int
 	upper   bool
 	satVar  int
+	// posNum/negNum are the bound precomputed as simplex Nums, so each
+	// assert is a machine-word comparison instead of fresh big.Rat and
+	// big.Int allocations: posNum is the bound itself (positive
+	// polarity); negNum is the negated atom's bound (bound+1 for upper
+	// atoms asserted as lower bounds, bound-1 for lower atoms asserted
+	// as upper bounds).
+	posNum simplex.Num
+	negNum simplex.Num
 }
 
 type exprRec struct {
@@ -448,7 +456,15 @@ func (d *dpllt) atomVar(e *LinExpr) int {
 		d.exprs[key] = &exprRec{def: def, vars: vars, sv: -1}
 	}
 	v := d.sat.NewVar()
-	d.atoms = append(d.atoms, atomRec{exprKey: key, bound: bound, upper: upper, satVar: v})
+	pos := simplex.NumFromBigInt(bound)
+	neg := pos.AddInt64(-1)
+	if upper {
+		neg = pos.AddInt64(1)
+	}
+	d.atoms = append(d.atoms, atomRec{
+		exprKey: key, bound: bound, upper: upper, satVar: v,
+		posNum: pos, negNum: neg,
+	})
 	d.byKey[full] = len(d.atoms) - 1
 	return v
 }
@@ -507,22 +523,21 @@ func (d *dpllt) defineExprs() {
 // assertAtom asserts atom i with the given polarity into the current
 // simplex frame.
 func (d *dpllt) assertAtom(i int, polarity bool) *simplex.Conflict {
-	a := d.atoms[i]
+	a := &d.atoms[i]
 	sv := d.exprs[a.exprKey].sv
-	b := new(big.Rat)
-	if polarity == a.upper {
-		// comb <= bound, or the negation of a lower bound.
-		bi := new(big.Int).Set(a.bound)
-		if !polarity {
-			bi.Sub(bi, oneInt)
+	if polarity {
+		// The atom's own direction with its own bound.
+		if a.upper {
+			return d.sx.AssertUpperNum(sv, a.posNum, i)
 		}
-		return d.sx.AssertUpper(sv, b.SetInt(bi), i)
+		return d.sx.AssertLowerNum(sv, a.posNum, i)
 	}
-	bi := new(big.Int).Set(a.bound)
-	if !polarity {
-		bi.Add(bi, oneInt)
+	// Negation: ¬(comb <= b) is comb >= b+1; ¬(comb >= b) is
+	// comb <= b-1. negNum carries the adjusted bound.
+	if a.upper {
+		return d.sx.AssertLowerNum(sv, a.negNum, i)
 	}
-	return d.sx.AssertLower(sv, b.SetInt(bi), i)
+	return d.sx.AssertUpperNum(sv, a.negNum, i)
 }
 
 // --- tainted-core explanation ---------------------------------------
@@ -593,7 +608,6 @@ func (d *dpllt) subsetCheck(subset []int) (infeasible bool, subcore []int) {
 	scratch.Ctx = d.opts.Ctx
 	slackOf := make(map[string]int)
 	intVarsSet := make(map[int]bool)
-	one := big.NewInt(1)
 	for _, i := range subset {
 		a := d.atoms[i]
 		er := d.exprs[a.exprKey]
@@ -621,20 +635,16 @@ func (d *dpllt) subsetCheck(subset []int) (infeasible bool, subcore []int) {
 			intVarsSet[d.svOf(v)] = true
 		}
 		pol := d.assertedPol[i] == 1
-		b := new(big.Rat)
 		var c *simplex.Conflict
-		if pol == a.upper {
-			bi := new(big.Int).Set(a.bound)
-			if !pol {
-				bi.Sub(bi, one)
-			}
-			c = scratch.AssertUpper(sv, b.SetInt(bi), i)
-		} else {
-			bi := new(big.Int).Set(a.bound)
-			if !pol {
-				bi.Add(bi, one)
-			}
-			c = scratch.AssertLower(sv, b.SetInt(bi), i)
+		switch {
+		case pol && a.upper:
+			c = scratch.AssertUpperNum(sv, a.posNum, i)
+		case pol:
+			c = scratch.AssertLowerNum(sv, a.posNum, i)
+		case a.upper:
+			c = scratch.AssertLowerNum(sv, a.negNum, i)
+		default:
+			c = scratch.AssertUpperNum(sv, a.negNum, i)
 		}
 		if c != nil {
 			if !c.Tainted {

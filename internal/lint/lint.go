@@ -29,6 +29,10 @@
 //     and cached verdicts are provably settled (SAT/UNSAT),
 //   - lockorder:   mutex acquisition order is consistent across
 //     internal/server and internal/engine, via the call graph,
+//   - overflowguard: every int64 add/sub/mul/negate in the simplex
+//     fast path flows through the overflow-checked helpers (or is
+//     annotated with a proven range bound), so machine-word
+//     arithmetic cannot wrap silently,
 //   - stalesupp:   suppression directives that no longer suppress any
 //     finding are themselves reported, so suppressions cannot rot.
 //
@@ -42,6 +46,7 @@
 //	//lint:nocharge <why>   suppresses chargecover (line or function)
 //	//lint:cachesafe <why>  suppresses cachetaint
 //	//lint:locks <why>      suppresses lockorder
+//	//lint:nooverflow <why> suppresses overflowguard (argue the range)
 //
 // A directive that does not suppress anything is reported by
 // stalesupp.
@@ -105,7 +110,8 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 func All() []*Analyzer {
 	return []*Analyzer{
 		bigAlias, mapOrder, errDrop, recBudget, containRecover,
-		pollPath, chargeCover, cacheTaint, lockOrder, staleSupp,
+		pollPath, chargeCover, cacheTaint, lockOrder, overflowGuard,
+		staleSupp,
 	}
 }
 
@@ -246,17 +252,20 @@ const (
 	cachesafeDirective = "lint:cachesafe"
 	// locksDirective suppresses lockorder.
 	locksDirective = "lint:locks"
+	// nooverflowDirective suppresses overflowguard.
+	nooverflowDirective = "lint:nooverflow"
 )
 
 // directiveChecks maps each directive kind to the check it suppresses;
 // stalesupp uses it to decide which unused directives to report.
 var directiveChecks = map[string]string{
-	orderedDirective:   "maporder",
-	nopollDirective:    "pollpath",
-	nocontainDirective: "containrecover",
-	nochargeDirective:  "chargecover",
-	cachesafeDirective: "cachetaint",
-	locksDirective:     "lockorder",
+	orderedDirective:    "maporder",
+	nopollDirective:     "pollpath",
+	nocontainDirective:  "containrecover",
+	nochargeDirective:   "chargecover",
+	cachesafeDirective:  "cachetaint",
+	locksDirective:      "lockorder",
+	nooverflowDirective: "overflowguard",
 }
 
 // directive is one suppression comment. used records whether any

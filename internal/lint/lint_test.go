@@ -129,10 +129,15 @@ func TestContainRecoverFixtures(t *testing.T) {
 	checkFixture(t, "containrecover_race_good", containRecover)
 }
 
+func TestOverflowGuardFixtures(t *testing.T) {
+	checkFixture(t, "overflowguard_bad", overflowGuard)
+	checkFixture(t, "overflowguard_good", overflowGuard)
+}
+
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 10 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 10, nil", len(all), err)
+	if err != nil || len(all) != 11 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 11, nil", len(all), err)
 	}
 	if all[len(all)-1].Name != "stalesupp" {
 		t.Fatalf("stalesupp must run last, got %s", all[len(all)-1].Name)

@@ -1,0 +1,115 @@
+package lint
+
+// overflowguard proves the arithmetic discipline of the simplex fast
+// path: the int64 rational substrate (internal/simplex) is only sound
+// because every add, subtract, multiply, and negate that could wrap
+// flows through an overflow-checked helper that reports whether the
+// result fit, promoting to big.Rat when it did not. A raw int64
+// operation anywhere else in the package silently wraps instead of
+// promoting, corrupting the tableau with no failing test to show for
+// it — the verdicts are wrong only on inputs large enough to trip the
+// wrap. The check flags every +, -, *, ++, --, +=, -=, and *= whose
+// operands are int64, except:
+//
+//   - inside the checked helpers themselves, marked by the phrase
+//     "overflow-checked helper" in the function's doc comment,
+//   - constant-folded expressions (the compiler rejects wrapping
+//     constants),
+//   - sites annotated //lint:nooverflow <why the value stays in
+//     range>, for counters and values with proven headroom.
+//
+// Divisions and remainders are exempt by construction: the substrate
+// keeps denominators >= 1, and int64 division only overflows for
+// MinInt64 / -1, which the reduced-form invariant excludes.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var overflowGuard = &Analyzer{
+	Name:  "overflowguard",
+	Doc:   "raw int64 arithmetic in the simplex fast path outside the overflow-checked helpers",
+	Scope: scopeFor("overflowguard", "internal/simplex"),
+	Run:   runOverflowGuard,
+}
+
+// checkedHelperMarker exempts a whole function: the helpers that
+// implement the checked arithmetic must of course perform the raw
+// operations they guard.
+const checkedHelperMarker = "overflow-checked helper"
+
+func runOverflowGuard(p *Pass) {
+	for _, u := range p.Prog.unitsOf(p.Path) {
+		if u.encl != nil && u.encl.Doc != nil &&
+			strings.Contains(u.encl.Doc.Text(), checkedHelperMarker) {
+			continue
+		}
+		unit := u
+		inspectUnit(unit.body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if wrapOp(e.Op) && p.isInt64(e.X) && constValue(p, e) == nil {
+					reportOverflow(p, e.Pos(), "int64 "+e.Op.String())
+				}
+			case *ast.UnaryExpr:
+				if e.Op == token.SUB && p.isInt64(e.X) && constValue(p, e) == nil {
+					reportOverflow(p, e.Pos(), "int64 negation")
+				}
+			case *ast.IncDecStmt:
+				if p.isInt64(e.X) {
+					reportOverflow(p, e.Pos(), "int64 "+e.Tok.String())
+				}
+			case *ast.AssignStmt:
+				if wrapAssign(e.Tok) && len(e.Lhs) == 1 && p.isInt64(e.Lhs[0]) {
+					reportOverflow(p, e.Pos(), "int64 "+e.Tok.String())
+				}
+			}
+			return true
+		})
+	}
+}
+
+func wrapOp(op token.Token) bool {
+	return op == token.ADD || op == token.SUB || op == token.MUL
+}
+
+func wrapAssign(tok token.Token) bool {
+	return tok == token.ADD_ASSIGN || tok == token.SUB_ASSIGN || tok == token.MUL_ASSIGN
+}
+
+// isInt64 reports whether the expression's type is exactly int64 (the
+// substrate's word type). Plain int, int32, and the unsigned types are
+// out of scope: the fast path stores everything that matters in int64,
+// and flagging every loop counter would drown the signal.
+func (p *Pass) isInt64(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int64
+}
+
+// constValue returns the expression's constant-folded value, nil when
+// the expression is evaluated at run time.
+func constValue(p *Pass, e ast.Expr) interface{} {
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+		return tv.Value
+	}
+	return nil
+}
+
+func reportOverflow(p *Pass, pos token.Pos, what string) {
+	if has, justified := p.suppression(nooverflowDirective, pos); has {
+		if !justified {
+			p.Report(pos, "overflowguard", "//lint:nooverflow needs a justification")
+		}
+		return
+	}
+	p.Report(pos, "overflowguard",
+		what+" outside the checked helpers can wrap silently; "+
+			"route it through add64/sub64/mul64/neg64 or //lint:nooverflow <why it stays in range>")
+}

@@ -1,0 +1,30 @@
+// Package overflowguard_bad holds raw int64 arithmetic outside the
+// checked helpers: every operation here can wrap silently.
+package overflowguard_bad
+
+// combine mixes unchecked int64 operations.
+func combine(a, b int64) int64 {
+	s := a + b           // want overflowguard
+	p := a * b           // want overflowguard
+	d := a - b           // want overflowguard
+	n := -a              // want overflowguard
+	return s + p + d + n // want overflowguard
+}
+
+// count increments and op-assigns without a range argument.
+func count(xs []int64) int64 {
+	var total int64
+	for _, x := range xs {
+		total += x // want overflowguard
+	}
+	var c int64
+	c++              // want overflowguard
+	return total * c // want overflowguard
+}
+
+// unjustified has a directive with no argument: the suppression is
+// consulted but the missing justification is itself a finding.
+func unjustified(a, b int64) int64 {
+	//lint:nooverflow
+	return a + b // want overflowguard
+}

@@ -1,0 +1,57 @@
+// Package overflowguard_good holds the shapes overflowguard must
+// accept: checked helpers, justified range arguments, constant folds,
+// and arithmetic on types outside the substrate's word type.
+package overflowguard_good
+
+// add64 is an overflow-checked helper: a+b and whether it fit. The
+// marker phrase in this doc comment exempts the raw operations that
+// implement the check itself.
+func add64(a, b int64) (int64, bool) {
+	s := a + b
+	if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+// viaHelper routes its arithmetic through the checked helper.
+func viaHelper(a, b int64) int64 {
+	s, ok := add64(a, b)
+	if !ok {
+		return 0
+	}
+	return s
+}
+
+// justified carries range arguments on every raw operation.
+func justified(pivots int64) int64 {
+	pivots++              //lint:nooverflow monotone counter, budgets trip long before int64 wraps
+	limit := pivots + 500 //lint:nooverflow counter stays far below int64 range
+	return limit
+}
+
+// constants and non-int64 arithmetic are out of scope: untyped folds
+// cannot wrap at run time, and int loop counters are not substrate
+// values.
+func outOfScope(xs []int) int {
+	const page = 1 << 20
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	var u uint64
+	u = u + 3
+	_ = u
+	return total + page
+}
+
+// division keeps the denominator invariant: / and % cannot overflow
+// off MinInt64/-1, which reduced form excludes, so they are exempt.
+func divide(n, d int64) int64 {
+	q := n / d
+	r := n % d
+	if r != 0 {
+		return q
+	}
+	return q
+}

@@ -1,0 +1,112 @@
+package sat
+
+import (
+	"testing"
+)
+
+// mkLearnt builds a detached learnt clause for clause-management tests;
+// reduceDB never inspects watches, only the clause records.
+func mkLearnt(lits []Lit, lbd int32, act float64) *clause {
+	return &clause{lits: lits, learnt: true, act: act, lbd: lbd}
+}
+
+func TestReduceDBKeepsGlue(t *testing.T) {
+	s := New()
+	for i := 0; i < 9; i++ {
+		s.NewVar()
+	}
+	lits := []Lit{MkLit(0, false), MkLit(1, false), MkLit(2, false)}
+	var glue []*clause
+	// 2100 reducible high-LBD clauses plus glue sprinkled among them.
+	for i := 0; i < 2100; i++ {
+		s.clauses = append(s.clauses, mkLearnt(lits, 5+int32(i%7), float64(i)))
+		if i%100 == 0 {
+			g := mkLearnt(lits, 2, 0) // worst activity, best glue
+			glue = append(glue, g)
+			s.clauses = append(s.clauses, g)
+		}
+	}
+	s.reduceDB()
+	for _, g := range glue {
+		if g.deleted {
+			t.Fatal("glue clause (lbd<=2) was deleted")
+		}
+	}
+	kept := map[*clause]bool{}
+	for _, c := range s.clauses {
+		kept[c] = true
+	}
+	for _, g := range glue {
+		if !kept[g] {
+			t.Fatal("glue clause dropped from the clause list")
+		}
+	}
+	// Half of the 2100 reducible clauses must be gone.
+	if got := len(s.clauses); got != 2100/2+len(glue) {
+		t.Fatalf("clauses after reduce = %d, want %d", got, 2100/2+len(glue))
+	}
+}
+
+func TestReduceDBPrefersHighLBD(t *testing.T) {
+	s := New()
+	for i := 0; i < 9; i++ {
+		s.NewVar()
+	}
+	lits := []Lit{MkLit(0, false), MkLit(1, false), MkLit(2, false)}
+	// 1000 clauses with lbd 10 and high activity, 1000 with lbd 3 and
+	// low activity: LBD must outrank activity, so the lbd-10 half dies.
+	var high, low []*clause
+	for i := 0; i < 1000; i++ {
+		h := mkLearnt(lits, 10, 1e9)
+		l := mkLearnt(lits, 3, 0)
+		high = append(high, h)
+		low = append(low, l)
+		s.clauses = append(s.clauses, h, l)
+	}
+	s.reduceDB()
+	for _, c := range high {
+		if !c.deleted {
+			t.Fatal("high-LBD clause survived while low-LBD candidates existed")
+		}
+	}
+	for _, c := range low {
+		if c.deleted {
+			t.Fatal("low-LBD clause deleted before high-LBD ones")
+		}
+	}
+}
+
+func TestComputeLBDCountsDistinctLevels(t *testing.T) {
+	s := New()
+	for i := 0; i < 6; i++ {
+		s.NewVar()
+	}
+	// Fake a trail: vars 0,1 at level 1; var 2 at level 2; var 3 at
+	// level 0 (must not count); var 4 at level 3.
+	s.lim = []int{0, 0, 0} // three open decision levels
+	s.level[0], s.level[1], s.level[2], s.level[3], s.level[4] = 1, 1, 2, 0, 3
+	got := s.computeLBD([]Lit{MkLit(0, false), MkLit(1, true), MkLit(2, false), MkLit(3, false), MkLit(4, true)})
+	if got != 3 {
+		t.Fatalf("computeLBD = %d, want 3 (levels 1,2,3; level 0 ignored)", got)
+	}
+	// A second call must not be confused by the first (stamp freshness).
+	if got := s.computeLBD([]Lit{MkLit(0, false)}); got != 1 {
+		t.Fatalf("second computeLBD = %d, want 1", got)
+	}
+}
+
+func BenchmarkReduceDB(b *testing.B) {
+	lits := []Lit{MkLit(0, false), MkLit(1, false), MkLit(2, false)}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := New()
+		for v := 0; v < 9; v++ {
+			s.NewVar()
+		}
+		for k := 0; k < 4000; k++ {
+			s.clauses = append(s.clauses, mkLearnt(lits, int32(k%16), float64(k%97)))
+		}
+		b.StartTimer()
+		s.reduceDB()
+	}
+}

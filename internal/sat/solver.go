@@ -47,6 +47,11 @@ type clause struct {
 	learnt  bool
 	act     float64
 	deleted bool
+	// lbd is the literal block distance (glue) at learn time: the
+	// number of distinct nonzero decision levels among the literals.
+	// Clauses with lbd <= 2 tie together few decision levels and are
+	// retained forever (Glucose-style clause management).
+	lbd int32
 }
 
 // FinalResult is the outcome of a theory final check.
@@ -138,6 +143,12 @@ type Solver struct {
 	failed []Lit // failed-assumption core of the last Solve, or nil
 
 	claInc float64
+
+	// lbdStamp/lbdCounter implement the distinct-decision-level count
+	// for LBD scoring without clearing a seen-array per clause: a level
+	// is counted when its stamp differs from the current counter.
+	lbdStamp   []int64
+	lbdCounter int64
 }
 
 // Result is the outcome of Solve.
@@ -657,6 +668,9 @@ func (s *Solver) Solve() Result {
 			s.cancelUntil(maxLvl)
 		}
 		learnt, bj := s.analyze(confl)
+		// LBD must be computed before backjumping: it reads the decision
+		// levels of the learnt literals, which cancelUntil resets.
+		lbd := s.computeLBD(learnt)
 		s.cancelUntil(bj)
 		if len(learnt) == 1 {
 			s.cancelUntil(0)
@@ -665,7 +679,7 @@ func (s *Solver) Solve() Result {
 				return Unsat
 			}
 		} else {
-			c := &clause{lits: learnt, learnt: true, act: s.claInc}
+			c := &clause{lits: learnt, learnt: true, act: s.claInc, lbd: lbd}
 			s.attach(c)
 			s.clauses = append(s.clauses, c)
 			// Learnt clauses are the solver's only unbounded memory
@@ -723,19 +737,46 @@ func (s *Solver) clauseFromCore(core []Lit) *clause {
 	return &clause{lits: lits}
 }
 
-// reduceDB deletes the less active half of the learnt clauses that are
-// not currently reasons, keeping binary clauses.
+// computeLBD returns the literal block distance of a clause: the
+// number of distinct nonzero decision levels among its literals. Valid
+// only while those literals' levels are current (before backjumping).
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	s.lbdCounter++
+	if need := len(s.lim) + 2; len(s.lbdStamp) < need {
+		s.lbdStamp = append(s.lbdStamp, make([]int64, need-len(s.lbdStamp))...)
+	}
+	var n int32
+	for _, l := range lits {
+		lv := s.level[l.Var()]
+		if lv > 0 && s.lbdStamp[lv] != s.lbdCounter {
+			s.lbdStamp[lv] = s.lbdCounter
+			n++
+		}
+	}
+	return n
+}
+
+// reduceDB deletes half of the reducible learnt clauses: clauses that
+// are not currently reasons, are longer than binary, and have LBD > 2.
+// Glue clauses (LBD <= 2) tie together at most two decision levels and
+// are never deleted (Glucose-style retention). Deletion prefers
+// high-LBD clauses, breaking ties toward low activity.
 func (s *Solver) reduceDB() {
 	learnts := make([]*clause, 0, len(s.clauses))
 	for _, c := range s.clauses {
-		if c.learnt && !c.deleted && len(c.lits) > 2 {
+		if c.learnt && !c.deleted && len(c.lits) > 2 && c.lbd > 2 {
 			learnts = append(learnts, c)
 		}
 	}
 	if len(learnts) < 2000 {
 		return
 	}
-	sort.Slice(learnts, func(i, j int) bool { return learnts[i].act < learnts[j].act })
+	sort.SliceStable(learnts, func(i, j int) bool {
+		if learnts[i].lbd != learnts[j].lbd {
+			return learnts[i].lbd > learnts[j].lbd
+		}
+		return learnts[i].act < learnts[j].act
+	})
 	locked := make(map[*clause]bool)
 	for _, r := range s.reason {
 		if r != nil {

@@ -1,0 +1,93 @@
+package simplex
+
+import (
+	"math/big"
+	"testing"
+)
+
+// benchTableau builds a solver with nv problem variables and one slack
+// per window of w consecutive variables, so columns are shared across
+// rows and pivots exercise the substitution merge.
+func benchTableau(nv, w int) (*Solver, []int) {
+	s := New(nv)
+	slacks := make([]int, 0, nv)
+	for i := 0; i+w <= nv; i += w / 2 {
+		def := make(map[int]*big.Int, w)
+		for j := 0; j < w; j++ {
+			c := int64(j + 1)
+			if (i+j)%2 == 1 {
+				c = -c
+			}
+			def[i+j] = big.NewInt(c)
+		}
+		slacks = append(slacks, s.DefineSlack(def))
+	}
+	return s, slacks
+}
+
+// BenchmarkPivot measures the raw row-transform + substitution cost of
+// one pivot by swapping a basic/nonbasic pair back and forth.
+func BenchmarkPivot(b *testing.B) {
+	benchmarkPivot(b)
+}
+
+// BenchmarkPivotSlowPath is the same workload with every rval routed
+// through big.Rat: the A/B pair quantifies the machine-word win.
+func BenchmarkPivotSlowPath(b *testing.B) {
+	ForceSlowPath = true
+	defer func() { ForceSlowPath = false }()
+	benchmarkPivot(b)
+}
+
+func benchmarkPivot(b *testing.B) {
+	s, slacks := benchTableau(32, 8)
+	basic, nonb := slacks[0], 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.pivot(basic, nonb)
+		basic, nonb = nonb, basic
+	}
+}
+
+// BenchmarkCheck measures feasibility restoration under alternating
+// bound flips: every iteration pushes bounds that violate the current
+// assignment, so Check must pivot, then pops them.
+func BenchmarkCheck(b *testing.B) {
+	benchmarkCheck(b)
+}
+
+// BenchmarkCheckSlowPath is BenchmarkCheck on the big.Rat fallback.
+func BenchmarkCheckSlowPath(b *testing.B) {
+	ForceSlowPath = true
+	defer func() { ForceSlowPath = false }()
+	benchmarkCheck(b)
+}
+
+func benchmarkCheck(b *testing.B) {
+	s, slacks := benchTableau(24, 6)
+	for v := 0; v < 24; v++ {
+		s.AssertLower(v, big.NewRat(-50, 1), NoTag)
+		s.AssertUpper(v, big.NewRat(50, 1), NoTag)
+	}
+	if c := s.Check(); c != nil {
+		b.Fatalf("base system infeasible: %+v", c)
+	}
+	lo := NumFromInt64(20)
+	hi := NumFromInt64(-20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := slacks[i%len(slacks)]
+		s.Push()
+		if i%2 == 0 {
+			s.AssertLowerNum(e, lo, NoTag)
+		} else {
+			s.AssertUpperNum(e, hi, NoTag)
+		}
+		if c := s.Check(); c != nil && !c.Budget {
+			b.Fatalf("iter %d: unexpected conflict", i)
+		}
+		s.Pop()
+	}
+}

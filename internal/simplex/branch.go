@@ -52,10 +52,11 @@ func (b *IntSolver) rec(depth int) (IntResult, map[int]*big.Int, *Conflict) {
 		return IntUnsat, nil, confl
 	}
 	// Find a fractional integer variable; branch on the one with the
-	// smallest id for determinism.
+	// smallest id for determinism. ValueIsInt reads the machine-word
+	// representation directly, so this scan allocates nothing.
 	v := -1
 	for _, iv := range b.IntVars {
-		if !b.S.Value(iv).IsInt() {
+		if !b.S.ValueIsInt(iv) {
 			v = iv
 			break
 		}
@@ -63,18 +64,20 @@ func (b *IntSolver) rec(depth int) (IntResult, map[int]*big.Int, *Conflict) {
 	if v == -1 {
 		m := make(map[int]*big.Int, len(b.IntVars))
 		for _, iv := range b.IntVars {
-			m[iv] = new(big.Int).Set(b.S.Value(iv).Num())
+			m[iv] = b.S.ValueInt(iv)
 		}
 		return IntSat, m, nil
 	}
-	fl := floorRat(b.S.Value(v))
+	// Split bounds are Nums computed straight off the tableau value —
+	// no big.Rat/big.Int churn per branch step on the fast path.
+	fl := b.S.ValueFloor(v)
 
 	// Left branch: v <= floor.
 	b.S.Push()
 	var leftRes IntResult
 	var leftConfl *Conflict
 	var model map[int]*big.Int
-	if c := b.S.AssertUpper(v, new(big.Rat).SetInt(fl), NoTag); c != nil {
+	if c := b.S.AssertUpperNum(v, fl, NoTag); c != nil {
 		leftRes, leftConfl = IntUnsat, c
 	} else {
 		leftRes, model, leftConfl = b.rec(depth + 1)
@@ -90,11 +93,10 @@ func (b *IntSolver) rec(depth int) (IntResult, map[int]*big.Int, *Conflict) {
 	}
 
 	// Right branch: v >= floor+1.
-	ceil := new(big.Int).Add(fl, big.NewInt(1))
 	b.S.Push()
 	var rightRes IntResult
 	var rightConfl *Conflict
-	if c := b.S.AssertLower(v, new(big.Rat).SetInt(ceil), NoTag); c != nil {
+	if c := b.S.AssertLowerNum(v, fl.AddInt64(1), NoTag); c != nil {
 		rightRes, rightConfl = IntUnsat, c
 	} else {
 		rightRes, model, rightConfl = b.rec(depth + 1)
@@ -125,15 +127,4 @@ func (b *IntSolver) rec(depth int) (IntResult, map[int]*big.Int, *Conflict) {
 		}
 	}
 	return IntUnsat, nil, merged
-}
-
-// floorRat returns floor(r) as a big.Int.
-func floorRat(r *big.Rat) *big.Int {
-	q := new(big.Int)
-	m := new(big.Int)
-	q.QuoRem(r.Num(), r.Denom(), m)
-	if m.Sign() < 0 {
-		q.Sub(q, big.NewInt(1))
-	}
-	return q
 }

@@ -1,0 +1,306 @@
+package simplex
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// ratOf returns the rval's value as a big.Rat without touching its
+// representation.
+func ratOf(x *rval) *big.Rat { return x.rat() }
+
+func TestCheckedHelpers(t *testing.T) {
+	cases := []struct {
+		a, b int64
+	}{
+		{0, 0}, {1, -1}, {math.MaxInt64, 1}, {math.MinInt64, -1},
+		{math.MinInt64, math.MinInt64}, {math.MaxInt64, math.MaxInt64},
+		{math.MinInt64 / 2, 2}, {3037000499, 3037000499}, // isqrt(MaxInt64) boundary
+		{-3037000500, 3037000500}, {1 << 31, 1 << 32},
+	}
+	for _, c := range cases {
+		bigA, bigB := big.NewInt(c.a), big.NewInt(c.b)
+		if got, ok := add64(c.a, c.b); ok {
+			if want := new(big.Int).Add(bigA, bigB); !want.IsInt64() || want.Int64() != got {
+				t.Errorf("add64(%d,%d) = %d, want %v", c.a, c.b, got, want)
+			}
+		} else if new(big.Int).Add(bigA, bigB).IsInt64() {
+			t.Errorf("add64(%d,%d) reported overflow on a fitting sum", c.a, c.b)
+		}
+		if got, ok := sub64(c.a, c.b); ok {
+			if want := new(big.Int).Sub(bigA, bigB); !want.IsInt64() || want.Int64() != got {
+				t.Errorf("sub64(%d,%d) = %d, want %v", c.a, c.b, got, want)
+			}
+		} else if new(big.Int).Sub(bigA, bigB).IsInt64() {
+			t.Errorf("sub64(%d,%d) reported overflow on a fitting difference", c.a, c.b)
+		}
+		if got, ok := mul64(c.a, c.b); ok {
+			if want := new(big.Int).Mul(bigA, bigB); !want.IsInt64() || want.Int64() != got {
+				t.Errorf("mul64(%d,%d) = %d, want %v", c.a, c.b, got, want)
+			}
+		} else if new(big.Int).Mul(bigA, bigB).IsInt64() {
+			t.Errorf("mul64(%d,%d) reported overflow on a fitting product", c.a, c.b)
+		}
+	}
+	// MinInt64 products that land exactly on the boundary.
+	if got, ok := mul64(math.MinInt64, 1); !ok || got != math.MinInt64 {
+		t.Errorf("mul64(MinInt64, 1) = %d, %v", got, ok)
+	}
+	if got, ok := mul64(-(int64(1) << 32), int64(1)<<31); !ok || got != math.MinInt64 {
+		t.Errorf("mul64(-2^32, 2^31) = %d, %v; want MinInt64, true", got, ok)
+	}
+	if _, ok := mul64(int64(1)<<32, int64(1)<<31); ok {
+		t.Error("mul64(2^32, 2^31) must overflow (MaxInt64+1)")
+	}
+	if _, ok := neg64(math.MinInt64); ok {
+		t.Error("neg64(MinInt64) must overflow")
+	}
+}
+
+// applyRval performs op on rvals; applyRat is the big.Rat ground truth.
+func applyRval(op byte, z, x, y *rval) {
+	switch op % 7 {
+	case 0:
+		z.set(x)
+		z.add(y)
+	case 1:
+		z.sub(x, y)
+	case 2:
+		z.mul(x, y)
+	case 3:
+		z.set(x)
+		z.addMul(y, y)
+	case 4:
+		if y.sign() != 0 {
+			z.div(x, y)
+		} else {
+			z.set(x)
+		}
+	case 5:
+		z.set(x)
+		z.neg()
+	case 6:
+		z.mulNeg(x, y)
+	}
+}
+
+func applyRat(op byte, x, y *big.Rat) *big.Rat {
+	z := new(big.Rat)
+	switch op % 7 {
+	case 0:
+		z.Add(x, y)
+	case 1:
+		z.Sub(x, y)
+	case 2:
+		z.Mul(x, y)
+	case 3:
+		z.Add(x, new(big.Rat).Mul(y, y))
+	case 4:
+		if y.Sign() != 0 {
+			z.Quo(x, y)
+		} else {
+			z.Set(x)
+		}
+	case 5:
+		z.Neg(x)
+	case 6:
+		z.Mul(x, y)
+		z.Neg(z)
+	}
+	return z
+}
+
+// FuzzFastPathArith cross-checks every rval operation against big.Rat
+// ground truth, including the +-2^63 overflow boundaries where the fast
+// path must trip into the wide fallback without changing the value.
+func FuzzFastPathArith(f *testing.F) {
+	seeds := []struct {
+		op             byte
+		an, ad, bn, bd int64
+	}{
+		{0, 1, 2, 1, 3},
+		{1, math.MaxInt64, 1, -1, 1},
+		{2, math.MaxInt64, 3, 3, 1},
+		{3, math.MinInt64, 1, 3037000499, 1},
+		{4, 1, math.MaxInt64, math.MinInt64, 7},
+		{2, math.MinInt64, math.MaxInt64, math.MaxInt64, math.MinInt64 + 1},
+		{0, math.MaxInt64 - 1, 2, math.MaxInt64, 2},
+		{6, math.MinInt64, 1, 1, math.MinInt64},
+		{5, math.MinInt64, 1, 0, 1},
+		{1, math.MinInt64 + 1, math.MaxInt64, math.MaxInt64, math.MaxInt64 - 1},
+	}
+	for _, s := range seeds {
+		f.Add(s.op, s.an, s.ad, s.bn, s.bd)
+	}
+	f.Fuzz(func(t *testing.T, op byte, an, ad, bn, bd int64) {
+		if ad == 0 || bd == 0 {
+			t.Skip()
+		}
+		var x, y, z rval
+		x.setFrac64(an, ad)
+		y.setFrac64(bn, bd)
+		rx, ry := ratOf(&x), ratOf(&y)
+		if rx.Cmp(new(big.Rat).SetFrac64(an, ad)) != 0 {
+			t.Fatalf("setFrac64(%d,%d) = %v", an, ad, rx)
+		}
+		applyRval(op, &z, &x, &y)
+		want := applyRat(op, rx, ry)
+		if got := ratOf(&z); got.Cmp(want) != 0 {
+			t.Fatalf("op %d on %v, %v: fast path %v, big.Rat %v", op%7, rx, ry, got, want)
+		}
+		// Operands must be unchanged (ops only write their receiver).
+		if ratOf(&x).Cmp(rx) != 0 || ratOf(&y).Cmp(ry) != 0 {
+			t.Fatalf("op %d mutated an operand", op%7)
+		}
+		// cmp must agree with big.Rat comparison.
+		if x.cmp(&y) != rx.Cmp(ry) {
+			t.Fatalf("cmp(%v, %v) = %d, want %d", rx, ry, x.cmp(&y), rx.Cmp(ry))
+		}
+		// Aliased receiver: z = z op y.
+		var za rval
+		za.set(&x)
+		applyRval(op, &za, &za, &y)
+		wantAlias := applyRat(op, rx, ry)
+		if got := ratOf(&za); got.Cmp(wantAlias) != 0 {
+			t.Fatalf("aliased op %d: got %v, want %v", op%7, got, wantAlias)
+		}
+		// The same computation under ForceSlowPath must agree exactly.
+		ForceSlowPath = true
+		defer func() { ForceSlowPath = false }()
+		var xs, ys, zs rval
+		xs.setFrac64(an, ad)
+		ys.setFrac64(bn, bd)
+		applyRval(op, &zs, &xs, &ys)
+		if got := ratOf(&zs); got.Cmp(want) != 0 {
+			t.Fatalf("slow path disagrees: got %v, want %v", got, want)
+		}
+	})
+}
+
+func TestRvalNarrowsAfterWideDetour(t *testing.T) {
+	// (2^62 + 2^62) / 2 overflows int64 transiently, then fits again.
+	var x, two rval
+	x.setInt64(1 << 62)
+	x.add(&x)
+	if !x.isWide {
+		t.Fatal("2^63 must be wide")
+	}
+	two.setInt64(2)
+	x.div(&x, &two)
+	if x.isWide {
+		t.Fatalf("2^63/2 = 2^62 should have narrowed, got wide %v", x.rat())
+	}
+	if x.n != 1<<62 || x.d != 1 {
+		t.Fatalf("narrowed to %d/%d, want 2^62/1", x.n, x.d)
+	}
+}
+
+// TestOverflowTripInSolver drives the full simplex solver over
+// coefficients near 2^60 so pivot arithmetic must trip into the wide
+// fallback, and checks the verdict and model against small-coefficient
+// ground truth semantics.
+func TestOverflowTripInSolver(t *testing.T) {
+	huge := int64(1) << 60
+	// huge*x + huge*y >= 3*huge, x <= 1, y <= 3: feasible (x=1, y=2).
+	s := New(2)
+	e := s.DefineSlack(map[int]*big.Int{0: big.NewInt(huge), 1: big.NewInt(huge)})
+	lo := new(big.Rat).SetInt(new(big.Int).Mul(big.NewInt(3), big.NewInt(huge)))
+	if c := s.AssertLower(e, lo, 1); c != nil {
+		t.Fatal("unexpected conflict on lower")
+	}
+	if c := s.AssertUpper(0, rat(1, 1), 2); c != nil {
+		t.Fatal(c)
+	}
+	if c := s.AssertUpper(1, rat(3, 1), 3); c != nil {
+		t.Fatal(c)
+	}
+	if c := s.Check(); c != nil {
+		t.Fatalf("feasible huge system rejected: %+v", c)
+	}
+	x, y := s.Value(0), s.Value(1)
+	sum := new(big.Rat).Add(x, y)
+	if sum.Cmp(rat(3, 1)) < 0 || x.Cmp(rat(1, 1)) > 0 || y.Cmp(rat(3, 1)) > 0 {
+		t.Fatalf("invalid model x=%v y=%v", x, y)
+	}
+	// Now x+y can contribute at most 4*huge; demand 5*huge: infeasible,
+	// and the conflict must cite all three bounds.
+	hi := new(big.Rat).SetInt(new(big.Int).Mul(big.NewInt(5), big.NewInt(huge)))
+	if c := s.AssertLower(e, hi, 4); c != nil {
+		t.Fatal("bound-vs-bound conflict too early")
+	}
+	c := s.Check()
+	if c == nil || c.Tainted {
+		t.Fatalf("expected untainted conflict, got %+v", c)
+	}
+	want := map[int]bool{2: true, 3: true, 4: true}
+	for _, tag := range c.Tags {
+		delete(want, tag)
+	}
+	if len(want) != 0 {
+		t.Fatalf("conflict %v missing tags %v", c.Tags, want)
+	}
+}
+
+// TestForcedSlowPathSolverAgreement replays a pivot-heavy random system
+// with and without the fast path and requires identical verdicts and
+// values.
+func TestForcedSlowPathSolverAgreement(t *testing.T) {
+	build := func() *Solver {
+		s := New(3)
+		e1 := s.DefineSlack(map[int]*big.Int{0: big.NewInt(2), 1: big.NewInt(3), 2: big.NewInt(-1)})
+		e2 := s.DefineSlack(map[int]*big.Int{0: big.NewInt(-1), 1: big.NewInt(5)})
+		e3 := s.DefineSlack(map[int]*big.Int{1: big.NewInt(7), 2: big.NewInt(2)})
+		s.AssertLower(e1, rat(4, 1), 1)
+		s.AssertUpper(e2, rat(10, 3), 2)
+		s.AssertLower(e3, rat(-2, 7), 3)
+		s.AssertUpper(0, rat(9, 2), 4)
+		s.AssertLower(1, rat(-3, 1), 5)
+		s.AssertUpper(2, rat(11, 1), 6)
+		return s
+	}
+	fast := build()
+	cf := fast.Check()
+
+	ForceSlowPath = true
+	defer func() { ForceSlowPath = false }()
+	slow := build()
+	cs := slow.Check()
+
+	if (cf == nil) != (cs == nil) {
+		t.Fatalf("verdicts differ: fast %+v, slow %+v", cf, cs)
+	}
+	if cf != nil {
+		return
+	}
+	for v := 0; v < fast.NumVars(); v++ {
+		if fast.Value(v).Cmp(slow.Value(v)) != 0 {
+			t.Fatalf("var %d: fast %v, slow %v", v, fast.Value(v), slow.Value(v))
+		}
+	}
+	if fast.Pivots != slow.Pivots {
+		t.Fatalf("pivot counts diverge: fast %d, slow %d", fast.Pivots, slow.Pivots)
+	}
+}
+
+func TestNumAPI(t *testing.T) {
+	n := NumFromInt64(41).AddInt64(1)
+	if n.Rat().Cmp(rat(42, 1)) != 0 {
+		t.Fatalf("41+1 = %v", n.Rat())
+	}
+	big9 := new(big.Int).Exp(big.NewInt(10), big.NewInt(30), nil)
+	m := NumFromBigInt(big9)
+	if m.Rat().Cmp(new(big.Rat).SetInt(big9)) != 0 {
+		t.Fatalf("NumFromBigInt(10^30) = %v", m.Rat())
+	}
+	if m.Cmp(n) <= 0 {
+		t.Fatal("10^30 must compare above 42")
+	}
+	r := NumFromRat(rat(-7, 3))
+	if r.Rat().Cmp(rat(-7, 3)) != 0 {
+		t.Fatalf("NumFromRat = %v", r.Rat())
+	}
+	if got := r.AddInt64(1).Rat(); got.Cmp(rat(-4, 3)) != 0 {
+		t.Fatalf("-7/3 + 1 = %v", got)
+	}
+}

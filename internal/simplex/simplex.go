@@ -5,6 +5,12 @@
 // conflict explanations, and a branch-and-bound layer for integrality.
 //
 // It is the theory backend of the DPLL(T) loop in package lia.
+//
+// Arithmetic runs on the rval machine-word fast path (rat64.go):
+// coefficients, assignment values, and bounds are int64 num/den pairs
+// that promote to exact big.Rat on overflow. Rows are sorted sparse
+// parallel slices (idx/coef) so pivots walk contiguous memory, and
+// per-solver scratch buffers keep the pivot loop allocation-free.
 package simplex
 
 import (
@@ -20,9 +26,32 @@ import (
 const NoTag = -1
 
 type bound struct {
-	val *big.Rat
+	val rval
 	tag int
 	set bool
+}
+
+// srow is one tableau row: a sparse linear form over nonbasic
+// variables, as parallel slices sorted by variable id. Coefficient
+// slots are owned by the row (see the rval copy discipline).
+type srow struct {
+	idx  []int32
+	coef []rval
+}
+
+// find returns the position of v in r.idx, or -1. Rows are short, so a
+// linear scan with early exit beats binary search in practice and is
+// friendlier to the prefetcher.
+func (r *srow) find(v int32) int {
+	for p, k := range r.idx {
+		if k >= v {
+			if k == v {
+				return p
+			}
+			return -1
+		}
+	}
+	return -1
 }
 
 // Solver holds a simplex tableau over variables identified by small
@@ -30,12 +59,12 @@ type bound struct {
 // DefineSlack, assert bounds, and call Check.
 type Solver struct {
 	n     int // number of variables
-	beta  []*big.Rat
+	beta  []rval
 	lower []bound
 	upper []bound
 
-	rows map[int]map[int]*big.Rat // basic var -> coefficient map over nonbasic vars
-	cols map[int]map[int]bool     // nonbasic var -> set of basic rows containing it
+	rows []*srow   // basic var -> its row (nil when nonbasic)
+	cols [][]int32 // nonbasic var -> unsorted basic rows containing it
 
 	// defs keeps each slack's original definition over problem
 	// variables so the tableau can be refactorized (rebuilt) when
@@ -43,6 +72,12 @@ type Solver struct {
 	defs         map[int]map[int]*big.Int
 	baseTerms    int
 	lastRefactor int64
+
+	// Scratch buffers for the pivot substitution merge and the column
+	// snapshot, reused across pivots so the hot loop does not allocate.
+	mergeIdx   []int32
+	mergeCoef  []rval
+	colScratch []int32
 
 	// Bound changes are undone through a trail so Push is O(1).
 	undo   []boundChange
@@ -75,16 +110,16 @@ type boundChange struct {
 func New(n int) *Solver {
 	s := &Solver{
 		n:    n,
-		rows: make(map[int]map[int]*big.Rat),
-		cols: make(map[int]map[int]bool),
 		defs: make(map[int]map[int]*big.Int),
 	}
-	s.beta = make([]*big.Rat, n)
+	s.beta = make([]rval, n)
+	for i := range s.beta {
+		s.beta[i].d = 1 // value 0; the zero rval is not a valid rational
+	}
 	s.lower = make([]bound, n)
 	s.upper = make([]bound, n)
-	for i := 0; i < n; i++ {
-		s.beta[i] = new(big.Rat)
-	}
+	s.rows = make([]*srow, n)
+	s.cols = make([][]int32, n)
 	return s
 }
 
@@ -100,9 +135,11 @@ func (s *Solver) EnsureVars(n int) {
 	}
 	s.Ctx.Charge("simplex tableau", int64(n-s.n))
 	for i := s.n; i < n; i++ {
-		s.beta = append(s.beta, new(big.Rat))
+		s.beta = append(s.beta, rval{d: 1})
 		s.lower = append(s.lower, bound{})
 		s.upper = append(s.upper, bound{})
+		s.rows = append(s.rows, nil)
+		s.cols = append(s.cols, nil)
 	}
 	s.n = n
 }
@@ -126,39 +163,64 @@ func (s *Solver) DefineSlack(def map[int]*big.Int) int {
 	}
 	s.defs[id] = stored
 
-	row := make(map[int]*big.Rat, len(def))
-	val := new(big.Rat)
-	tmp := new(big.Rat)
+	// Accumulate the row over nonbasic variables, substituting the rows
+	// of definition variables that are currently basic. Exact arithmetic
+	// makes the accumulation order-independent.
+	acc := make(map[int]*rval)
+	accAdd := func(w int, c *rval) {
+		if cur, ok := acc[w]; ok {
+			cur.add(c)
+		} else {
+			nv := new(rval)
+			nv.set(c)
+			acc[w] = nv
+		}
+	}
+	var rc, t rval
 	for v, c := range def {
 		if c.Sign() == 0 {
 			continue
 		}
-		rc := new(big.Rat).SetInt(c)
-		// If v is itself basic, substitute its row.
-		if r, ok := s.rows[v]; ok {
-			for w, cw := range r {
-				addInto(row, w, tmp.Mul(rc, cw))
+		rc.setBigInt(c)
+		if br := s.rows[v]; br != nil {
+			for p, k := range br.idx {
+				t.mul(&rc, &br.coef[p])
+				accAdd(int(k), &t)
 			}
 		} else {
-			addInto(row, v, rc)
+			accAdd(v, &rc)
 		}
 	}
-	for w, cw := range row {
-		if cw.Sign() == 0 {
-			delete(row, w)
+	keys := make([]int, 0, len(acc))
+	for w := range acc {
+		keys = append(keys, w)
+	}
+	sort.Ints(keys)
+	row := &srow{
+		idx:  make([]int32, 0, len(acc)),
+		coef: make([]rval, 0, len(acc)),
+	}
+	var val rval
+	val.setInt64(0)
+	for _, w := range keys {
+		cw := acc[w]
+		if cw.sign() == 0 {
 			continue
 		}
-		val.Add(val, tmp.Mul(cw, s.beta[w]))
+		row.idx = append(row.idx, int32(w))
+		row.coef = append(row.coef, *cw) // acc owns cw; ownership moves to the row
+		val.addMul(cw, &s.beta[w])
 		s.colAdd(w, id)
 	}
-	s.beta = append(s.beta, new(big.Rat).Set(val))
-	s.rows[id] = row
+	s.beta = append(s.beta, val) // val is dead after this; the slot takes ownership
+	s.rows = append(s.rows, row)
+	s.cols = append(s.cols, nil)
 	s.baseTerms += len(stored)
 	// Bill the new row against the resource budget: tableau growth is a
 	// known memory blow-up site. A trip stops the Ctx; the next Check
 	// observes it and returns a budget conflict, so the caller unwinds
 	// with UNKNOWN rather than growing the tableau further.
-	s.Ctx.Charge("simplex tableau", int64(len(row)+len(stored)))
+	s.Ctx.Charge("simplex tableau", int64(len(row.idx)+len(stored)))
 	return id
 }
 
@@ -168,30 +230,51 @@ func (s *Solver) DefineSlack(def map[int]*big.Int) int {
 // drifted outside their bounds (they were basic) are clamped back,
 // propagating through the fresh rows.
 func (s *Solver) refactorize() {
-	s.rows = make(map[int]map[int]*big.Rat, len(s.defs))
-	s.cols = make(map[int]map[int]bool)
-	tmp := new(big.Rat)
-	for id, def := range s.defs {
-		row := make(map[int]*big.Rat, len(def))
-		val := new(big.Rat)
-		for v, c := range def {
-			rc := new(big.Rat).SetInt(c)
-			row[v] = rc
+	for r := range s.rows {
+		s.rows[r] = nil
+	}
+	for v := range s.cols {
+		s.cols[v] = s.cols[v][:0]
+	}
+	ids := make([]int, 0, len(s.defs))
+	for id := range s.defs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var rc rval
+	for _, id := range ids {
+		def := s.defs[id]
+		vs := make([]int, 0, len(def))
+		for v := range def {
+			vs = append(vs, v)
+		}
+		sort.Ints(vs)
+		row := &srow{
+			idx:  make([]int32, 0, len(def)),
+			coef: make([]rval, 0, len(def)),
+		}
+		var val rval
+		val.setInt64(0)
+		for _, v := range vs {
+			rc.setBigInt(def[v])
+			row.idx = append(row.idx, int32(v))
+			row.coef = append(row.coef, rval{})
+			row.coef[len(row.coef)-1].set(&rc)
 			s.colAdd(v, id)
-			val.Add(val, tmp.Mul(rc, s.beta[v]))
+			val.addMul(&rc, &s.beta[v])
 		}
 		s.rows[id] = row
-		s.beta[id].Set(val)
+		s.beta[id].set(&val)
 	}
 	// Restore the nonbasic-within-bounds invariant for problem vars.
 	for v := 0; v < s.n; v++ {
 		if _, isSlack := s.defs[v]; isSlack {
 			continue
 		}
-		if s.lower[v].set && s.beta[v].Cmp(s.lower[v].val) < 0 {
-			s.update(v, s.lower[v].val)
-		} else if s.upper[v].set && s.beta[v].Cmp(s.upper[v].val) > 0 {
-			s.update(v, s.upper[v].val)
+		if s.lower[v].set && s.beta[v].cmp(&s.lower[v].val) < 0 {
+			s.update(v, &s.lower[v].val)
+		} else if s.upper[v].set && s.beta[v].cmp(&s.upper[v].val) > 0 {
+			s.update(v, &s.upper[v].val)
 		}
 	}
 	s.dirty = true
@@ -201,45 +284,33 @@ func (s *Solver) refactorize() {
 // beyond its definition size, at most once per pivot interval (frequent
 // rebuilds would discard useful basis progress).
 func (s *Solver) maybeRefactorize() {
-	if s.Pivots-s.lastRefactor < 2000 {
+	if s.Pivots-s.lastRefactor < 2000 { //lint:nooverflow Pivots is a monotone counter far below int64 range
 		return
 	}
 	total := 0
 	for _, row := range s.rows {
-		total += len(row)
+		if row != nil {
+			total += len(row.idx)
+		}
 	}
 	if total > 6*s.baseTerms+1024 {
 		s.refactorize()
-		s.Refactors++
+		s.Refactors++ //lint:nooverflow diagnostic counter, bounded by Pivots/2000
 		s.lastRefactor = s.Pivots
 	}
 }
 
-func addInto(row map[int]*big.Rat, v int, c *big.Rat) {
-	if cur, ok := row[v]; ok {
-		cur.Add(cur, c)
-		if cur.Sign() == 0 {
-			delete(row, v)
-		}
-	} else {
-		row[v] = new(big.Rat).Set(c)
-	}
-}
-
 func (s *Solver) colAdd(v, row int) {
-	m, ok := s.cols[v]
-	if !ok {
-		m = make(map[int]bool)
-		s.cols[v] = m
-	}
-	m[row] = true
+	s.cols[v] = append(s.cols[v], int32(row))
 }
 
 func (s *Solver) colDel(v, row int) {
-	if m, ok := s.cols[v]; ok {
-		delete(m, row)
-		if len(m) == 0 {
-			delete(s.cols, v)
+	c := s.cols[v]
+	for p, r := range c {
+		if r == int32(row) {
+			c[p] = c[len(c)-1]
+			s.cols[v] = c[:len(c)-1]
+			return
 		}
 	}
 }
@@ -282,21 +353,38 @@ type Conflict struct {
 // It returns a non-nil conflict if the bound contradicts the current
 // lower bound of v.
 func (s *Solver) AssertUpper(v int, c *big.Rat, tag int) *Conflict {
-	if s.lower[v].set && s.lower[v].val.Cmp(c) > 0 {
-		return s.mkConflict([]bound{s.lower[v], {val: c, tag: tag, set: true}})
+	var cv rval
+	cv.setRat(c)
+	return s.assertUpper(v, &cv, tag)
+}
+
+// AssertUpperNum is AssertUpper taking a precomputed Num, so hot
+// callers (branch and bound, the lia atom dispatcher) assert without
+// converting through big.Rat.
+func (s *Solver) AssertUpperNum(v int, c Num, tag int) *Conflict {
+	return s.assertUpper(v, &c.rv, tag)
+}
+
+func (s *Solver) assertUpper(v int, c *rval, tag int) *Conflict {
+	if s.lower[v].set && s.lower[v].val.cmp(c) > 0 {
+		nb := bound{tag: tag, set: true}
+		nb.val.set(c)
+		return s.mkConflict([]bound{s.lower[v], nb})
 	}
-	if s.upper[v].set && s.upper[v].val.Cmp(c) <= 0 {
+	if s.upper[v].set && s.upper[v].val.cmp(c) <= 0 {
 		return nil // existing bound at least as tight
 	}
 	if len(s.frames) > 0 {
 		s.undo = append(s.undo, boundChange{v: v, upper: true, old: s.upper[v]})
 	}
-	s.upper[v] = bound{val: new(big.Rat).Set(c), tag: tag, set: true}
-	if _, basic := s.rows[v]; basic {
-		if s.beta[v].Cmp(c) > 0 {
+	nb := bound{tag: tag, set: true}
+	nb.val.set(c)
+	s.upper[v] = nb
+	if s.rows[v] != nil {
+		if s.beta[v].cmp(c) > 0 {
 			s.dirty = true
 		}
-	} else if s.beta[v].Cmp(c) > 0 {
+	} else if s.beta[v].cmp(c) > 0 {
 		s.update(v, c)
 	}
 	return nil
@@ -304,21 +392,36 @@ func (s *Solver) AssertUpper(v int, c *big.Rat, tag int) *Conflict {
 
 // AssertLower adds the bound v >= c.
 func (s *Solver) AssertLower(v int, c *big.Rat, tag int) *Conflict {
-	if s.upper[v].set && s.upper[v].val.Cmp(c) < 0 {
-		return s.mkConflict([]bound{s.upper[v], {val: c, tag: tag, set: true}})
+	var cv rval
+	cv.setRat(c)
+	return s.assertLower(v, &cv, tag)
+}
+
+// AssertLowerNum is AssertLower taking a precomputed Num.
+func (s *Solver) AssertLowerNum(v int, c Num, tag int) *Conflict {
+	return s.assertLower(v, &c.rv, tag)
+}
+
+func (s *Solver) assertLower(v int, c *rval, tag int) *Conflict {
+	if s.upper[v].set && s.upper[v].val.cmp(c) < 0 {
+		nb := bound{tag: tag, set: true}
+		nb.val.set(c)
+		return s.mkConflict([]bound{s.upper[v], nb})
 	}
-	if s.lower[v].set && s.lower[v].val.Cmp(c) >= 0 {
+	if s.lower[v].set && s.lower[v].val.cmp(c) >= 0 {
 		return nil
 	}
 	if len(s.frames) > 0 {
 		s.undo = append(s.undo, boundChange{v: v, upper: false, old: s.lower[v]})
 	}
-	s.lower[v] = bound{val: new(big.Rat).Set(c), tag: tag, set: true}
-	if _, basic := s.rows[v]; basic {
-		if s.beta[v].Cmp(c) < 0 {
+	nb := bound{tag: tag, set: true}
+	nb.val.set(c)
+	s.lower[v] = nb
+	if s.rows[v] != nil {
+		if s.beta[v].cmp(c) < 0 {
 			s.dirty = true
 		}
-	} else if s.beta[v].Cmp(c) < 0 {
+	} else if s.beta[v].cmp(c) < 0 {
 		s.update(v, c)
 	}
 	return nil
@@ -344,94 +447,171 @@ func (s *Solver) mkConflict(bs []bound) *Conflict {
 // update sets the value of nonbasic variable j to v, adjusting all
 // basic variables whose rows mention j. Adjusted basic variables may
 // leave their bounds, so the tableau is marked dirty.
-func (s *Solver) update(j int, v *big.Rat) {
-	theta := new(big.Rat).Sub(v, s.beta[j])
-	tmp := new(big.Rat)
-	for r := range s.cols[j] {
-		a := s.rows[r][j]
-		s.beta[r].Add(s.beta[r], tmp.Mul(a, theta))
+func (s *Solver) update(j int, v *rval) {
+	var theta rval
+	theta.sub(v, &s.beta[j])
+	for _, r32 := range s.cols[j] {
+		r := int(r32)
+		row := s.rows[r]
+		p := row.find(int32(j))
+		if p < 0 {
+			continue
+		}
+		s.beta[r].addMul(&row.coef[p], &theta)
 		s.dirty = true
 	}
-	s.beta[j].Set(v)
+	s.beta[j].set(v)
 }
 
 // pivotAndUpdate makes nonbasic j basic in place of basic i, setting
 // x_i's value to v (one of its violated bounds).
-func (s *Solver) pivotAndUpdate(i, j int, v *big.Rat) {
-	s.Pivots++
-	aij := s.rows[i][j]
-	theta := new(big.Rat).Sub(v, s.beta[i])
-	theta.Quo(theta, aij)
-	s.beta[i].Set(v)
-	s.beta[j].Add(s.beta[j], theta)
-	tmp := new(big.Rat)
-	for r := range s.cols[j] {
+func (s *Solver) pivotAndUpdate(i, j int, v *rval) {
+	s.Pivots++ //lint:nooverflow monotone diagnostic counter; budgets trip long before int64 wraps
+	rowI := s.rows[i]
+	pj := rowI.find(int32(j))
+	var theta rval
+	theta.sub(v, &s.beta[i])
+	theta.div(&theta, &rowI.coef[pj])
+	s.beta[i].set(v)
+	s.beta[j].add(&theta)
+	for _, r32 := range s.cols[j] {
+		r := int(r32)
 		if r == i {
 			continue
 		}
-		a := s.rows[r][j]
-		s.beta[r].Add(s.beta[r], tmp.Mul(a, theta))
+		row := s.rows[r]
+		p := row.find(int32(j))
+		if p < 0 {
+			continue
+		}
+		s.beta[r].addMul(&row.coef[p], &theta)
 	}
 	s.pivot(i, j)
 }
 
 // pivot swaps basic i with nonbasic j.
 func (s *Solver) pivot(i, j int) {
-	rowI := s.rows[i]
-	aij := rowI[j]
+	row := s.rows[i]
+	pj := row.find(int32(j))
 	// Solve for x_j: x_j = (1/aij) x_i - sum_{k != j} (a_ik/aij) x_k.
-	newRow := make(map[int]*big.Rat, len(rowI))
-	inv := new(big.Rat).Inv(aij)
-	for k, a := range rowI {
-		if k == j {
+	// The transform happens in place: row becomes x_j's row.
+	var inv rval
+	inv.inv(&row.coef[pj])
+	for p := range row.coef {
+		if p == pj {
 			continue
 		}
-		c := new(big.Rat).Mul(a, inv)
-		c.Neg(c)
-		newRow[k] = c
+		row.coef[p].mulNeg(&row.coef[p], &inv)
+		k := int(row.idx[p])
 		s.colDel(k, i)
 		s.colAdd(k, j)
 	}
-	newRow[i] = new(big.Rat).Set(inv)
-	s.colAdd(i, j)
-	s.colDel(j, i)
-	delete(s.rows, i)
-	s.rows[j] = newRow
-	// Pivot fill-in is the other way the tableau grows; bill the cells
-	// so dense instances trip the budget instead of exhausting memory.
-	s.Ctx.Charge("simplex tableau", int64(len(newRow)))
-
-	// Substitute x_j's definition into every other row containing j.
-	tmp := new(big.Rat)
-	for r := range s.cols[j] {
-		if r == j {
-			continue
+	// Snapshot j's column before clearing it: these are the rows that
+	// need x_j substituted away.
+	s.colScratch = append(s.colScratch[:0], s.cols[j]...)
+	s.cols[j] = s.cols[j][:0]
+	// Rotate the j slot to i's sorted position and store 1/aij there.
+	// Vacated slots are zeroed so no two slots share a wide pointer.
+	ii := int32(i)
+	q := pj
+	if ii < row.idx[pj] {
+		//lint:nopoll bounded: q strictly decreases toward 0
+		for q > 0 && row.idx[q-1] > ii {
+			q--
 		}
-		row := s.rows[r]
-		arj := row[j]
-		if arj == nil {
-			continue
+		for t := pj; t > q; t-- {
+			row.idx[t] = row.idx[t-1]
+			row.coef[t] = row.coef[t-1]
+			row.coef[t-1] = rval{}
 		}
-		coef := new(big.Rat).Set(arj)
-		delete(row, j)
-		s.colDel(j, r)
-		for k, c := range newRow {
-			add := tmp.Mul(coef, c)
-			if cur, ok := row[k]; ok {
-				cur.Add(cur, add)
-				if cur.Sign() == 0 {
-					delete(row, k)
-					s.colDel(k, r)
-				}
-			} else {
-				row[k] = new(big.Rat).Set(add)
-				s.colAdd(k, r)
-			}
+	} else {
+		//lint:nopoll bounded: q strictly increases toward len(row.idx)
+		for q+1 < len(row.idx) && row.idx[q+1] < ii {
+			q++
+		}
+		for t := pj; t < q; t++ {
+			row.idx[t] = row.idx[t+1]
+			row.coef[t] = row.coef[t+1]
+			row.coef[t+1] = rval{}
 		}
 	}
-	// j is no longer in any column index as nonbasic.
-	delete(s.cols, j)
-	// Rebuild cols entries for j's row members done above via colAdd.
+	row.idx[q] = ii
+	row.coef[q] = inv // inv is dead after this; the slot takes ownership
+	s.colAdd(i, j)
+	s.rows[j] = row
+	s.rows[i] = nil
+	// Pivot fill-in is the other way the tableau grows; bill the cells
+	// so dense instances trip the budget instead of exhausting memory.
+	s.Ctx.Charge("simplex tableau", int64(len(row.idx)))
+
+	// Substitute x_j's definition into every other row containing j.
+	for _, r32 := range s.colScratch {
+		r := int(r32)
+		if r == i {
+			continue
+		}
+		rr := s.rows[r]
+		prj := rr.find(int32(j))
+		if prj < 0 {
+			continue
+		}
+		s.mergeScaled(r, rr, prj, row)
+	}
+}
+
+// mergeScaled rewrites row rr (basic in r) as rr minus its x_j term
+// plus f*src, where f is rr's coefficient at position pj (the x_j term
+// being eliminated) and src is x_j's new row. It merges the two sorted
+// sparse forms into the solver scratch, swaps the backing arrays, and
+// maintains the column index for r. src never contains x_j.
+func (s *Solver) mergeScaled(r int, rr *srow, pj int, src *srow) {
+	f := &rr.coef[pj] // rr's arrays are read-only until the swap below
+	mi := s.mergeIdx[:0]
+	mc := s.mergeCoef[:0]
+	pa, pb := 0, 0
+	//lint:nopoll bounded: two-pointer merge, pa+pb strictly increases every iteration
+	for pa < len(rr.idx) || pb < len(src.idx) {
+		if pa == pj {
+			pa++
+			continue
+		}
+		aLeft := pa < len(rr.idx)
+		bLeft := pb < len(src.idx)
+		switch {
+		case aLeft && (!bLeft || rr.idx[pa] < src.idx[pb]):
+			mi = append(mi, rr.idx[pa])
+			mc = append(mc, rval{})
+			mc[len(mc)-1].set(&rr.coef[pa])
+			pa++
+		case bLeft && (!aLeft || src.idx[pb] < rr.idx[pa]):
+			// A variable new to this row; f and src coefficients are
+			// nonzero, so the product cannot cancel.
+			mi = append(mi, src.idx[pb])
+			mc = append(mc, rval{})
+			mc[len(mc)-1].mul(f, &src.coef[pb])
+			s.colAdd(int(src.idx[pb]), r)
+			pb++
+		default: // same variable in both
+			mc = append(mc, rval{})
+			d := &mc[len(mc)-1]
+			d.set(&rr.coef[pa])
+			d.addMul(f, &src.coef[pb])
+			if d.sign() == 0 {
+				mc = mc[:len(mc)-1]
+				s.colDel(int(rr.idx[pa]), r)
+			} else {
+				mi = append(mi, rr.idx[pa])
+			}
+			pa++
+			pb++
+		}
+	}
+	// Swap: the merged form becomes the row; the row's old arrays become
+	// the next merge's scratch. Every merged slot was written via
+	// set/mul (deep copies), so no slot shares a wide with the old row.
+	oldIdx, oldCoef := rr.idx, rr.coef
+	rr.idx, rr.coef = mi, mc
+	s.mergeIdx, s.mergeCoef = oldIdx[:0], oldCoef[:0]
 }
 
 // Check restores feasibility of the current bounds. It returns nil on
@@ -445,10 +625,10 @@ func (s *Solver) Check() *Conflict {
 	pivotsAtStart := s.Pivots
 	// Heuristic rule (largest violation) first; pure Bland's rule after
 	// a while to guarantee termination despite potential cycling.
-	blandAfter := pivotsAtStart + 500
-	viol := new(big.Rat)
+	blandAfter := pivotsAtStart + 500 //lint:nooverflow monotone counter far below int64 range
+	var viol, worst rval
 	for {
-		if s.PivotBudget > 0 && s.Pivots-pivotsAtStart > s.PivotBudget {
+		if s.PivotBudget > 0 && s.Pivots-pivotsAtStart > s.PivotBudget { //lint:nooverflow monotone counter difference
 			return &Conflict{Tainted: true, Budget: true}
 		}
 		if s.Ctx.Poll() {
@@ -456,31 +636,32 @@ func (s *Solver) Check() *Conflict {
 		}
 		bland := s.Pivots >= blandAfter
 		i := -1
-		var needLower bool
-		var worst *big.Rat
-		for r := range s.rows {
+		var needLower, haveWorst bool
+		// The scan runs in ascending variable order, so on ties the
+		// smallest basic variable wins — same tie-break as before, now
+		// implicit in the iteration order.
+		for r := 0; r < s.n; r++ {
+			if s.rows[r] == nil {
+				continue
+			}
 			var below bool
-			if s.lower[r].set && s.beta[r].Cmp(s.lower[r].val) < 0 {
+			if s.lower[r].set && s.beta[r].cmp(&s.lower[r].val) < 0 {
 				below = true
-			} else if !(s.upper[r].set && s.beta[r].Cmp(s.upper[r].val) > 0) {
+			} else if !(s.upper[r].set && s.beta[r].cmp(&s.upper[r].val) > 0) {
 				continue
 			}
 			if bland {
-				if i == -1 || r < i {
-					i, needLower = r, below
-				}
-				continue
+				i, needLower = r, below
+				break // ascending scan: first violated is the smallest
 			}
 			if below {
-				viol.Sub(s.lower[r].val, s.beta[r])
+				viol.sub(&s.lower[r].val, &s.beta[r])
 			} else {
-				viol.Sub(s.beta[r], s.upper[r].val)
+				viol.sub(&s.beta[r], &s.upper[r].val)
 			}
-			if worst == nil || viol.Cmp(worst) > 0 || (viol.Cmp(worst) == 0 && r < i) {
-				if worst == nil {
-					worst = new(big.Rat)
-				}
-				worst.Set(viol)
+			if !haveWorst || viol.cmp(&worst) > 0 {
+				worst.set(&viol)
+				haveWorst = true
 				i, needLower = r, below
 			}
 		}
@@ -491,52 +672,48 @@ func (s *Solver) Check() *Conflict {
 		row := s.rows[i]
 		// Eligible nonbasic selection: under Bland's rule the smallest
 		// index (termination guarantee); otherwise the one appearing in
-		// the fewest rows (Markowitz-style, minimizes pivot fill-in),
-		// with index tie-breaks for determinism.
+		// the fewest rows (Markowitz-style, minimizes pivot fill-in).
+		// Rows are sorted by variable id, so the ascending scan gives
+		// smallest-index tie-breaks for free.
 		j := -1
 		jCost := 0
-		for k, a := range row {
+		for p, k32 := range row.idx {
+			k := int(k32)
+			sg := row.coef[p].sign()
 			var ok bool
 			if needLower {
 				// x_i must increase.
-				ok = a.Sign() > 0 && (!s.upper[k].set || s.beta[k].Cmp(s.upper[k].val) < 0) ||
-					a.Sign() < 0 && (!s.lower[k].set || s.beta[k].Cmp(s.lower[k].val) > 0)
+				ok = sg > 0 && (!s.upper[k].set || s.beta[k].cmp(&s.upper[k].val) < 0) ||
+					sg < 0 && (!s.lower[k].set || s.beta[k].cmp(&s.lower[k].val) > 0)
 			} else {
 				// x_i must decrease.
-				ok = a.Sign() < 0 && (!s.upper[k].set || s.beta[k].Cmp(s.upper[k].val) < 0) ||
-					a.Sign() > 0 && (!s.lower[k].set || s.beta[k].Cmp(s.lower[k].val) > 0)
+				ok = sg < 0 && (!s.upper[k].set || s.beta[k].cmp(&s.upper[k].val) < 0) ||
+					sg > 0 && (!s.lower[k].set || s.beta[k].cmp(&s.lower[k].val) > 0)
 			}
 			if !ok {
 				continue
 			}
 			if bland {
-				if j == -1 || k < j {
-					j = k
-				}
-				continue
+				j = k
+				break // first eligible in ascending order is the smallest
 			}
 			cost := len(s.cols[k])
-			if j == -1 || cost < jCost || (cost == jCost && k < j) {
+			if j == -1 || cost < jCost {
 				j, jCost = k, cost
 			}
 		}
 		if j == -1 {
 			// Infeasible: explain with the bound of i and the blocking
-			// bounds of all row variables.
-			keys := make([]int, 0, len(row))
-			for k := range row {
-				keys = append(keys, k)
-			}
-			sort.Ints(keys)
-			bs := make([]bound, 0, len(row)+1)
+			// bounds of all row variables, in ascending variable order.
+			bs := make([]bound, 0, len(row.idx)+1)
 			if needLower {
 				bs = append(bs, s.lower[i])
 			} else {
 				bs = append(bs, s.upper[i])
 			}
-			for _, k := range keys {
-				a := row[k]
-				pos := a.Sign() > 0
+			for p, k32 := range row.idx {
+				k := int(k32)
+				pos := row.coef[p].sign() > 0
 				if needLower == pos {
 					bs = append(bs, s.upper[k])
 				} else {
@@ -546,21 +723,51 @@ func (s *Solver) Check() *Conflict {
 			return s.mkConflict(bs)
 		}
 		if needLower {
-			s.pivotAndUpdate(i, j, s.lower[i].val)
+			s.pivotAndUpdate(i, j, &s.lower[i].val)
 		} else {
-			s.pivotAndUpdate(i, j, s.upper[i].val)
+			s.pivotAndUpdate(i, j, &s.upper[i].val)
 		}
 	}
 }
 
-// Value returns the current value of variable v. Valid after a
-// successful Check.
+// Value returns the current value of variable v as a fresh big.Rat.
+// Valid after a successful Check.
 func (s *Solver) Value(v int) *big.Rat {
-	return s.beta[v]
+	return s.beta[v].rat()
+}
+
+// ValueIsInt reports whether variable v currently has an integer value,
+// without materializing a big.Rat.
+func (s *Solver) ValueIsInt(v int) bool {
+	return s.beta[v].isInt()
+}
+
+// ValueFloor returns floor(value of v) as a Num, allocation-free on the
+// fast path.
+func (s *Solver) ValueFloor(v int) Num {
+	var n Num
+	x := &s.beta[v]
+	if !x.isWide {
+		q := x.n / x.d
+		if x.n%x.d != 0 && x.n < 0 {
+			q-- //lint:nooverflow a nonzero remainder implies d >= 2, so |q| < 2^62
+		}
+		n.rv.setInt64(q)
+		return n
+	}
+	var f big.Int
+	x.floorInt(&f)
+	n.rv.setBigInt(&f)
+	return n
+}
+
+// ValueInt returns the current (integer) value of v as a fresh big.Int.
+// The caller must know the value is integral (ValueIsInt).
+func (s *Solver) ValueInt(v int) *big.Int {
+	return s.beta[v].intInto(new(big.Int))
 }
 
 // IsBasic reports whether v is currently basic (useful in tests).
 func (s *Solver) IsBasic(v int) bool {
-	_, ok := s.rows[v]
-	return ok
+	return s.rows[v] != nil
 }

@@ -142,7 +142,7 @@ func TestBranchAndBoundFindsModel(t *testing.T) {
 	}
 }
 
-func TestFloorRat(t *testing.T) {
+func TestFloorRval(t *testing.T) {
 	cases := []struct {
 		n, d int64
 		want int64
@@ -150,9 +150,22 @@ func TestFloorRat(t *testing.T) {
 		{7, 2, 3}, {-7, 2, -4}, {6, 3, 2}, {-6, 3, -2}, {0, 5, 0}, {1, 3, 0}, {-1, 3, -1},
 	}
 	for _, c := range cases {
-		got := floorRat(big.NewRat(c.n, c.d))
-		if got.Int64() != c.want {
-			t.Errorf("floor(%d/%d) = %v, want %d", c.n, c.d, got, c.want)
+		// Fast path: machine-word representation.
+		var x rval
+		x.setFrac64(c.n, c.d)
+		var got big.Int
+		x.floorInt(&got)
+		if !got.IsInt64() || got.Int64() != c.want {
+			t.Errorf("fast floor(%d/%d) = %v, want %d", c.n, c.d, &got, c.want)
+		}
+		// Slow path: same value promoted to big.Rat.
+		var w rval
+		w.setFrac64(c.n, c.d)
+		w.promote()
+		var got2 big.Int
+		w.floorInt(&got2)
+		if !got2.IsInt64() || got2.Int64() != c.want {
+			t.Errorf("wide floor(%d/%d) = %v, want %d", c.n, c.d, &got2, c.want)
 		}
 	}
 }
