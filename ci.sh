@@ -43,7 +43,17 @@ echo "==> cancellation and equivalence tests (-race)"
 go test -race -run 'Cancel|Deadline|Timeout|Parallel|Incremental|Concurrent|Portfolio' \
     ./internal/sat ./internal/simplex ./internal/lia \
     ./internal/core ./internal/baseline ./internal/bench \
-    ./internal/server ./internal/portfolio ./internal/backend
+    ./internal/portfolio ./internal/backend
+
+echo "==> server race suites (-race -count=2)"
+# The serving layer's concurrency suites — admission, the two-class QoS
+# scheduler, dedup-in-flight, batch jobs, drain — run TWICE in one
+# process. The second run must pass against whatever package-level
+# state the first left behind, so order-dependence and leaked global
+# state fail here instead of flaking later.
+go test -race -count=2 \
+    -run 'Cancel|Deadline|Timeout|Concurrent|QoS|Batch|Scheduler|JobStore|TenantBudget|RetryAfter|Shutdown' \
+    ./internal/server
 
 echo "==> chaos: fault-injection sweep (-race)"
 # Deterministic fault injection over the containment boundaries: panics,
@@ -143,6 +153,87 @@ curl -sf "$url/stats" | grep -q '"contained": 1'
 kill -TERM "$trauserve_pid"
 wait "$trauserve_pid"
 grep -q 'trauserve: drained' /tmp/trauserve_fault.log
+
+echo "==> trauserve batch smoke"
+# Multi-tenant QoS end-to-end: submit a 20-instance batch of one slow
+# problem from a bulk tenant, interleave interactive solves from
+# another tenant while the batch runs, and require (a) every
+# interactive solve answers inside a latency bound despite the flood,
+# (b) the duplicates coalesce onto one underlying solve (nonzero
+# coalesce hits in /stats), (c) the job polls to completion with every
+# instance settled, and (d) the process still drains cleanly.
+go run ./cmd/benchgen -out /tmp/ci_suites -per 1 -luhn 8 >/dev/null
+slow=$(grep -v '^;' /tmp/ci_suites/table3/checkLuhn/luhn-08.smt2 | tr '\n' ' ' | sed 's/"/\\"/g')
+inst="{\"smtlib\": \"$slow\"}"
+insts="$inst"
+for _ in $(seq 2 20); do insts="$insts, $inst"; done
+batch_payload="{\"instances\": [$insts], \"timeout_ms\": 25000}"
+/tmp/trauserve -addr 127.0.0.1:0 -workers 2 >/tmp/trauserve_batch.log 2>&1 &
+trauserve_pid=$!
+url=""
+for _ in $(seq 1 100); do
+    url=$(sed -n 's/^trauserve: listening on //p' /tmp/trauserve_batch.log)
+    [ -n "$url" ] && break
+    sleep 0.1
+done
+if [ -z "$url" ]; then
+    echo "trauserve (batch smoke) did not announce its address" >&2
+    cat /tmp/trauserve_batch.log >&2
+    kill "$trauserve_pid" 2>/dev/null || true
+    exit 1
+fi
+curl -sf -X POST -H 'X-Tenant: bulk' -d "$batch_payload" "$url/batch" >/tmp/trauserve_batch_202.json
+job_id=$(sed -n 's/.*"job_id": "\([^"]*\)".*/\1/p' /tmp/trauserve_batch_202.json)
+if [ -z "$job_id" ]; then
+    echo "batch smoke: no job id in the 202" >&2
+    cat /tmp/trauserve_batch_202.json >&2
+    kill "$trauserve_pid" 2>/dev/null || true
+    exit 1
+fi
+# Interactive solves from another tenant while the batch is in flight:
+# each must finish fast — the flood occupies at most one worker (the 19
+# duplicates coalesce), and interactive work outranks batch anyway.
+for _ in 1 2 3; do
+    t=$(curl -sf -o /dev/null -w '%{time_total}' -X POST -H 'X-Tenant: alice' \
+        -d "$payload" "$url/solve")
+    if ! awk "BEGIN{exit !($t < 2.0)}"; then
+        echo "batch smoke: interactive solve took ${t}s under the batch flood" >&2
+        kill "$trauserve_pid" 2>/dev/null || true
+        exit 1
+    fi
+done
+# Poll the job to completion.
+pending=1
+for _ in $(seq 1 120); do
+    curl -sf "$url/jobs/$job_id" >/tmp/trauserve_batch_job.json
+    if grep -q '"pending": 0' /tmp/trauserve_batch_job.json; then
+        pending=0
+        break
+    fi
+    sleep 0.5
+done
+if [ "$pending" != "0" ]; then
+    echo "batch smoke: job never settled" >&2
+    cat /tmp/trauserve_batch_job.json >&2
+    kill "$trauserve_pid" 2>/dev/null || true
+    exit 1
+fi
+grep -q '"state": "done"' /tmp/trauserve_batch_job.json
+if grep -q '"status": "pending"' /tmp/trauserve_batch_job.json; then
+    echo "batch smoke: settled job still reports pending instances" >&2
+    exit 1
+fi
+# The 19 duplicates must have coalesced onto the leader's solve.
+coalesced=$(curl -sf "$url/stats" | sed -n '/"dedup"/,/}/s/.*"coalesced": \([0-9]*\).*/\1/p')
+if [ -z "$coalesced" ] || [ "$coalesced" -eq 0 ]; then
+    echo "batch smoke: no coalesce hits in /stats (got '${coalesced:-none}')" >&2
+    curl -sf "$url/stats" >&2 || true
+    kill "$trauserve_pid" 2>/dev/null || true
+    exit 1
+fi
+kill -TERM "$trauserve_pid"
+wait "$trauserve_pid"
+grep -q 'trauserve: drained' /tmp/trauserve_batch.log
 
 echo "==> perf smoke (non-gating)"
 # Re-run the Table 3 workload under the baseline's configuration and

@@ -7,7 +7,7 @@
 //	trauserve [-addr 127.0.0.1:8080] [-workers N] [-queue N] [-cache N]
 //	          [-timeout d] [-max-timeout d] [-parallel N]
 //	          [-incremental=false] [-drain d]
-//	          [-membudget N] [-faultseed N]
+//	          [-membudget N] [-tenantbudget N] [-faultseed N]
 //	          [-portfolio [-backends refine,enum,...]]
 //
 // The process listens until SIGINT/SIGTERM, then drains: the listener
@@ -56,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	incremental := fs.Bool("incremental", true, "reuse solver sessions across refinement rounds")
 	drain := fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight solves")
 	memBudget := fs.Int64("membudget", 0, "resource-governor budget units per solve (0 = unlimited)")
+	tenantBudget := fs.Int64("tenantbudget", 0, "shared budget-pool units per tenant (X-Tenant header; 0 = unlimited)")
 	faultSeed := fs.Int64("faultseed", 0, "deterministic fault-injection seed for chaos testing (0 = off)")
 	usePortfolio := fs.Bool("portfolio", false, "race scheduled backends from the registry per solve")
 	backends := fs.String("backends", "", "comma-separated backend subset for -portfolio (default: the whole registry)")
@@ -63,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		return 2
 	}
 	if fs.NArg() != 0 {
-		fmt.Fprintln(stderr, "usage: trauserve [-addr host:port] [-workers n] [-queue n] [-cache n] [-timeout d] [-max-timeout d] [-parallel n] [-incremental=false] [-drain d] [-membudget n] [-faultseed n] [-portfolio [-backends a,b]]")
+		fmt.Fprintln(stderr, "usage: trauserve [-addr host:port] [-workers n] [-queue n] [-cache n] [-timeout d] [-max-timeout d] [-parallel n] [-incremental=false] [-drain d] [-membudget n] [-tenantbudget n] [-faultseed n] [-portfolio [-backends a,b]]")
 		return 2
 	}
 	if *backends != "" && !*usePortfolio {
@@ -91,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		Portfolio:       *usePortfolio,
 		Backends:        pool,
 		MemBudget:       *memBudget,
+		TenantBudget:    *tenantBudget,
 		Fault:           fault.NewSchedule(*faultSeed),
 	})
 	if *faultSeed != 0 {

@@ -103,3 +103,92 @@ func TestCompareConfigNotes(t *testing.T) {
 		t.Fatalf("comparison output = %q", got)
 	}
 }
+
+// TestCompareToleranceBoundaries pins the strictness of both
+// regression gates: drift landing EXACTLY on the percentage tolerance,
+// or EXACTLY on the 5ms absolute floor, is not a regression — a row
+// must be strictly past both. Exact boundaries recur in practice (a
+// suite whose mean moves by a whole scheduler quantum), and an
+// off-by-one in either comparison would make the CI gate flap.
+func TestCompareToleranceBoundaries(t *testing.T) {
+	base := &JSONReport{Suites: []JSONSuite{
+		row("3", "s", "atTol", 100, 5, 0),
+		row("3", "s", "pastTol", 100, 5, 0),
+		row("3", "s", "atFloor", 20, 5, 0),
+		row("3", "s", "pastFloor", 20, 5, 0),
+		row("3", "s", "zeroBase", 0, 5, 0),
+	}}
+	cur := &JSONReport{Suites: []JSONSuite{
+		row("3", "s", "atTol", 110, 5, 0),      // +10ms = exactly the 10% tolerance
+		row("3", "s", "pastTol", 110.2, 5, 0),  // +10.2%: regression
+		row("3", "s", "atFloor", 25, 5, 0),     // +25% but exactly +5.0ms: floor holds
+		row("3", "s", "pastFloor", 25.2, 5, 0), // +26% and +5.2ms: regression
+		row("3", "s", "zeroBase", 500, 5, 0),   // zero baseline: no meaningful delta, ever
+	}}
+	c := Compare(base, cur, 10)
+	want := map[string]bool{
+		"atTol": false, "pastTol": true,
+		"atFloor": false, "pastFloor": true,
+		"zeroBase": false,
+	}
+	for _, d := range c.Deltas {
+		if d.Regression != want[d.Solver] {
+			t.Errorf("%s (%.1f -> %.1f): Regression = %v, want %v",
+				d.Solver, d.BaseMeanMS, d.CurMeanMS, d.Regression, want[d.Solver])
+		}
+	}
+	if d := c.Deltas[4]; d.DeltaPct != 0 {
+		t.Errorf("zero-baseline DeltaPct = %v, want 0", d.DeltaPct)
+	}
+	if got := c.Regressions(); got != 2 {
+		t.Errorf("Regressions() = %d, want 2", got)
+	}
+}
+
+// TestCompareAsymmetricSuiteSets pins both directions of a suite-set
+// mismatch on their own: rows only in the baseline are Missing (no
+// delta, no regression — a vanished suite must be noticed by a human,
+// not silently dropped), rows only in the current report are New and
+// informational, and neither direction can fail the gate by itself.
+func TestCompareAsymmetricSuiteSets(t *testing.T) {
+	base := &JSONReport{Suites: []JSONSuite{
+		row("3", "checkLuhn", "onlyBase", 120, 5, 0),
+		row("3", "checkLuhn", "both", 100, 5, 0),
+	}}
+	cur := &JSONReport{Suites: []JSONSuite{
+		row("3", "checkLuhn", "both", 100, 5, 0),
+		row("3", "checkLuhn", "onlyCur", 480, 0, 5),
+	}}
+	c := Compare(base, cur, 10)
+	if got := c.Regressions(); got != 0 {
+		t.Fatalf("Regressions() = %d, want 0 (set mismatch is not a perf verdict)", got)
+	}
+	if got := c.VerdictChanges(); got != 0 {
+		t.Fatalf("VerdictChanges() = %d, want 0", got)
+	}
+	byName := map[string]SuiteDelta{}
+	for _, d := range c.Deltas {
+		byName[d.Solver] = d
+	}
+	if d := byName["onlyBase"]; !d.Missing || d.New || d.CurMeanMS != 0 {
+		t.Fatalf("baseline-only row = %+v, want Missing with no current mean", d)
+	}
+	if d := byName["onlyCur"]; !d.New || d.Missing || d.BaseMeanMS != 0 {
+		t.Fatalf("current-only row = %+v, want New with no baseline mean", d)
+	}
+	if d := byName["both"]; d.Missing || d.New || d.Regression {
+		t.Fatalf("shared row = %+v, want a plain zero delta", d)
+	}
+	// Baseline order first, appended current-only rows after.
+	if c.Deltas[0].Solver != "onlyBase" || c.Deltas[2].Solver != "onlyCur" {
+		t.Fatalf("delta order = %v", []string{c.Deltas[0].Solver, c.Deltas[1].Solver, c.Deltas[2].Solver})
+	}
+	var sb strings.Builder
+	WriteComparison(&sb, c)
+	out := sb.String()
+	for _, want := range []string{"missing from current run", "new suite", "compare: ok"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("comparison output missing %q:\n%s", want, out)
+		}
+	}
+}

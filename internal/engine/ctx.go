@@ -69,6 +69,51 @@ func (m *meter) trip(site string) {
 	m.site.CompareAndSwap(nil, &site)
 }
 
+// Pool is a named, shared budget pool: a tenant-level resource
+// governor that any number of concurrent solves debit collectively.
+// Where SetBudget bounds one solve, a Pool bounds a whole workload —
+// trauserve attaches one pool per tenant, so a tenant's jobs drain a
+// single budget no matter how many requests carry them. Attach with
+// SetBudgetPool before creating children. All methods are safe on a
+// nil receiver (a nil Pool is "no pool") and for concurrent use.
+type Pool struct {
+	name string
+	m    meter
+}
+
+// NewPool returns a pool named name holding n units. n <= 0 returns
+// nil: an unlimited tenant carries no pool at all.
+func NewPool(name string, n int64) *Pool {
+	if n <= 0 {
+		return nil
+	}
+	p := &Pool{name: name}
+	p.m.remaining.Store(n)
+	return p
+}
+
+// Name reports the pool's name ("" for nil).
+func (p *Pool) Name() string {
+	if p == nil {
+		return ""
+	}
+	return p.name
+}
+
+// Remaining reports the units left in the pool (negative once dry).
+func (p *Pool) Remaining() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.m.remaining.Load()
+}
+
+// Dry reports whether the pool has been exhausted. Admission layers
+// check it before accepting new work for the pool's tenant.
+func (p *Pool) Dry() bool {
+	return p != nil && p.m.remaining.Load() <= 0
+}
+
 // Ctx is the cancellable solve context.
 type Ctx struct {
 	parent   *Ctx
@@ -78,11 +123,12 @@ type Ctx struct {
 	cause   atomic.Int32
 	ticks   atomic.Uint64
 
-	// gov and sched are installed on a root before the solve starts
-	// (SetBudget/SetSchedule) and shared by the whole tree: Child
-	// copies the pointers, so children created earlier do not see a
-	// later install.
+	// gov, pool, and sched are installed on a root before the solve
+	// starts (SetBudget/SetBudgetPool/SetSchedule) and shared by the
+	// whole tree: Child copies the pointers, so children created
+	// earlier do not see a later install.
 	gov   *meter
+	pool  *Pool
 	sched *fault.Schedule
 
 	stats *Stats
@@ -154,7 +200,7 @@ func (c *Ctx) Child(name string) *Ctx {
 	if c == nil {
 		return Background()
 	}
-	return &Ctx{parent: c, deadline: c.deadline, gov: c.gov, sched: c.sched, stats: c.stats.Child(name)}
+	return &Ctx{parent: c, deadline: c.deadline, gov: c.gov, pool: c.pool, sched: c.sched, stats: c.stats.Child(name)}
 }
 
 // SetBudget installs a cooperative resource budget of n units on the
@@ -174,6 +220,19 @@ func (c *Ctx) SetBudget(n int64) {
 	m := &meter{}
 	m.remaining.Store(n)
 	c.gov = m
+}
+
+// SetBudgetPool attaches a shared budget pool to the tree rooted at c
+// (nil detaches). Charge debits the pool alongside any per-solve
+// budget installed with SetBudget; when the pool runs dry the tree
+// stops with CauseBudget, exactly as a per-solve trip does, but the
+// exhaustion is shared — every other solve attached to the same pool
+// trips on its next Charge too. Install before creating children.
+func (c *Ctx) SetBudgetPool(p *Pool) {
+	if c == nil {
+		return
+	}
+	c.pool = p
 }
 
 // SetSchedule installs a deterministic fault-injection schedule
@@ -196,13 +255,24 @@ func (c *Ctx) BudgetRemaining() (int64, bool) {
 }
 
 // BudgetReason returns "budget: <site>" for the allocation site that
-// exhausted the budget, or "" when no budget has tripped.
+// exhausted the budget — or "budget: tenant <name>: <site>" when the
+// stop came from a shared pool — and "" when no budget has tripped.
+// The pool's site is only consulted when THIS context stopped with
+// CauseBudget: the pool is shared, so another solve may have tripped
+// it while this one stopped for its own reason.
 func (c *Ctx) BudgetReason() string {
-	if c == nil || c.gov == nil {
+	if c == nil {
 		return ""
 	}
-	if site := c.gov.site.Load(); site != nil {
-		return "budget: " + *site
+	if c.gov != nil {
+		if site := c.gov.site.Load(); site != nil {
+			return "budget: " + *site
+		}
+	}
+	if c.pool != nil && c.Cause() == CauseBudget {
+		if site := c.pool.m.site.Load(); site != nil {
+			return "budget: " + c.pool.name + ": " + *site
+		}
 	}
 	return ""
 }
@@ -220,6 +290,17 @@ func (c *Ctx) tripBudget(site string) {
 		c.gov.trip(site)
 	}
 	for p := c; p != nil && p.gov == c.gov; p = p.parent {
+		p.markStopped(CauseBudget)
+	}
+}
+
+// tripPool marks the shared pool exhausted at site and stops the
+// subtree attached to it. Only contexts carrying the same pool pointer
+// are stopped — the pool is tenant-wide, not process-wide, so solves
+// of other tenants (and pool-less solves) keep running.
+func (c *Ctx) tripPool(site string) {
+	c.pool.m.trip(site)
+	for p := c; p != nil && p.pool == c.pool; p = p.parent {
 		p.markStopped(CauseBudget)
 	}
 }
@@ -269,8 +350,17 @@ func (c *Ctx) Charge(site string, n int64) bool {
 	if c.sched != nil && c.inject() {
 		return true
 	}
-	if c.gov != nil && c.gov.remaining.Add(-n) < 0 {
+	// Both governors are debited on every Charge — the tenant pool
+	// accounts for work even when the per-solve budget is the one that
+	// ends it — and the per-solve trip wins the blame when both dry up.
+	govDry := c.gov != nil && c.gov.remaining.Add(-n) < 0
+	poolDry := c.pool != nil && c.pool.m.remaining.Add(-n) < 0
+	if govDry {
 		c.tripBudget(site)
+		return true
+	}
+	if poolDry {
+		c.tripPool(site)
 		return true
 	}
 	return c.pollClock()

@@ -114,6 +114,114 @@ func TestSetBudgetNonPositiveClears(t *testing.T) {
 	}
 }
 
+// TestPoolDebitedCollectively pins the multi-tenant contract: two
+// independent solve trees attached to one pool drain a single budget,
+// and exhausting it stops only trees carrying that pool.
+func TestPoolDebitedCollectively(t *testing.T) {
+	pool := NewPool("tenant bulk", 10)
+	a := Background()
+	a.SetBudgetPool(pool)
+	b := Background()
+	b.SetBudgetPool(pool)
+	other := Background()
+	other.SetBudgetPool(NewPool("tenant alice", 10))
+
+	if a.Charge("pfa product", 6) {
+		t.Fatal("tripped with 4 units left")
+	}
+	if pool.Remaining() != 4 {
+		t.Fatalf("Remaining = %d, want 4", pool.Remaining())
+	}
+	// The OTHER solve of the same tenant exhausts what is left.
+	if !b.Child("round0").Charge("cnf clause", 7) {
+		t.Fatal("collective debit did not trip the pool")
+	}
+	if b.Cause() != CauseBudget {
+		t.Fatalf("b cause = %v, want budget", b.Cause())
+	}
+	if got := b.BudgetReason(); got != "budget: tenant bulk: cnf clause" {
+		t.Fatalf("BudgetReason = %q", got)
+	}
+	if !pool.Dry() {
+		t.Fatal("pool not reported dry after trip")
+	}
+	// a has not stopped yet, but its next Charge observes the dry pool.
+	if !a.Charge("simplex tableau", 1) {
+		t.Fatal("sibling solve kept running on a dry pool")
+	}
+	// First tripping site sticks pool-wide.
+	if got := a.BudgetReason(); got != "budget: tenant bulk: cnf clause" {
+		t.Fatalf("a BudgetReason = %q, want the first pool site", got)
+	}
+	// Another tenant's pool is unaffected.
+	if other.Charge("pfa product", 5) || other.Cause() != CauseNone {
+		t.Fatal("dry pool stopped a different tenant's solve")
+	}
+}
+
+// TestPoolRidesAlongPerSolveBudget: the per-request SetBudget cap and
+// the tenant pool are debited together; whichever runs dry first stops
+// the solve, and the reason names the right governor.
+func TestPoolAndBudgetStack(t *testing.T) {
+	pool := NewPool("tenant bulk", 100)
+	c := Background()
+	c.SetBudget(5)
+	c.SetBudgetPool(pool)
+	if !c.Charge("pfa product", 7) {
+		t.Fatal("per-solve budget did not trip first")
+	}
+	if got := c.BudgetReason(); got != "budget: pfa product" {
+		t.Fatalf("BudgetReason = %q, want the per-solve site", got)
+	}
+	if pool.Remaining() != 93 {
+		t.Fatalf("pool Remaining = %d, want 93 (debited before the trip)", pool.Remaining())
+	}
+}
+
+// TestPoolReasonNotLeakedAcrossCauses: a solve that stops for its own
+// reason (cancellation) must not report the pool's trip site, even
+// when another solve of the same tenant has already drained the pool.
+func TestPoolReasonNotLeakedAcrossCauses(t *testing.T) {
+	pool := NewPool("tenant bulk", 1)
+	first := Background()
+	first.SetBudgetPool(pool)
+	first.Charge("pfa product", 5) // drains the pool
+	second := Background()
+	second.SetBudgetPool(pool)
+	second.Cancel()
+	if got := second.BudgetReason(); got != "" {
+		t.Fatalf("cancelled solve reports pool reason %q", got)
+	}
+	if second.Cause() != CauseCancelled {
+		t.Fatalf("cause = %v, want cancelled", second.Cause())
+	}
+}
+
+func TestNilPoolIsNoPool(t *testing.T) {
+	if p := NewPool("x", 0); p != nil {
+		t.Fatal("NewPool(0) did not return nil")
+	}
+	var p *Pool
+	if p.Dry() || p.Name() != "" || p.Remaining() != 0 {
+		t.Fatal("nil Pool misbehaves")
+	}
+	c := Background()
+	c.SetBudgetPool(nil)
+	if c.Charge("site", 1000) {
+		t.Fatal("nil pool charged")
+	}
+	// Children inherit the pool at Child time.
+	pool := NewPool("t", 3)
+	root := Background()
+	root.SetBudgetPool(pool)
+	if !root.Child("a").Child("b").Charge("x", 4) {
+		t.Fatal("grandchild did not debit the inherited pool")
+	}
+	if root.Cause() != CauseBudget {
+		t.Fatalf("root cause = %v, want budget via inherited pool", root.Cause())
+	}
+}
+
 func TestScheduleCancelInjection(t *testing.T) {
 	c := Background()
 	c.SetSchedule(fault.At(3, fault.OpCancel))

@@ -1,0 +1,267 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/big"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/smtlib"
+)
+
+func TestBatchEndpointBasics(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	src := readExample(t, "quickstart.smt2")
+	acc, code := postBatch(t, ts.URL, "team-a", batchRequest{Instances: []batchInstance{
+		{SMTLIB: src},            // sat
+		{SMTLIB: qosUnsat(9)},    // unsat
+		{SMTLIB: "(assert (= x"}, // parse error: settles instantly, batch survives
+		{SMTLIB: src},            // duplicate: cache or coalesce
+	}})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /batch: status %d, want 202", code)
+	}
+	if acc.JobID == "" || acc.Tenant != "team-a" || acc.Instances != 4 {
+		t.Fatalf("202 body = %+v", acc)
+	}
+
+	jr := pollJob(t, ts.URL, acc.JobID, 30*time.Second)
+	if jr.State != "done" || jr.Pending != 0 || jr.Settled != 4 || jr.Tenant != "team-a" {
+		t.Fatalf("final job = %+v", jr)
+	}
+	if jr.Results[0].Status != "sat" || jr.Results[0].Model == nil ||
+		jr.Results[0].Model.Ints["n"] != "42" {
+		t.Fatalf("instance 0 = %+v, want sat with n=42", jr.Results[0])
+	}
+	if jr.Results[1].Status != "unsat" {
+		t.Fatalf("instance 1 = %+v, want unsat", jr.Results[1])
+	}
+	if jr.Results[2].Status != "error" || jr.Results[2].Error == "" {
+		t.Fatalf("instance 2 = %+v, want a parse error", jr.Results[2])
+	}
+	if jr.Results[3].Status != "sat" || !(jr.Results[3].Cached || jr.Results[3].Coalesced) {
+		t.Fatalf("instance 3 = %+v, want sat via cache or coalescing", jr.Results[3])
+	}
+
+	// Unknown job ids are 404.
+	resp, err := http.Get(ts.URL + "/jobs/no-such-job")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+
+	st := getStats(t, ts.URL)
+	if st.Batch.Jobs != 1 || st.Batch.Instances != 4 || st.Batch.Stored != 1 {
+		t.Fatalf("batch stats = %+v", st.Batch)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	s := New(Config{Workers: 1, MaxBatchInstances: 2})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	if _, code := postBatch(t, ts.URL, "t", batchRequest{}); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", code)
+	}
+	three := []batchInstance{{SMTLIB: "x"}, {SMTLIB: "x"}, {SMTLIB: "x"}}
+	if _, code := postBatch(t, ts.URL, "t", batchRequest{Instances: three}); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: status %d, want 413", code)
+	}
+}
+
+// TestBatchBacklogRejectionDerivesRetryAfter: a batch that would
+// overflow its tenant's backlog is rejected whole with 503, and the
+// Retry-After header scales with the backlog the request observed.
+func TestBatchBacklogRejectionDerivesRetryAfter(t *testing.T) {
+	s := New(Config{Workers: 1, BatchBacklog: 4})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	slow, err := smtlib.Write(bench.Luhn(8).Build())
+	if err != nil {
+		t.Fatalf("writing luhn: %v", err)
+	}
+	fill := make([]batchInstance, 4)
+	for i := range fill {
+		fill[i] = batchInstance{SMTLIB: slow, NoCache: true}
+	}
+	if _, code := postBatch(t, ts.URL, "bulk", batchRequest{Instances: fill, TimeoutMS: 2000}); code != http.StatusAccepted {
+		t.Fatalf("fill batch: status %d, want 202", code)
+	}
+
+	body, _ := json.Marshal(batchRequest{Instances: fill, TimeoutMS: 2000})
+	hr, _ := http.NewRequest("POST", ts.URL+"/batch", bytes.NewReader(body))
+	hr.Header.Set(tenantHeader, "bulk")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatalf("POST /batch: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow batch: status %d, want 503", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 || secs > 30 {
+		t.Fatalf("Retry-After = %q, want an integer in [1, 30]", resp.Header.Get("Retry-After"))
+	}
+	// Backlog is at least 3 with one worker (one dequeued), so the
+	// derived hint must exceed the 1-second floor.
+	if secs < 2 {
+		t.Fatalf("Retry-After = %d does not reflect a %d-deep backlog", secs, 3)
+	}
+
+	// Another tenant's backlog is independent: same batch admitted.
+	if _, code := postBatch(t, ts.URL, "other", batchRequest{Instances: fill, TimeoutMS: 2000}); code != http.StatusAccepted {
+		t.Fatalf("other tenant's batch: status %d, want 202", code)
+	}
+}
+
+func TestJobStoreEvictsOldestDoneJob(t *testing.T) {
+	s := New(Config{Workers: 2, MaxJobs: 1})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	one := []batchInstance{{SMTLIB: qosSat(1)}}
+	acc1, code := postBatch(t, ts.URL, "t", batchRequest{Instances: one})
+	if code != http.StatusAccepted {
+		t.Fatalf("first batch: status %d", code)
+	}
+	pollJob(t, ts.URL, acc1.JobID, 30*time.Second)
+
+	// The store is full but its only job is done: the next batch
+	// evicts it.
+	acc2, code := postBatch(t, ts.URL, "t", batchRequest{Instances: one})
+	if code != http.StatusAccepted {
+		t.Fatalf("second batch: status %d, want 202 after eviction", code)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/" + acc1.JobID)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job: status %d, want 404", resp.StatusCode)
+	}
+	pollJob(t, ts.URL, acc2.JobID, 30*time.Second)
+}
+
+func TestJobStoreFullOfRunningJobsRejects(t *testing.T) {
+	s := New(Config{Workers: 1, MaxJobs: 1, BatchBacklog: 16})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	slow, err := smtlib.Write(bench.Luhn(8).Build())
+	if err != nil {
+		t.Fatalf("writing luhn: %v", err)
+	}
+	running := []batchInstance{{SMTLIB: slow, NoCache: true}, {SMTLIB: slow, NoCache: true}}
+	if _, code := postBatch(t, ts.URL, "t", batchRequest{Instances: running, TimeoutMS: 2000}); code != http.StatusAccepted {
+		t.Fatalf("first batch: status %d", code)
+	}
+	if _, code := postBatch(t, ts.URL, "t", batchRequest{Instances: running, TimeoutMS: 2000}); code != http.StatusServiceUnavailable {
+		t.Fatalf("batch into a full store of running jobs: status %d, want 503", code)
+	}
+}
+
+// TestServerConcurrentRevalidationEvictsExactlyOnce is the
+// cache-poisoning race gate: many concurrent identical requests hit a
+// cached witness that fails revalidation. Exactly one of them evicts
+// the poisoned entry (removeIf is conditional on the entry identity),
+// exactly one real solve refills it, and everyone still receives the
+// correct verdict.
+func TestServerConcurrentRevalidationEvictsExactlyOnce(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	src := readExample(t, "quickstart.smt2")
+	script, err := smtlib.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	canon, err := smtlib.Canonicalize(script.Problem)
+	if err != nil {
+		t.Fatalf("canonicalize: %v", err)
+	}
+	// Poison the cache with a shape-correct, value-wrong witness: the
+	// canonical coordinates exist but satisfy nothing (n must be 42).
+	poisoned := &smtlib.Witness{
+		Str: make([]string, len(canon.StrOrder)),
+		Int: make([]*big.Int, len(canon.IntOrder)),
+	}
+	for i := range poisoned.Int {
+		poisoned.Int[i] = big.NewInt(0)
+	}
+	s.cache.put(canon.Hash, verdict{status: core.StatusSat, witness: poisoned})
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, code := postSolve(t, ts.URL, solveRequest{SMTLIB: src})
+			if code != http.StatusOK || resp.Status != "sat" {
+				errs <- errStatus(code, resp.Status)
+				return
+			}
+			if resp.Model.Ints["n"] != "42" {
+				errs <- errModel(resp.Model.Ints["n"])
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if got := s.ctr.revalFailures.Load(); got != 1 {
+		t.Errorf("revalidation evictions = %d, want exactly 1 across %d concurrent readers", got, clients)
+	}
+	if got := s.ctr.solvedSat.Load(); got != 1 {
+		t.Errorf("real solves = %d, want exactly 1 (the rest coalesce or hit the refilled cache)", got)
+	}
+	// The refilled entry must serve cleanly now.
+	resp, _ := postSolve(t, ts.URL, solveRequest{SMTLIB: src})
+	if resp.Status != "sat" || !resp.Cached {
+		t.Fatalf("post-refill solve = %q cached=%v, want cached sat", resp.Status, resp.Cached)
+	}
+}
+
+type statusErr struct {
+	code   int
+	status string
+}
+
+func (e statusErr) Error() string {
+	return "solve: status " + strconv.Itoa(e.code) + " verdict " + e.status
+}
+func errStatus(code int, status string) error { return statusErr{code, status} }
+
+type modelErr struct{ n string }
+
+func (e modelErr) Error() string { return "model n = " + e.n + ", want 42" }
+func errModel(n string) error    { return modelErr{n} }

@@ -98,6 +98,25 @@ func (c *lruCache) remove(key string) {
 	}
 }
 
+// removeIf drops the entry for key only while it still holds exactly v
+// (verdicts compare by witness pointer, so "exactly" means the same
+// cached object, not an equal-looking one) and reports whether it did.
+// This is the evict-exactly-once primitive for failed revalidations:
+// of N concurrent readers that all fetched the same poisoned verdict,
+// one wins the eviction, and none can clobber a fresh verdict that a
+// re-solve has already put in its place.
+func (c *lruCache) removeIf(key string, v verdict) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok || el.Value.(*lruEntry).val != v {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.entries, key)
+	return true
+}
+
 // len reports the current entry count.
 func (c *lruCache) len() int {
 	c.mu.Lock()

@@ -1,0 +1,84 @@
+package server
+
+import "sync"
+
+// flightTable implements dedup-in-flight: concurrent requests whose
+// problems share a canonical hash coalesce onto one underlying solve.
+// The first arrival becomes the leader (it is admitted and solved
+// normally); later arrivals attach to the leader's flight and receive
+// the same verdict, transported onto their own parse exactly like a
+// cache hit — so all waiters observe the identical verdict and
+// witness, and the cache fill happens once.
+//
+// A flight that resolves unsettled (timeout, cancellation, fault, a
+// leader that was never admitted) promises nothing about the problem:
+// waiters fall back and re-enter the dispatch path themselves rather
+// than inheriting a verdict that was the leader's budget, not the
+// problem's answer.
+type flightTable struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// flight is one in-flight canonical problem. The fields below done are
+// written exactly once, before done closes, and read only after.
+type flight struct {
+	hash string
+	done chan struct{}
+
+	settled bool
+	v       verdict // canonical-coordinate verdict when settled
+	reason  string  // unknown classification when not settled
+
+	subs []func(*flight) // callbacks for waiters that do not block (batch)
+}
+
+func newFlightTable() *flightTable {
+	return &flightTable{flights: make(map[string]*flight)}
+}
+
+// join returns the flight for hash and whether the caller is its
+// leader. A leader must eventually resolve the flight — even on its
+// failure paths — or followers wait forever.
+func (t *flightTable) join(hash string) (*flight, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if f, ok := t.flights[hash]; ok {
+		return f, false
+	}
+	f := &flight{hash: hash, done: make(chan struct{})}
+	t.flights[hash] = f
+	return f, true
+}
+
+// subscribe registers fn to run when fl resolves; if fl has already
+// resolved, fn runs immediately. Callbacks run outside the table lock,
+// on the resolving goroutine (a worker, or the drain path).
+func (t *flightTable) subscribe(fl *flight, fn func(*flight)) {
+	t.mu.Lock()
+	select {
+	case <-fl.done:
+		t.mu.Unlock()
+		fn(fl)
+		return
+	default:
+	}
+	fl.subs = append(fl.subs, fn)
+	t.mu.Unlock()
+}
+
+// resolve publishes the leader's outcome: the flight leaves the table
+// first (new arrivals for the hash start a fresh flight), then waiters
+// wake and subscribers run.
+func (t *flightTable) resolve(fl *flight, settled bool, v verdict, reason string) {
+	t.mu.Lock()
+	delete(t.flights, fl.hash)
+	fl.settled, fl.v, fl.reason = settled, v, reason
+	subs := fl.subs
+	fl.subs = nil
+	close(fl.done)
+	t.mu.Unlock()
+	for _, fn := range subs {
+		fn(fl)
+	}
+}

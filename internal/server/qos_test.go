@@ -1,0 +1,405 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/smtlib"
+)
+
+// qosSat builds a distinct satisfiable problem per k (x must be the
+// decimal spelling of k).
+func qosSat(k int) string {
+	return fmt.Sprintf(`(declare-fun x () String)(declare-fun n () Int)`+
+		`(assert (= n (str.to_int x)))(assert (= n %d))(check-sat)`, k)
+}
+
+// qosUnsat builds a distinct unsatisfiable problem per k (a literal
+// pinned to the wrong length).
+func qosUnsat(k int) string {
+	return fmt.Sprintf(`(declare-fun c () String)(assert (= c "%d"))`+
+		`(assert (= (str.len c) %d))(check-sat)`, k, len(fmt.Sprint(k))+2)
+}
+
+// directStatus solves src outside the server, the reference verdict
+// every served result is compared against.
+func directStatus(t *testing.T, src string) string {
+	t.Helper()
+	script, err := smtlib.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return core.Solve(script.Problem, core.Options{}).Status.String()
+}
+
+// postTenant is postSolve with an X-Tenant header.
+func postTenant(t *testing.T, url, tenant string, req solveRequest) (solveResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	hr, err := http.NewRequest("POST", url+"/solve", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set(tenantHeader, tenant)
+	httpResp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatalf("POST /solve: %v", err)
+	}
+	defer httpResp.Body.Close()
+	var resp solveResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp, httpResp.StatusCode
+}
+
+// postBatch submits a batch for a tenant and decodes the 202.
+func postBatch(t *testing.T, url, tenant string, req batchRequest) (batchAccepted, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal batch: %v", err)
+	}
+	hr, err := http.NewRequest("POST", url+"/batch", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set(tenantHeader, tenant)
+	httpResp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatalf("POST /batch: %v", err)
+	}
+	defer httpResp.Body.Close()
+	var acc batchAccepted
+	if httpResp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(httpResp.Body).Decode(&acc); err != nil {
+			t.Fatalf("decode 202: %v", err)
+		}
+	}
+	return acc, httpResp.StatusCode
+}
+
+// pollJob polls GET /jobs/<id> until no instance is pending (or the
+// deadline passes) and returns the final snapshot.
+func pollJob(t *testing.T, url, id string, deadline time.Duration) jobResponse {
+	t.Helper()
+	var jr jobResponse
+	stop := time.Now().Add(deadline)
+	for {
+		httpResp, err := http.Get(url + "/jobs/" + id)
+		if err != nil {
+			t.Fatalf("GET /jobs/%s: %v", id, err)
+		}
+		if httpResp.StatusCode != http.StatusOK {
+			httpResp.Body.Close()
+			t.Fatalf("GET /jobs/%s: status %d", id, httpResp.StatusCode)
+		}
+		err = json.NewDecoder(httpResp.Body).Decode(&jr)
+		httpResp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode job: %v", err)
+		}
+		if jr.Pending == 0 {
+			return jr
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("job %s still has %d pending after %v", id, jr.Pending, deadline)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func getStats(t *testing.T, url string) statsResponse {
+	t.Helper()
+	httpResp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	defer httpResp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	return st
+}
+
+// TestServerConcurrentQoSMixedTenantLoad is the mixed-tenant load
+// harness the QoS layer is proven by (run under -race; ci.sh does).
+// One tenant floods the server with a 500-instance batch while another
+// issues interactive solves. The gate:
+//
+//   - batch floods cannot head-of-line-block interactive work: the
+//     interactive p99 queue wait stays under a fixed bound;
+//   - no served verdict — batch, interactive, cached, or coalesced —
+//     differs from a direct core.Solve of the same problem;
+//   - coalesced duplicates produce exactly one underlying solve per
+//     distinct problem (the sat/unsat worker counters equal the
+//     distinct-problem counts);
+//   - a graceful drain loses no job state: after Shutdown, every
+//     instance of an in-flight batch is settled (solved or failed with
+//     reason "draining", never lost) and no goroutine leaks.
+func TestServerConcurrentQoSMixedTenantLoad(t *testing.T) {
+	before := fault.Snapshot()
+	s := New(Config{Workers: 2, QueueDepth: 16, CacheEntries: 256})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Distinct problem sets, disjoint between tenants so the expected
+	// solve counts are exact.
+	const batchDistinct = 40 // 32 sat + 8 unsat
+	const batchInstances = 500
+	batchSrc := make([]string, batchDistinct)
+	for i := range batchSrc {
+		if i < 32 {
+			batchSrc[i] = qosSat(100 + i)
+		} else {
+			batchSrc[i] = qosUnsat(200 + i)
+		}
+	}
+	const interDistinct = 10 // 8 sat + 2 unsat
+	interSrc := make([]string, interDistinct)
+	for i := range interSrc {
+		if i < 8 {
+			interSrc[i] = qosSat(500 + i)
+		} else {
+			interSrc[i] = qosUnsat(600 + i)
+		}
+	}
+	want := make(map[string]string) // src -> direct verdict
+	wantSat, wantUnsat := 0, 0
+	for _, src := range append(append([]string{}, batchSrc...), interSrc...) {
+		want[src] = directStatus(t, src)
+		switch want[src] {
+		case "sat":
+			wantSat++
+		case "unsat":
+			wantUnsat++
+		default:
+			t.Fatalf("direct solve of %q = %q, want settled", src, want[src])
+		}
+	}
+
+	// The flood: 500 instances round-robining the 40 distinct problems,
+	// so duplicates of each problem keep arriving while its first solve
+	// is still in flight (coalescing) or already settled (cache).
+	instances := make([]batchInstance, batchInstances)
+	for i := range instances {
+		instances[i] = batchInstance{SMTLIB: batchSrc[i%batchDistinct]}
+	}
+	acc, code := postBatch(t, ts.URL, "bulk", batchRequest{Instances: instances})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /batch: status %d, want 202", code)
+	}
+	if acc.Instances != batchInstances || acc.Tenant != "bulk" || acc.JobID == "" {
+		t.Fatalf("batch accepted = %+v", acc)
+	}
+
+	// The interactive tenant, concurrent with the flood.
+	const interClients = 4
+	const interRounds = 15
+	var mu sync.Mutex
+	var waitsMS []float64
+	var wg sync.WaitGroup
+	errs := make(chan error, interClients*interRounds)
+	for c := 0; c < interClients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < interRounds; i++ {
+				src := interSrc[(c*interRounds+i)%interDistinct]
+				resp, code := postTenant(t, ts.URL, "alice", solveRequest{SMTLIB: src})
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("interactive solve: status %d", code)
+					continue
+				}
+				if resp.Status != want[src] {
+					errs <- fmt.Errorf("interactive verdict %q (cached=%v coalesced=%v), direct solve says %q",
+						resp.Status, resp.Cached, resp.Coalesced, want[src])
+				}
+				mu.Lock()
+				waitsMS = append(waitsMS, resp.QueuedMS)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Collect the batch and check every instance against the direct
+	// verdict.
+	jr := pollJob(t, ts.URL, acc.JobID, 60*time.Second)
+	if jr.State != "done" || jr.Settled != batchInstances {
+		t.Fatalf("job final state %q settled=%d, want done/%d", jr.State, jr.Settled, batchInstances)
+	}
+	if len(jr.Results) != batchInstances {
+		t.Fatalf("job has %d results, want %d", len(jr.Results), batchInstances)
+	}
+	for i, res := range jr.Results {
+		src := batchSrc[i%batchDistinct]
+		if res.Status != want[src] {
+			t.Fatalf("instance %d verdict %q (cached=%v coalesced=%v reason=%q), direct solve says %q",
+				i, res.Status, res.Cached, res.Coalesced, res.Reason, want[src])
+		}
+		if res.Index != i {
+			t.Fatalf("instance %d reports index %d", i, res.Index)
+		}
+	}
+
+	// Exactly one underlying solve per distinct problem: everything
+	// else was served by the cache or coalesced onto the leader.
+	st := getStats(t, ts.URL)
+	if st.Requests.Sat != int64(wantSat) || st.Requests.Unsat != int64(wantUnsat) {
+		t.Errorf("worker solves sat=%d unsat=%d, want exactly %d/%d (one per distinct problem)",
+			st.Requests.Sat, st.Requests.Unsat, wantSat, wantUnsat)
+	}
+	if st.Dedup.Coalesced == 0 {
+		t.Error("no request coalesced during a 500-duplicate flood")
+	}
+	if st.Dedup.Coalesced+st.Requests.CacheServed+st.Requests.Sat+st.Requests.Unsat !=
+		int64(batchInstances+interClients*interRounds) {
+		t.Errorf("accounting: coalesced=%d + cached=%d + solved=%d does not cover %d requests",
+			st.Dedup.Coalesced, st.Requests.CacheServed, st.Requests.Sat+st.Requests.Unsat,
+			batchInstances+interClients*interRounds)
+	}
+
+	// The QoS bound: interactive p99 queue wait under the flood. The
+	// worst admissible case is waiting out the batch solves already on
+	// both workers, far under a second for these problems; the bound
+	// leaves room for race-detector and scheduler noise.
+	sort.Float64s(waitsMS)
+	p99 := waitsMS[len(waitsMS)*99/100]
+	if p99 > 1500 {
+		t.Errorf("interactive p99 queue wait = %.1fms: batch flood head-of-line-blocked interactive work", p99)
+	}
+
+	// Graceful drain: flood again with slow instances, then shut down
+	// mid-batch. Every instance must settle — solved by an in-flight
+	// worker or failed cleanly with reason "draining" — and the workers
+	// and watchers must all exit.
+	slow, err := smtlib.Write(bench.Luhn(8).Build())
+	if err != nil {
+		t.Fatalf("writing luhn: %v", err)
+	}
+	slowInstances := make([]batchInstance, 200)
+	for i := range slowInstances {
+		// NoCache keeps every instance a real queue entry, so the drain
+		// has a deep backlog to fail cleanly.
+		slowInstances[i] = batchInstance{SMTLIB: slow, NoCache: true}
+	}
+	acc2, code := postBatch(t, ts.URL, "bulk", batchRequest{Instances: slowInstances, TimeoutMS: 2000})
+	if code != http.StatusAccepted {
+		t.Fatalf("slow batch: status %d, want 202", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown mid-batch: %v", err)
+	}
+	jr2 := pollJob(t, ts.URL, acc2.JobID, time.Second) // already settled; one GET
+	drained := 0
+	for i, res := range jr2.Results {
+		switch {
+		case res.Status == instancePending:
+			t.Fatalf("instance %d lost by the drain (still pending after Shutdown)", i)
+		case res.Reason == "draining":
+			drained++
+		}
+	}
+	if drained == 0 {
+		t.Error("shutdown mid-batch drained no instances (backlog was not deep enough to prove anything)")
+	}
+	if st := getStats(t, ts.URL); st.Batch.Drained == 0 {
+		t.Error("stats report no drained batch instances")
+	}
+
+	ts.Close()
+	fault.CheckLeaks(t, before)
+}
+
+// TestTenantBudgetPoolSharedAcrossRequests pins the admission half of
+// multi-tenant QoS: a tenant's solves collectively drain one budget
+// pool; once dry, that tenant gets 429 while other tenants are
+// untouched.
+func TestTenantBudgetPoolSharedAcrossRequests(t *testing.T) {
+	s := New(Config{Workers: 2, TenantBudget: 2000})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	slow, err := smtlib.Write(bench.Luhn(6).Build())
+	if err != nil {
+		t.Fatalf("writing luhn: %v", err)
+	}
+	// Drain tenant "greedy" by solving until a request reports the pool
+	// trip or admission starts refusing.
+	sawDry := false
+	for i := 0; i < 50 && !sawDry; i++ {
+		resp, code := postTenant(t, ts.URL, "greedy", solveRequest{SMTLIB: slow, NoCache: true})
+		switch code {
+		case http.StatusOK:
+			if resp.Status == "unknown" && resp.Reason != "" {
+				sawDry = true // the solve itself tripped the pool
+			}
+		case http.StatusTooManyRequests:
+			sawDry = true
+		default:
+			t.Fatalf("solve %d: status %d", i, code)
+		}
+	}
+	if !sawDry {
+		t.Fatal("tenant pool never ran dry")
+	}
+	// Now admission itself must refuse the tenant.
+	_, code := postTenant(t, ts.URL, "greedy", solveRequest{SMTLIB: slow, NoCache: true})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("dry tenant admitted: status %d, want 429", code)
+	}
+	if _, code := postBatch(t, ts.URL, "greedy", batchRequest{
+		Instances: []batchInstance{{SMTLIB: slow}},
+	}); code != http.StatusTooManyRequests {
+		t.Fatalf("dry tenant's batch admitted: status %d, want 429", code)
+	}
+
+	// Another tenant is untouched.
+	resp, code := postTenant(t, ts.URL, "alice", solveRequest{SMTLIB: qosSat(7)})
+	if code != http.StatusOK || resp.Status != "sat" {
+		t.Fatalf("innocent tenant: status %d verdict %q", code, resp.Status)
+	}
+
+	st := getStats(t, ts.URL)
+	if st.Requests.RejectedTenant == 0 {
+		t.Error("stats report no tenant-budget rejections")
+	}
+	found := false
+	for _, ten := range st.Tenants {
+		if ten.Name == "greedy" {
+			found = true
+			if ten.BudgetRemaining > 0 {
+				t.Errorf("greedy pool remaining = %d, want <= 0", ten.BudgetRemaining)
+			}
+		}
+	}
+	if !found {
+		t.Error("stats do not list the greedy tenant's pool")
+	}
+}

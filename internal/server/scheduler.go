@@ -1,0 +1,173 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// schedClass is a job's QoS class. Interactive solves (POST /solve)
+// always outrank batch instances: a flood of bulk work may fill the
+// workers, but every dequeue decision prefers the interactive queue,
+// so an interactive request waits at most for the solves already on
+// the workers — never behind a tenant's backlog.
+type schedClass int
+
+const (
+	classInteractive schedClass = iota
+	classBatch
+)
+
+func (c schedClass) String() string {
+	if c == classInteractive {
+		return "interactive"
+	}
+	return "batch"
+}
+
+// Admission errors. Handlers map errSchedFull to 503 with a
+// queue-depth-derived Retry-After and errSchedDraining to the drain
+// 503.
+var (
+	errSchedFull     = errors.New("queue full")
+	errSchedDraining = errors.New("draining")
+)
+
+// scheduler is the two-class, tenant-fair priority queue in front of
+// the worker pool. Interactive jobs form one FIFO bounded by capacity
+// (the old admission-queue depth). Batch jobs form one FIFO per
+// tenant, each bounded by batchCap, and are dequeued round-robin
+// across tenants — a tenant that submits 500 instances and a tenant
+// that submits 5 alternate, instead of the flood draining first.
+type scheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	capacity int // interactive queue bound
+	batchCap int // per-tenant batch backlog bound
+	closed   bool
+
+	interactive []*job
+	batch       map[string][]*job
+	ring        []string // tenants with queued batch work, admission order
+	next        int      // ring index served by the next batch dequeue
+}
+
+func newScheduler(capacity, batchCap int) *scheduler {
+	s := &scheduler{capacity: capacity, batchCap: batchCap, batch: make(map[string][]*job)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// push admits one job or reports why it cannot: errSchedDraining after
+// close, errSchedFull when the job's queue is at its bound.
+func (s *scheduler) push(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errSchedDraining
+	}
+	if j.class == classInteractive {
+		if len(s.interactive) >= s.capacity {
+			return errSchedFull
+		}
+		s.interactive = append(s.interactive, j)
+	} else {
+		q := s.batch[j.tenant]
+		if len(q) >= s.batchCap {
+			return errSchedFull
+		}
+		if len(q) == 0 {
+			s.ring = append(s.ring, j.tenant)
+		}
+		s.batch[j.tenant] = append(q, j)
+	}
+	s.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available and returns it, preferring the
+// interactive FIFO and round-robining batch tenants otherwise. After
+// close it drains only the interactive queue (the drain path fails
+// queued batch work explicitly) and then returns nil, which is the
+// worker's exit signal.
+func (s *scheduler) pop() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.interactive) > 0 {
+			j := s.interactive[0]
+			s.interactive = s.interactive[1:]
+			return j
+		}
+		if len(s.ring) > 0 {
+			return s.popBatchLocked()
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// popBatchLocked dequeues the head of the ring's current tenant and
+// advances the ring; a tenant whose queue empties leaves the ring.
+func (s *scheduler) popBatchLocked() *job {
+	i := s.next % len(s.ring)
+	t := s.ring[i]
+	q := s.batch[t]
+	j := q[0]
+	q = q[1:]
+	if len(q) == 0 {
+		delete(s.batch, t)
+		s.ring = append(s.ring[:i], s.ring[i+1:]...)
+		if len(s.ring) > 0 {
+			s.next = i % len(s.ring)
+		} else {
+			s.next = 0
+		}
+	} else {
+		s.batch[t] = q
+		s.next = (i + 1) % len(s.ring)
+	}
+	return j
+}
+
+// close stops admission and removes every queued batch job, returning
+// them in deterministic (ring, then FIFO) order so the drain path can
+// fail each one cleanly. Queued interactive jobs stay: their handlers
+// hold connections and the workers finish them before exiting.
+func (s *scheduler) close() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var orphans []*job
+	for _, t := range s.ring {
+		orphans = append(orphans, s.batch[t]...)
+	}
+	s.batch = make(map[string][]*job)
+	s.ring = nil
+	s.next = 0
+	s.cond.Broadcast()
+	return orphans
+}
+
+// depths reports the queued interactive and batch totals.
+func (s *scheduler) depths() (interactive, batch int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	interactive = len(s.interactive)
+	for _, t := range s.ring {
+		batch += len(s.batch[t])
+	}
+	return interactive, batch
+}
+
+// tenantBacklog reports one tenant's queued batch instances.
+func (s *scheduler) tenantBacklog(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.batch[tenant])
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"errors"
+	"testing"
+)
+
+func mkJob(class schedClass, tenant string) *job {
+	return &job{class: class, tenant: tenant}
+}
+
+func TestSchedulerInteractiveOutranksBatch(t *testing.T) {
+	s := newScheduler(4, 16)
+	b1 := mkJob(classBatch, "bulk")
+	b2 := mkJob(classBatch, "bulk")
+	i1 := mkJob(classInteractive, "alice")
+	for _, j := range []*job{b1, b2, i1} {
+		if err := s.push(j); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	// The interactive job arrived last but is dequeued first.
+	if got := s.pop(); got != i1 {
+		t.Fatalf("pop = %+v, want the interactive job", got)
+	}
+	if got := s.pop(); got != b1 {
+		t.Fatalf("pop = %+v, want first batch job", got)
+	}
+	// Interactive work arriving mid-backlog still jumps the queue.
+	i2 := mkJob(classInteractive, "alice")
+	if err := s.push(i2); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	if got := s.pop(); got != i2 {
+		t.Fatal("interactive job did not preempt the remaining backlog")
+	}
+	if got := s.pop(); got != b2 {
+		t.Fatal("remaining batch job lost")
+	}
+}
+
+func TestSchedulerBatchRoundRobinsTenants(t *testing.T) {
+	s := newScheduler(4, 16)
+	// Tenant "flood" queues 4 jobs before "drip" queues 2: dequeues
+	// must alternate, not drain the flood first.
+	var flood, drip []*job
+	for i := 0; i < 4; i++ {
+		j := mkJob(classBatch, "flood")
+		flood = append(flood, j)
+		if err := s.push(j); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		j := mkJob(classBatch, "drip")
+		drip = append(drip, j)
+		if err := s.push(j); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	want := []*job{flood[0], drip[0], flood[1], drip[1], flood[2], flood[3]}
+	for i, w := range want {
+		if got := s.pop(); got != w {
+			t.Fatalf("dequeue %d: got tenant %q, want tenant %q (round-robin violated)",
+				i, got.tenant, w.tenant)
+		}
+	}
+	if i, b := s.depths(); i != 0 || b != 0 {
+		t.Fatalf("depths after drain = %d,%d", i, b)
+	}
+}
+
+func TestSchedulerBounds(t *testing.T) {
+	s := newScheduler(1, 2)
+	if err := s.push(mkJob(classInteractive, "a")); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	if err := s.push(mkJob(classInteractive, "a")); !errors.Is(err, errSchedFull) {
+		t.Fatalf("overfull interactive push = %v, want errSchedFull", err)
+	}
+	// Batch bounds are per tenant: one tenant filling its backlog does
+	// not consume another's.
+	for i := 0; i < 2; i++ {
+		if err := s.push(mkJob(classBatch, "bulk")); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	if err := s.push(mkJob(classBatch, "bulk")); !errors.Is(err, errSchedFull) {
+		t.Fatalf("overfull batch push = %v, want errSchedFull", err)
+	}
+	if err := s.push(mkJob(classBatch, "other")); err != nil {
+		t.Fatalf("second tenant rejected by first tenant's backlog: %v", err)
+	}
+	if got := s.tenantBacklog("bulk"); got != 2 {
+		t.Fatalf("tenantBacklog(bulk) = %d, want 2", got)
+	}
+	if got := s.tenantBacklog("other"); got != 1 {
+		t.Fatalf("tenantBacklog(other) = %d, want 1", got)
+	}
+}
+
+func TestSchedulerCloseOrphansBatchKeepsInteractive(t *testing.T) {
+	s := newScheduler(4, 16)
+	i1 := mkJob(classInteractive, "alice")
+	b1 := mkJob(classBatch, "bulk")
+	b2 := mkJob(classBatch, "drip")
+	b3 := mkJob(classBatch, "bulk")
+	for _, j := range []*job{b1, i1, b2, b3} {
+		if err := s.push(j); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	orphans := s.close()
+	// Deterministic order: ring (admission) order, FIFO within tenant.
+	if len(orphans) != 3 || orphans[0] != b1 || orphans[1] != b3 || orphans[2] != b2 {
+		t.Fatalf("orphans = %v, want [bulk, bulk, drip] jobs in ring order", orphans)
+	}
+	if err := s.push(mkJob(classInteractive, "x")); !errors.Is(err, errSchedDraining) {
+		t.Fatalf("push after close = %v, want errSchedDraining", err)
+	}
+	// The queued interactive job is still served, then pop reports
+	// closed-and-empty with nil (the worker exit signal).
+	if got := s.pop(); got != i1 {
+		t.Fatal("queued interactive job lost by close")
+	}
+	if got := s.pop(); got != nil {
+		t.Fatalf("pop on a closed empty scheduler = %+v, want nil", got)
+	}
+	if again := s.close(); again != nil {
+		t.Fatalf("second close returned %v, want nil (idempotent)", again)
+	}
+}
+
+// TestRetryAfterDerivedFromQueueDepth pins the 503 backoff mapping:
+// one second base plus the backlog's drain time at one solve-second
+// per worker, clamped to [1, 30].
+func TestRetryAfterDerivedFromQueueDepth(t *testing.T) {
+	cases := []struct {
+		queued, workers, want int
+	}{
+		{0, 4, 1},    // empty queue: minimum backoff
+		{3, 4, 1},    // less than one solve per worker rounds down
+		{4, 4, 2},    // one queued solve per worker adds a second
+		{16, 4, 5},   // deep backlog scales linearly
+		{400, 4, 30}, // clamped at 30s
+		{10, 0, 11},  // degenerate worker count treated as 1
+	}
+	for _, c := range cases {
+		if got := retryAfterSecs(c.queued, c.workers); got != c.want {
+			t.Errorf("retryAfterSecs(%d, %d) = %d, want %d", c.queued, c.workers, got, c.want)
+		}
+	}
+}
