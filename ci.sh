@@ -40,10 +40,10 @@ echo "==> cancellation and equivalence tests (-race)"
 # hazard, and the trauserve mixed-load test exercises the admission
 # gate, verdict cache, and merged stats tree under concurrent clients.
 # Run them first and explicitly so a hang here is attributed correctly.
-go test -race -run 'Cancel|Deadline|Timeout|Parallel|Incremental|Concurrent|Portfolio' \
+go test -race -run 'Cancel|Deadline|Timeout|Parallel|Incremental|Concurrent|Portfolio|Hedge|FailsOver' \
     ./internal/sat ./internal/simplex ./internal/lia \
     ./internal/core ./internal/baseline ./internal/bench \
-    ./internal/portfolio ./internal/backend
+    ./internal/portfolio ./internal/backend ./internal/cluster
 
 echo "==> server race suites (-race -count=2)"
 # The serving layer's concurrency suites — admission, the two-class QoS
@@ -52,7 +52,7 @@ echo "==> server race suites (-race -count=2)"
 # state the first left behind, so order-dependence and leaked global
 # state fail here instead of flaking later.
 go test -race -count=2 \
-    -run 'Cancel|Deadline|Timeout|Concurrent|QoS|Batch|Scheduler|JobStore|TenantBudget|RetryAfter|Shutdown' \
+    -run 'Cancel|Deadline|Timeout|Concurrent|QoS|Batch|Scheduler|JobStore|TenantBudget|TenantRefill|RetryAfter|PeerCacheFill|Shutdown' \
     ./internal/server
 
 echo "==> chaos: fault-injection sweep (-race)"
@@ -62,7 +62,7 @@ echo "==> chaos: fault-injection sweep (-race)"
 # two containment invariants (verdicts never flip SAT<->UNSAT, no
 # goroutine leaks) plus the over-budget UNKNOWN acceptance case.
 go test -race -run 'Chaos|OverBudget|ContainedWorkerPanic|FaultSeed' \
-    ./internal/bench ./internal/server ./cmd/trauserve
+    ./internal/bench ./internal/server ./internal/cluster ./cmd/trauserve
 
 echo "==> go test -race"
 go test -race ./...
@@ -234,6 +234,111 @@ fi
 kill -TERM "$trauserve_pid"
 wait "$trauserve_pid"
 grep -q 'trauserve: drained' /tmp/trauserve_batch.log
+
+echo "==> trauserve router smoke"
+# The cluster layer end-to-end, as separate OS processes: three shards
+# plus a consistent-hash router, a mixed flood through the router with
+# one shard SIGKILLed mid-flood. Gating invariants: every request
+# settles with a verdict (the kill becomes latency, never an error),
+# the dead shard's circuit breaker opens, failover engages, and the
+# router plus surviving shards still drain cleanly on SIGTERM.
+base=$((21000 + $$ % 9000))
+s1="127.0.0.1:$base"; s2="127.0.0.1:$((base + 1))"; s3="127.0.0.1:$((base + 2))"
+router_addr="127.0.0.1:$((base + 3))"
+shard_list="$s1,$s2,$s3"
+shard_pids=""
+for s in "$s1" "$s2" "$s3"; do
+    /tmp/trauserve -addr "$s" -self "$s" -shards "$shard_list" -workers 2 \
+        >"/tmp/trauserve_shard_${s##*:}.log" 2>&1 &
+    shard_pids="$shard_pids $!"
+done
+/tmp/trauserve -addr "$router_addr" -router -shards "$shard_list" -probe 100ms \
+    >/tmp/trauserve_router.log 2>&1 &
+router_pid=$!
+for log in "/tmp/trauserve_shard_${s1##*:}.log" "/tmp/trauserve_shard_${s2##*:}.log" \
+    "/tmp/trauserve_shard_${s3##*:}.log" /tmp/trauserve_router.log; do
+    up=""
+    for _ in $(seq 1 100); do
+        up=$(sed -n 's/^trauserve: listening on //p' "$log")
+        [ -n "$up" ] && break
+        sleep 0.1
+    done
+    if [ -z "$up" ]; then
+        echo "router smoke: process behind $log did not come up" >&2
+        cat "$log" >&2
+        kill $shard_pids "$router_pid" 2>/dev/null || true
+        exit 1
+    fi
+done
+grep -q 'trauserve: routing across 3 shards' /tmp/trauserve_router.log
+router_url="http://$router_addr"
+shard_kill_pid=$(pgrep -f "trauserve -addr $s1 " | head -1)
+if [ -z "$shard_kill_pid" ]; then
+    echo "router smoke: could not find the pid of shard $s1" >&2
+    kill $shard_pids "$router_pid" 2>/dev/null || true
+    exit 1
+fi
+# Mixed flood through the router: 12 distinct problems (distinct hashes
+# spread across the ring), shard s1 SIGKILLed after the 4th. Every
+# single request must come back 200 with a settled verdict.
+i=0
+while [ "$i" -lt 12 ]; do
+    if [ "$i" = 4 ]; then
+        kill -KILL "$shard_kill_pid"
+    fi
+    n=$((40 + i))
+    p="{\"smtlib\": \"(declare-fun x () String)(declare-fun n () Int)(assert (= n (str.to_int x)))(assert (= n $n))(assert (= (str.len x) 4))(check-sat)\"}"
+    code=$(curl -s -o /tmp/trauserve_router_body.json -w '%{http_code}' -X POST -d "$p" "$router_url/solve")
+    if [ "$code" != "200" ] || ! grep -q '"status": "sat"' /tmp/trauserve_router_body.json; then
+        echo "router smoke: request $i answered $code mid-kill" >&2
+        cat /tmp/trauserve_router_body.json >&2
+        kill $shard_pids "$router_pid" 2>/dev/null || true
+        exit 1
+    fi
+    i=$((i + 1))
+done
+# The health probes must have opened the dead shard's breaker.
+sleep 1
+curl -sf "$router_url/stats" >/tmp/trauserve_router_stats.json
+grep -q '"breaker": "open"' /tmp/trauserve_router_stats.json
+# Drive failover explicitly: which shard owns a given problem is up to
+# the hash, so keep sending fresh problems until one lands on the dead
+# owner and is routed past it. Each problem has a 1-in-3 chance, so 60
+# tries bounds the loop without ever realistically failing.
+failovers=0
+i=100
+while [ "$i" -lt 160 ]; do
+    p="{\"smtlib\": \"(declare-fun x () String)(declare-fun n () Int)(assert (= n (str.to_int x)))(assert (= n $i))(assert (= (str.len x) 4))(check-sat)\"}"
+    code=$(curl -s -o /tmp/trauserve_router_body.json -w '%{http_code}' -X POST -d "$p" "$router_url/solve")
+    if [ "$code" != "200" ] || ! grep -q '"status": "sat"' /tmp/trauserve_router_body.json; then
+        echo "router smoke: request n=$i answered $code against the degraded cluster" >&2
+        cat /tmp/trauserve_router_body.json >&2
+        kill $shard_pids "$router_pid" 2>/dev/null || true
+        exit 1
+    fi
+    curl -sf "$router_url/stats" >/tmp/trauserve_router_stats.json
+    failovers=$(sed -n 's/.*"failovers": \([0-9]*\).*/\1/p' /tmp/trauserve_router_stats.json)
+    [ -n "$failovers" ] && [ "$failovers" -gt 0 ] && break
+    i=$((i + 1))
+done
+if [ -z "$failovers" ] || [ "$failovers" -eq 0 ]; then
+    echo "router smoke: no failovers recorded though a shard was killed" >&2
+    cat /tmp/trauserve_router_stats.json >&2
+    kill $shard_pids "$router_pid" 2>/dev/null || true
+    exit 1
+fi
+# Clean drain: the router and both surviving shards exit 0 on SIGTERM.
+kill -TERM "$router_pid"
+wait "$router_pid"
+grep -q 'trauserve: drained' /tmp/trauserve_router.log
+for p in $shard_pids; do
+    kill -TERM "$p" 2>/dev/null || true
+done
+for p in $shard_pids; do
+    wait "$p" 2>/dev/null || true
+done
+grep -q 'trauserve: drained' "/tmp/trauserve_shard_${s2##*:}.log"
+grep -q 'trauserve: drained' "/tmp/trauserve_shard_${s3##*:}.log"
 
 echo "==> perf smoke (non-gating)"
 # Re-run the Table 3 workload under the baseline's configuration and

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// testClock is a manually-advanced clock wired into a breaker's now
+// hook, so state transitions are tested without sleeping.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreaker(threshold int, cooldown time.Duration) (*Breaker, *testClock) {
+	clk := &testClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+// TestBreakerOpensAtThreshold pins the closed->open transition:
+// consecutive failures up to the threshold open the circuit, and a
+// success in between resets the count.
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := testBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success() // interleaved success resets the consecutive count
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2 consecutive failures = %v, want closed", b.State())
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe pins the open->half-open->closed
+// path: after the cooldown exactly one probe passes, everyone else is
+// shed until it reports, and its success closes the breaker.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := testBreaker(1, time.Second)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker did not admit the half-open probe after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller admitted while the probe is in flight")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatalf("probe success did not close the breaker (state %v)", b.State())
+	}
+}
+
+// TestBreakerHalfOpenFailureReopens pins the probe-failed path: the
+// breaker re-opens for a full fresh cooldown.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := testBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe not admitted")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted before its fresh cooldown elapsed")
+	}
+	clk.advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker never recovered")
+	}
+}
+
+// TestBreakerOpenFailureRefreshesCooldown pins that a shard failing
+// its health probes while open stays shed: each failure pushes the
+// half-open test out by a full cooldown.
+func TestBreakerOpenFailureRefreshesCooldown(t *testing.T) {
+	b, clk := testBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(900 * time.Millisecond)
+	b.Failure() // e.g. a failed health probe
+	clk.advance(900 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker admitted though failures kept arriving")
+	}
+	clk.advance(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker did not half-open a cooldown after the last failure")
+	}
+}

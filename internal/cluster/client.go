@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// maxResponseBytes bounds how much of a shard response the router will
+// buffer. Responses are JSON verdicts and stats snapshots; 32 MiB is
+// far past any real one and small enough that a misbehaving shard
+// cannot balloon the router.
+const maxResponseBytes = 32 << 20
+
+// stallBound caps how long an injected NetStall blocks when the
+// caller's context carries no deadline, so a chaos run without
+// timeouts cannot hang a test forever.
+const stallBound = 30 * time.Second
+
+// Result is one completed HTTP exchange: any HTTP status is a result
+// (a shard's 503 is an answer, not a transport failure — the breaker
+// counts it as a success and the router forwards it). Only errors —
+// refused connections, resets, timeouts, severed bodies — are
+// transport failures, eligible for retry and failover.
+type Result struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// Client is the cluster transport: one HTTP exchange per Do call, with
+// the network fault boundary in front (injected connect failures,
+// stalls, and mid-body cuts at the k-th hop) and bounded
+// backoff-with-jitter retries in DoRetry. It retries TRANSPORT
+// failures only — a solver verdict, whatever its status code, is never
+// re-requested, because re-solving on a verdict would turn routing
+// into a semantics change.
+type Client struct {
+	hc         *http.Client
+	maxRetries int           // additional attempts after the first
+	retryBase  time.Duration // backoff base, doubled per retry
+	sched      *fault.Schedule
+}
+
+// NewClient builds a transport. timeout bounds each attempt (0 = no
+// per-attempt bound beyond the caller's context); maxRetries and
+// retryBase shape DoRetry (defaults 2 and 50ms).
+func NewClient(timeout time.Duration, maxRetries int, retryBase time.Duration, sched *fault.Schedule) *Client {
+	if maxRetries < 0 {
+		maxRetries = 2
+	}
+	if retryBase <= 0 {
+		retryBase = 50 * time.Millisecond
+	}
+	return &Client{
+		hc:         &http.Client{Timeout: timeout},
+		maxRetries: maxRetries,
+		retryBase:  retryBase,
+		sched:      sched,
+	}
+}
+
+// Do performs one HTTP exchange (one network hop) and buffers the
+// response. The fault schedule's network boundary is consulted exactly
+// once per call.
+func (c *Client) Do(ctx context.Context, method, url string, header http.Header, body []byte) (*Result, error) {
+	switch c.sched.NetVisit() {
+	case fault.NetConnectFail:
+		return nil, errors.New("fault: injected connect failure")
+	case fault.NetStall:
+		// A real black-holed peer is bounded by the per-attempt client
+		// timeout; the injected stall honors the same bound so the
+		// caller's retry/failover budget survives the hop.
+		bound := stallBound
+		if c.hc.Timeout > 0 && c.hc.Timeout < bound {
+			bound = c.hc.Timeout
+		}
+		timer := time.NewTimer(bound)
+		defer timer.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("fault: injected stall: %w", ctx.Err())
+		case <-timer.C:
+			return nil, errors.New("fault: injected stall expired")
+		}
+	case fault.NetCut:
+		res, err := c.exchange(ctx, method, url, header, body, true)
+		if err != nil {
+			return res, err
+		}
+		// contract: exchange(cut=true) never returns a nil error
+		panic("cluster: injected cut produced a whole response")
+	}
+	return c.exchange(ctx, method, url, header, body, false)
+}
+
+// exchange is the real hop. cut severs the response body halfway
+// through the read, modeling a peer that died after its headers went
+// out: the caller sees a transport error after bytes already moved.
+func (c *Client) exchange(ctx context.Context, method, url string, header http.Header, body []byte, cut bool) (*Result, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return nil, fmt.Errorf("reading response body: %w", err)
+	}
+	if cut {
+		return nil, fmt.Errorf("fault: injected mid-body cut after %d bytes", len(data)/2)
+	}
+	return &Result{Status: resp.StatusCode, Header: resp.Header, Body: data}, nil
+}
+
+// DoRetry is Do with bounded retries: up to maxRetries additional
+// attempts after a transport failure, spaced by exponential backoff
+// with full jitter (base*2^i, then a uniform draw from that window, so
+// synchronized retry storms decorrelate). A response — any status — is
+// returned immediately; the backoff sleep respects ctx.
+func (c *Client) DoRetry(ctx context.Context, method, url string, header http.Header, body []byte) (*Result, int, error) {
+	var lastErr error
+	retries := 0
+	for attempt := 0; attempt <= c.maxRetries; attempt++ {
+		if attempt > 0 {
+			retries++
+			window := c.retryBase << (attempt - 1)
+			jittered := time.Duration(1 + rand.Int64N(int64(window)))
+			timer := time.NewTimer(jittered)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, retries, fmt.Errorf("retry wait: %w", ctx.Err())
+			case <-timer.C:
+			}
+		}
+		res, err := c.Do(ctx, method, url, header, body)
+		if err == nil {
+			return res, retries, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break // the caller's budget is gone; more attempts are noise
+		}
+	}
+	return nil, retries, lastErr
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// countingShard is a test backend that records how many requests
+// reached it.
+func countingShard(status int, body string) (*httptest.Server, *atomic.Int64) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(status)
+		w.Write([]byte(body)) //nolint:errcheck — test server
+	}))
+	return ts, &hits
+}
+
+// TestClientRetriesTransportErrors pins the retry rule's first half:
+// an injected connect failure at the first hop is retried and the
+// second hop's response is returned.
+func TestClientRetriesTransportErrors(t *testing.T) {
+	ts, hits := countingShard(http.StatusOK, `{"ok":true}`)
+	defer ts.Close()
+	c := NewClient(time.Second, 2, time.Millisecond, fault.AtNet(1, fault.NetConnectFail))
+	res, retries, err := c.DoRetry(context.Background(), http.MethodGet, ts.URL, nil, nil)
+	if err != nil {
+		t.Fatalf("DoRetry after injected connect failure: %v", err)
+	}
+	if res.Status != http.StatusOK || retries != 1 {
+		t.Fatalf("status %d retries %d, want 200 after exactly 1 retry", res.Status, retries)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("backend saw %d requests, want 1 (the failed hop never connected)", hits.Load())
+	}
+}
+
+// TestClientNeverRetriesResponses pins the rule's second half: any
+// HTTP response — even a 503 — is a verdict from the shard, returned
+// as-is, never re-requested.
+func TestClientNeverRetriesResponses(t *testing.T) {
+	ts, hits := countingShard(http.StatusServiceUnavailable, `{"error":"busy"}`)
+	defer ts.Close()
+	c := NewClient(time.Second, 2, time.Millisecond, nil)
+	res, retries, err := c.DoRetry(context.Background(), http.MethodGet, ts.URL, nil, nil)
+	if err != nil {
+		t.Fatalf("DoRetry: %v", err)
+	}
+	if res.Status != http.StatusServiceUnavailable || retries != 0 || hits.Load() != 1 {
+		t.Fatalf("status %d retries %d hits %d, want the 503 passed through untouched",
+			res.Status, retries, hits.Load())
+	}
+}
+
+// TestClientCutIsTransportError pins the mid-body cut: bytes moved but
+// the exchange still counts as a transport failure, eligible for
+// retry.
+func TestClientCutIsTransportError(t *testing.T) {
+	ts, hits := countingShard(http.StatusOK, `{"ok":true}`)
+	defer ts.Close()
+	c := NewClient(time.Second, 2, time.Millisecond, fault.AtNet(1, fault.NetCut))
+	res, retries, err := c.DoRetry(context.Background(), http.MethodGet, ts.URL, nil, nil)
+	if err != nil {
+		t.Fatalf("DoRetry after injected cut: %v", err)
+	}
+	if res.Status != http.StatusOK || retries != 1 {
+		t.Fatalf("status %d retries %d, want 200 after exactly 1 retry", res.Status, retries)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("backend saw %d requests, want 2 (the cut hop DID reach it)", hits.Load())
+	}
+}
+
+// TestClientStallHonorsHopTimeout pins that an injected stall costs at
+// most the per-attempt timeout, leaving budget for the retry to
+// succeed.
+func TestClientStallHonorsHopTimeout(t *testing.T) {
+	ts, _ := countingShard(http.StatusOK, `{"ok":true}`)
+	defer ts.Close()
+	c := NewClient(50*time.Millisecond, 2, time.Millisecond, fault.AtNet(1, fault.NetStall))
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	res, retries, err := c.DoRetry(ctx, http.MethodGet, ts.URL, nil, nil)
+	if err != nil {
+		t.Fatalf("DoRetry after injected stall: %v", err)
+	}
+	if res.Status != http.StatusOK || retries != 1 {
+		t.Fatalf("status %d retries %d, want 200 after exactly 1 retry", res.Status, retries)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("stalled hop cost %v; the hop timeout should have cut it at ~50ms", elapsed)
+	}
+}
+
+// TestClientRetriesExhaust pins the bounded-retry contract: a shard
+// that stays unreachable costs exactly 1+maxRetries attempts, then the
+// transport error surfaces for failover.
+func TestClientRetriesExhaust(t *testing.T) {
+	c := NewClient(200*time.Millisecond, 2, time.Millisecond, nil)
+	// An address from TEST-NET that refuses immediately on loopback
+	// setups; the point is only that every attempt errors.
+	_, retries, err := c.DoRetry(context.Background(), http.MethodGet, "http://127.0.0.1:1/solve", nil, nil)
+	if err == nil {
+		t.Fatal("DoRetry against a dead port succeeded")
+	}
+	if retries != 2 {
+		t.Fatalf("retries = %d, want exactly maxRetries (2)", retries)
+	}
+}

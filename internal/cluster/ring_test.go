@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like canonical problem hashes: opaque hex-ish strings.
+		keys[i] = fmt.Sprintf("hash-%04x", i)
+	}
+	return keys
+}
+
+// TestRingDeterministicAcrossInstances pins the cross-process
+// contract: two rings built from the same shard list assign every key
+// identically, because construction uses nothing but the list — no
+// clock, no randomness, no process identity. Shards rely on this to
+// answer "who owns this hash?" without consulting the router.
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	shards := []string{"10.0.0.1:9101", "10.0.0.2:9101", "10.0.0.3:9101"}
+	a, b := NewRing(shards, 0), NewRing(shards, 0)
+	for _, k := range ringKeys(2000) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("Owner(%q) differs across instances: %q vs %q", k, ao, bo)
+		}
+	}
+}
+
+// TestRingGoldenAssignment pins concrete owner assignments, so an
+// accidental change to the hash construction (which would strand every
+// deployed cluster's cache placement) fails loudly instead of
+// silently remapping.
+func TestRingGoldenAssignment(t *testing.T) {
+	r := NewRing([]string{"a:1", "b:1", "c:1"}, 0)
+	golden := map[string]string{
+		"k0": "a:1",
+		"k1": "a:1",
+		"k2": "b:1",
+		"k3": "a:1",
+		"k4": "b:1",
+		"k5": "c:1",
+		"k6": "c:1",
+		"k7": "a:1",
+	}
+	for k, want := range golden {
+		if got := r.Owner(k); got != want {
+			t.Errorf("Owner(%q) = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// TestRingBalance checks the virtual nodes spread keys reasonably: no
+// shard of a 4-shard ring owns less than half or more than double its
+// fair share over a large key set.
+func TestRingBalance(t *testing.T) {
+	shards := []string{"a:1", "b:1", "c:1", "d:1"}
+	r := NewRing(shards, 0)
+	counts := map[string]int{}
+	keys := ringKeys(8000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	fair := len(keys) / len(shards)
+	for _, s := range shards {
+		if c := counts[s]; c < fair/2 || c > fair*2 {
+			t.Errorf("shard %q owns %d keys, fair share %d", s, c, fair)
+		}
+	}
+}
+
+// TestRingMinimalDisruptionOnAdd pins the consistent-hashing property
+// that makes failover cheap: adding a shard only MOVES keys TO the new
+// shard — every key that keeps an old owner keeps the same one — and
+// only about 1/N of keys move at all.
+func TestRingMinimalDisruptionOnAdd(t *testing.T) {
+	old := NewRing([]string{"a:1", "b:1", "c:1", "d:1"}, 0)
+	grown := NewRing([]string{"a:1", "b:1", "c:1", "d:1", "e:1"}, 0)
+	keys := ringKeys(8000)
+	moved := 0
+	for _, k := range keys {
+		before, after := old.Owner(k), grown.Owner(k)
+		if before == after {
+			continue
+		}
+		moved++
+		if after != "e:1" {
+			t.Fatalf("key %q moved %q -> %q, but only the new shard may gain keys", k, before, after)
+		}
+	}
+	// Expect ~1/5 of keys to move; allow generous slack for hash
+	// variance but catch a full reshuffle (which would read ~4/5).
+	if lo, hi := len(keys)/10, len(keys)/2; moved < lo || moved > hi {
+		t.Errorf("add moved %d of %d keys, want roughly %d", moved, len(keys), len(keys)/5)
+	}
+}
+
+// TestRingMinimalDisruptionOnRemove pins the mirror property: removing
+// a shard only reassigns the keys it owned; everyone else's keys stay
+// put. This is exactly what a breaker-open failover relies on — the
+// successor walk agrees with the ring a survivor would build.
+func TestRingMinimalDisruptionOnRemove(t *testing.T) {
+	full := NewRing([]string{"a:1", "b:1", "c:1", "d:1"}, 0)
+	shrunk := NewRing([]string{"a:1", "b:1", "d:1"}, 0)
+	for _, k := range ringKeys(8000) {
+		before, after := full.Owner(k), shrunk.Owner(k)
+		if before == "c:1" {
+			if after == "c:1" {
+				t.Fatalf("key %q still owned by removed shard", k)
+			}
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", k, before, after)
+		}
+	}
+}
+
+// TestRingSuccessorsFailoverOrder pins the failover walk: distinct
+// shards, owner first, and removing the owner promotes exactly the
+// next successor (so a failed-over key lands where the shrunken ring
+// would have put it).
+func TestRingSuccessorsFailoverOrder(t *testing.T) {
+	shards := []string{"a:1", "b:1", "c:1", "d:1"}
+	r := NewRing(shards, 0)
+	for _, k := range ringKeys(200) {
+		succ := r.Successors(k, 0)
+		if len(succ) != len(shards) {
+			t.Fatalf("Successors(%q) = %d shards, want %d", k, len(succ), len(shards))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("Successors(%q) repeats %q", k, s)
+			}
+			seen[s] = true
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("Successors(%q)[0] = %q, Owner = %q", k, succ[0], r.Owner(k))
+		}
+		// The ring without the owner must elect the first successor.
+		var without []string
+		for _, s := range shards {
+			if s != succ[0] {
+				without = append(without, s)
+			}
+		}
+		if got := NewRing(without, 0).Owner(k); got != succ[1] {
+			t.Fatalf("ring without owner elects %q, successor walk says %q", got, succ[1])
+		}
+	}
+}
+
+// TestRingSuccessorsBounded pins the n parameter.
+func TestRingSuccessorsBounded(t *testing.T) {
+	r := NewRing([]string{"a:1", "b:1", "c:1"}, 0)
+	if got := r.Successors("k", 2); len(got) != 2 {
+		t.Fatalf("Successors(k, 2) returned %d shards", len(got))
+	}
+	if got := r.Successors("k", 99); len(got) != 3 {
+		t.Fatalf("Successors(k, 99) returned %d shards", len(got))
+	}
+}

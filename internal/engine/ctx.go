@@ -76,9 +76,25 @@ func (m *meter) trip(site string) {
 // single budget no matter how many requests carry them. Attach with
 // SetBudgetPool before creating children. All methods are safe on a
 // nil receiver (a nil Pool is "no pool") and for concurrent use.
+//
+// A pool built with NewRefillingPool is a token bucket: units flow
+// back at a fixed rate, capped at the original capacity, so a dry
+// tenant recovers after a proportional wait instead of being rejected
+// for the life of the process. The refill is lazy — credited on the
+// admission-side Dry check — so a tenant with no new work costs
+// nothing. Refill never un-stops a solve the dry pool already tripped
+// (Charge observes the pool once, trips, and the solve settles
+// UNKNOWN); it only re-opens admission for the tenant's NEXT request.
 type Pool struct {
 	name string
 	m    meter
+
+	// capacity caps what refill can restore; perSec is the refill rate
+	// (0 = prepaid, never refills). lastRefill is the UnixNano stamp
+	// of the last credited refill instant.
+	capacity   int64
+	perSec     int64
+	lastRefill atomic.Int64
 }
 
 // NewPool returns a pool named name holding n units. n <= 0 returns
@@ -87,9 +103,67 @@ func NewPool(name string, n int64) *Pool {
 	if n <= 0 {
 		return nil
 	}
-	p := &Pool{name: name}
+	p := &Pool{name: name, capacity: n}
 	p.m.remaining.Store(n)
 	return p
+}
+
+// NewRefillingPool returns a pool of capacity n that refills at perSec
+// units per second (token bucket, capped at n). perSec <= 0 degrades
+// to NewPool's prepaid semantics.
+func NewRefillingPool(name string, n, perSec int64) *Pool {
+	p := NewPool(name, n)
+	if p == nil || perSec <= 0 {
+		return p
+	}
+	p.perSec = perSec
+	p.lastRefill.Store(time.Now().UnixNano())
+	return p
+}
+
+// refill credits elapsed-time units into the bucket, capped at
+// capacity. One goroutine wins the CAS for any given interval; losers
+// retry against the advanced stamp and credit only what remains. The
+// stamp advances by exactly the time the credited units represent, so
+// fractional units are never lost to rounding.
+func (p *Pool) refill() {
+	if p == nil || p.perSec <= 0 {
+		return
+	}
+	for {
+		last := p.lastRefill.Load()
+		now := time.Now().UnixNano()
+		elapsed := now - last
+		if elapsed <= 0 {
+			return
+		}
+		credit := elapsed * p.perSec / int64(time.Second)
+		if credit <= 0 {
+			return
+		}
+		consumed := credit * int64(time.Second) / p.perSec
+		if !p.lastRefill.CompareAndSwap(last, last+consumed) {
+			continue
+		}
+		for {
+			cur := p.m.remaining.Load()
+			next := cur + credit
+			if next > p.capacity {
+				next = p.capacity
+			}
+			if next <= cur {
+				return
+			}
+			if p.m.remaining.CompareAndSwap(cur, next) {
+				if cur <= 0 && next > 0 {
+					// The bucket recovered: clear the trip marker so
+					// the next exhaustion blames its own site.
+					p.m.site.Store(nil)
+				}
+				return
+			}
+		}
+	}
 }
 
 // Name reports the pool's name ("" for nil).
@@ -100,18 +174,26 @@ func (p *Pool) Name() string {
 	return p.name
 }
 
-// Remaining reports the units left in the pool (negative once dry).
+// Remaining reports the units left in the pool (negative once dry),
+// after crediting any pending refill.
 func (p *Pool) Remaining() int64 {
 	if p == nil {
 		return 0
 	}
+	p.refill()
 	return p.m.remaining.Load()
 }
 
-// Dry reports whether the pool has been exhausted. Admission layers
-// check it before accepting new work for the pool's tenant.
+// Dry reports whether the pool is exhausted right now. Admission
+// layers check it before accepting new work for the pool's tenant; on
+// a refilling pool the answer flips back to false once the bucket has
+// recovered above zero.
 func (p *Pool) Dry() bool {
-	return p != nil && p.m.remaining.Load() <= 0
+	if p == nil {
+		return false
+	}
+	p.refill()
+	return p.m.remaining.Load() <= 0
 }
 
 // Ctx is the cancellable solve context.

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/fault"
 )
@@ -194,6 +195,74 @@ func TestPoolReasonNotLeakedAcrossCauses(t *testing.T) {
 	}
 	if second.Cause() != CauseCancelled {
 		t.Fatalf("cause = %v, want cancelled", second.Cause())
+	}
+}
+
+// TestRefillingPoolRecovers: a token-bucket pool that runs dry flips
+// Dry() back to false once enough time has passed for the refill rate
+// to restore units — the process-lifetime 429 becomes a bounded wait.
+func TestRefillingPoolRecovers(t *testing.T) {
+	pool := NewRefillingPool("tenant bulk", 10, 1000) // 1000 units/sec
+	c := Background()
+	c.SetBudgetPool(pool)
+	if !c.Charge("pfa product", 20) {
+		t.Fatal("overdraft did not trip the pool")
+	}
+	if !pool.Dry() {
+		t.Fatal("pool not dry immediately after the trip")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for pool.Dry() {
+		if time.Now().After(deadline) {
+			t.Fatal("refilling pool never recovered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r := pool.Remaining(); r <= 0 {
+		t.Fatalf("Remaining = %d after recovery, want > 0", r)
+	}
+	// A fresh solve admitted after recovery runs and can trip again,
+	// blaming its own site rather than the pre-recovery one.
+	fresh := Background()
+	fresh.SetBudgetPool(pool)
+	if !fresh.Charge("cnf clause", 1<<40) {
+		t.Fatal("recovered pool did not trip on a fresh overdraft")
+	}
+	if got := fresh.BudgetReason(); got != "budget: tenant bulk: cnf clause" {
+		t.Fatalf("BudgetReason = %q, want the post-recovery site", got)
+	}
+}
+
+// TestRefillingPoolCapsAtCapacity: refill never grows the bucket past
+// its configured capacity, no matter how long the tenant idles.
+func TestRefillingPoolCapsAtCapacity(t *testing.T) {
+	pool := NewRefillingPool("t", 5, 1_000_000)
+	time.Sleep(20 * time.Millisecond) // worth ~20000 units at this rate
+	if r := pool.Remaining(); r != 5 {
+		t.Fatalf("Remaining = %d, want capped capacity 5", r)
+	}
+	c := Background()
+	c.SetBudgetPool(pool)
+	c.Charge("site", 3)
+	time.Sleep(20 * time.Millisecond)
+	if r := pool.Remaining(); r != 5 {
+		t.Fatalf("Remaining = %d after idle refill, want 5", r)
+	}
+}
+
+// TestRefillingPoolZeroRateIsPrepaid: perSec <= 0 keeps the original
+// prepaid semantics — a dry pool stays dry forever.
+func TestRefillingPoolZeroRateIsPrepaid(t *testing.T) {
+	pool := NewRefillingPool("t", 2, 0)
+	c := Background()
+	c.SetBudgetPool(pool)
+	c.Charge("site", 5)
+	time.Sleep(20 * time.Millisecond)
+	if !pool.Dry() {
+		t.Fatal("prepaid pool refilled")
+	}
+	if NewRefillingPool("t", 0, 100) != nil {
+		t.Fatal("zero-capacity refilling pool must be nil (unlimited)")
 	}
 }
 

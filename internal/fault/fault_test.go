@@ -115,6 +115,49 @@ func TestScheduleConcurrentFiresExactlyOnce(t *testing.T) {
 	}
 }
 
+func TestScheduleNetFiresOnceAtK(t *testing.T) {
+	s := AtNet(2, NetCut)
+	got := []NetOp{s.NetVisit(), s.NetVisit(), s.NetVisit()}
+	want := []NetOp{NetNone, NetCut, NetNone}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hop %d: got %v want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if !s.NetFired() {
+		t.Fatal("NetFired() = false after firing")
+	}
+	if s.NetVisits() != 3 {
+		t.Fatalf("NetVisits() = %d, want 3", s.NetVisits())
+	}
+}
+
+func TestScheduleNetBoundaryIndependent(t *testing.T) {
+	// An engine schedule never fires at the network boundary and does
+	// not count hops against its Poll/Charge index — and vice versa.
+	eng := At(1, OpPanic)
+	if op := eng.NetVisit(); op != NetNone {
+		t.Fatalf("engine schedule fired %v at a network hop", op)
+	}
+	if op := eng.Visit(); op != OpPanic {
+		t.Fatalf("net hop consumed the engine visit index: got %v", op)
+	}
+	net := AtNet(1, NetStall)
+	if op := net.Visit(); op != OpNone {
+		t.Fatalf("network schedule fired %v at a Poll site", op)
+	}
+	if op := net.NetVisit(); op != NetStall {
+		t.Fatalf("Poll visit consumed the net hop index: got %v", op)
+	}
+}
+
+func TestScheduleNetNilSafe(t *testing.T) {
+	var s *Schedule
+	if s.NetVisit() != NetNone || s.NetVisits() != 0 || s.NetFired() || s.NetOp() != NetNone {
+		t.Fatal("nil schedule misbehaved at the network boundary")
+	}
+}
+
 func TestNewSchedule(t *testing.T) {
 	if NewSchedule(0) != nil || NewSchedule(-5) != nil {
 		t.Fatal("non-positive seed must disable injection")

@@ -31,6 +31,41 @@ func (o Op) String() string {
 	return "?"
 }
 
+// NetOp is the fault a Schedule injects at the network boundary: the
+// cluster layer calls NetVisit once per hop (every forward, retry,
+// hedge, probe, or peer cache-fill attempt), and the schedule fires
+// its NetOp exactly once, at the k-th hop.
+type NetOp int
+
+// Injectable network faults.
+const (
+	// NetNone: nothing fires at this hop.
+	NetNone NetOp = iota
+	// NetConnectFail: the hop fails before any bytes move, as a
+	// refused or unroutable connection would.
+	NetConnectFail
+	// NetStall: the hop hangs until the caller's context gives up, as
+	// a black-holed peer would.
+	NetStall
+	// NetCut: the hop's response body is severed mid-read, as a peer
+	// dying after its headers went out would.
+	NetCut
+)
+
+func (o NetOp) String() string {
+	switch o {
+	case NetNone:
+		return "none"
+	case NetConnectFail:
+		return "connect-fail"
+	case NetStall:
+		return "stall"
+	case NetCut:
+		return "cut"
+	}
+	return "?"
+}
+
 // Schedule is a deterministic fault-injection plan: the engine calls
 // Visit at every Poll/Charge site, and the schedule fires its Op
 // exactly once, at the k-th visit. A Schedule with k == 0 never fires
@@ -40,17 +75,56 @@ func (o Op) String() string {
 // "no injection") and for concurrent use; under a parallel portfolio
 // the k-th visit is whichever goroutine gets there first, so sweeps
 // assert verdict invariants, not which site fired.
+//
+// The network boundary is a second, independent visit counter: the
+// cluster transport calls NetVisit at every hop, and a schedule built
+// with AtNet fires its NetOp exactly once, at the k-th hop. The two
+// boundaries never interfere — an engine schedule counts no hops and a
+// network schedule fires at no Poll site — so one Schedule value can
+// drive either sweep.
 type Schedule struct {
 	k      uint64
 	op     Op
 	visits atomic.Uint64
 	fired  atomic.Bool
+
+	netK      uint64
+	netOp     NetOp
+	netVisits atomic.Uint64
+	netFired  atomic.Bool
 }
 
 // At returns a Schedule that fires op at the k-th visit (1-based).
 // k == 0 returns a counting-only schedule.
 func At(k uint64, op Op) *Schedule {
 	return &Schedule{k: k, op: op}
+}
+
+// AtNet returns a Schedule that fires op at the k-th network hop
+// (1-based). k == 0 returns a counting-only schedule: chaos sweeps run
+// one counting pass to learn how many hops a scenario takes, then
+// sweep k over that range.
+func AtNet(k uint64, op NetOp) *Schedule {
+	return &Schedule{netK: k, netOp: op}
+}
+
+// Combine merges an engine-boundary plan and a network-boundary plan
+// into one fresh Schedule, so a single value can drive both sweeps
+// (the boundaries are independent; see the type comment). Either input
+// may be nil; both nil returns nil. Visit counts are not carried over —
+// use it on unfired schedules.
+func Combine(eng, net *Schedule) *Schedule {
+	if eng == nil && net == nil {
+		return nil
+	}
+	s := &Schedule{}
+	if eng != nil {
+		s.k, s.op = eng.k, eng.op
+	}
+	if net != nil {
+		s.netK, s.netOp = net.netK, net.netOp
+	}
+	return s
 }
 
 // Counting returns a schedule that never fires and only counts visits.
@@ -106,4 +180,41 @@ func (s *Schedule) Op() Op {
 		return OpNone
 	}
 	return s.op
+}
+
+// NetVisit records one arrival at the network boundary and returns the
+// NetOp to inject now (NetNone almost always; the schedule's netOp
+// exactly once, at the k-th hop).
+func (s *Schedule) NetVisit() NetOp {
+	if s == nil || s.netK == 0 {
+		if s != nil {
+			s.netVisits.Add(1)
+		}
+		return NetNone
+	}
+	if s.netVisits.Add(1) == s.netK && s.netFired.CompareAndSwap(false, true) {
+		return s.netOp
+	}
+	return NetNone
+}
+
+// NetVisits reports how many network hops have been visited.
+func (s *Schedule) NetVisits() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.netVisits.Load()
+}
+
+// NetFired reports whether the schedule has injected its network fault.
+func (s *Schedule) NetFired() bool {
+	return s != nil && s.netFired.Load()
+}
+
+// NetOp returns the network fault the schedule injects when it fires.
+func (s *Schedule) NetOp() NetOp {
+	if s == nil {
+		return NetNone
+	}
+	return s.netOp
 }

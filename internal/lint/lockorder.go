@@ -1,6 +1,7 @@
 package lint
 
-// lockorder proves that internal/server and internal/engine acquire
+// lockorder proves that internal/server, internal/engine, and
+// internal/cluster acquire
 // their mutexes in one consistent order, so the service layer cannot
 // deadlock no matter how requests, shutdown, and stats merging
 // interleave. Lock identity is the declared mutex variable or struct
@@ -49,7 +50,8 @@ func runLockOrder(p *Pass) {
 		paths = []string{p.Path}
 	} else {
 		for path := range p.Prog.pkgs {
-			if strings.HasSuffix(path, "internal/server") || strings.HasSuffix(path, "internal/engine") {
+			if strings.HasSuffix(path, "internal/server") || strings.HasSuffix(path, "internal/engine") ||
+				strings.HasSuffix(path, "internal/cluster") {
 				paths = append(paths, path)
 			}
 		}

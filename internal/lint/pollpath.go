@@ -23,10 +23,11 @@ import (
 )
 
 var pollPath = &Analyzer{
-	Name:  "pollpath",
-	Doc:   "unbounded solver cycles with a path that never polls the engine context",
-	Scope: scopeFor("pollpath", "internal/sat", "internal/simplex", "internal/portfolio"),
-	Run:   runPollPath,
+	Name: "pollpath",
+	Doc:  "unbounded solver cycles with a path that never polls the engine context",
+	Scope: scopeFor("pollpath", "internal/sat", "internal/simplex", "internal/portfolio",
+		"internal/cluster"),
+	Run: runPollPath,
 }
 
 // pollMethods are the engine.Ctx methods that count as observing

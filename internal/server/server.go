@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/fault"
@@ -61,6 +62,17 @@ type Config struct {
 	// bounded collectively. A dry pool rejects the tenant's new work
 	// with 429 for the life of the process.
 	TenantBudget int64
+	// TenantRefill turns each tenant pool into a token bucket: the pool
+	// earns this many governor units per second, capped at
+	// TenantBudget, so a throttled tenant recovers on its own instead
+	// of staying dry forever. 0 (the default) keeps pools prepaid.
+	// Ignored without TenantBudget.
+	TenantRefill int64
+	// Peers is this shard's view of its cluster, enabling peer
+	// cache-fill: on a verdict-cache miss the shard asks the canonical
+	// hash's owner for an already-settled verdict before solving. nil
+	// (standalone) disables the lookup.
+	Peers *cluster.Peers
 	// MaxBatchInstances bounds the instances of one POST /batch
 	// (default 512).
 	MaxBatchInstances int
@@ -198,6 +210,11 @@ type counters struct {
 	batchJobs        atomic.Int64
 	batchInstances   atomic.Int64
 	batchDrained     atomic.Int64 // instances failed cleanly by a drain
+
+	peerFills  atomic.Int64 // misses answered by the owner shard's cache
+	peerMisses atomic.Int64 // owner asked, had nothing settled
+	peerErrors atomic.Int64 // owner unreachable or its entry failed revalidation
+	peerServed atomic.Int64 // cache entries this shard handed to peers
 }
 
 // waitStats accumulates queue-wait observations for one QoS class.
@@ -247,6 +264,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /solve", s.handleSolve)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /cache/{hash}", s.handleCacheEntry)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -306,7 +324,7 @@ func (s *Server) tenantPool(tenant string) *engine.Pool {
 	defer s.tenants.Unlock()
 	p, ok := s.tenants.pools[tenant]
 	if !ok {
-		p = engine.NewPool("tenant "+tenant, s.cfg.TenantBudget)
+		p = engine.NewRefillingPool("tenant "+tenant, s.cfg.TenantBudget, s.cfg.TenantRefill)
 		s.tenants.pools[tenant] = p
 		s.tenants.order = append(s.tenants.order, tenant)
 	}
@@ -357,6 +375,9 @@ type solveResponse struct {
 	// the cached entry). Empty for a direct core solve.
 	Backend string `json:"backend,omitempty"`
 	Cached  bool   `json:"cached"`
+	// PeerFilled marks a cached verdict obtained from the canonical
+	// hash's owner shard (peer cache-fill) rather than solved here.
+	PeerFilled bool `json:"peer_filled,omitempty"`
 	// Coalesced marks a verdict received from another request's solve
 	// of the same canonical problem (dedup-in-flight).
 	Coalesced bool    `json:"coalesced,omitempty"`
@@ -449,9 +470,14 @@ func (s *Server) rejectDraining(w http.ResponseWriter) {
 }
 
 // rejectTenant answers the 429 for a tenant whose budget pool is dry.
+// Retry-After reuses the queue-full mapping on the tenant's own queued
+// batch backlog: a tenant with deep queued work backs off longer,
+// since its pool has that much more demand to absorb before new work
+// stands a chance.
 func (s *Server) rejectTenant(w http.ResponseWriter, tenant string) {
 	s.ctr.rejectedTenant.Add(1)
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After",
+		strconv.Itoa(retryAfterSecs(s.sched.tenantBacklog(tenant), s.cfg.Workers)))
 	s.writeError(w, http.StatusTooManyRequests, "tenant %q budget exhausted", tenant)
 }
 
@@ -521,9 +547,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.ctr.uncacheable.Add(1)
 	}
 
-	// Cache fast path; see cacheLookup for the revalidation rule.
+	// Cache fast path; see cacheLookup for the revalidation rule. On a
+	// local miss, peer cache-fill asks the canonical hash's owner shard
+	// before spending any solver time.
 	if canon != nil && !req.NoCache {
 		if resp, ok := s.cacheLookup(script, canon, start); ok {
+			s.writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		if resp, ok := s.peerFill(r, script, canon, start); ok {
 			s.writeJSON(w, http.StatusOK, resp)
 			return
 		}
@@ -904,6 +936,9 @@ type statsResponse struct {
 	Queue    queueStats   `json:"queue"`
 	Dedup    dedupStats   `json:"dedup"`
 	Batch    batchStats   `json:"batch"`
+	// Cluster reports the peer cache-fill counters (absent for a
+	// standalone server that has also never served a peer).
+	Cluster *clusterStats `json:"cluster,omitempty"`
 	// Tenants lists the per-tenant budget pools in first-seen order
 	// (empty unless the server runs with a tenant budget).
 	Tenants []tenantStat `json:"tenants,omitempty"`
@@ -980,6 +1015,16 @@ type batchStats struct {
 	Stored    int   `json:"stored"`
 }
 
+// clusterStats is the shard-local view of the distributed verdict
+// cache: both directions of peer cache-fill.
+type clusterStats struct {
+	Self       string `json:"self,omitempty"` // this shard's cluster address
+	PeerFills  int64  `json:"peer_fills"`
+	PeerMisses int64  `json:"peer_misses"`
+	PeerErrors int64  `json:"peer_errors"`
+	PeerServed int64  `json:"peer_served"`
+}
+
 type tenantStat struct {
 	Name            string `json:"name"`
 	BudgetRemaining int64  `json:"budget_remaining"`
@@ -1032,6 +1077,7 @@ func (s *Server) snapshotStats() statsResponse {
 			Drained:   s.ctr.batchDrained.Load(),
 			Stored:    s.store.len(),
 		},
+		Cluster:   s.snapshotCluster(),
 		Tenants:   s.snapshotTenants(),
 		Faults:    s.snapshotFaults(),
 		Portfolio: s.snapshotPortfolio(),
@@ -1056,6 +1102,20 @@ func (s *Server) snapshotTenants() []tenantStat {
 		}
 	}
 	return out
+}
+
+func (s *Server) snapshotCluster() *clusterStats {
+	cs := clusterStats{
+		Self:       s.cfg.Peers.Self(),
+		PeerFills:  s.ctr.peerFills.Load(),
+		PeerMisses: s.ctr.peerMisses.Load(),
+		PeerErrors: s.ctr.peerErrors.Load(),
+		PeerServed: s.ctr.peerServed.Load(),
+	}
+	if s.cfg.Peers == nil && cs.PeerServed == 0 {
+		return nil
+	}
+	return &cs
 }
 
 func (s *Server) snapshotPortfolio() *portfolio.Snapshot {
